@@ -1,0 +1,88 @@
+//! E9 — the real-atomics substrate (Herlihy-hierarchy primitives).
+//!
+//! Microbenchmarks of the wait-free snapshot (consensus number 1
+//! machinery), test&set (2), and CAS consensus (∞) under no contention and
+//! under real-thread contention. Expected shape: uncontended snapshot
+//! `update` costs one embedded `scan` (linear in `n`); `scan` under write
+//! contention stays bounded (wait-freedom: ≤ n+2 collects, usually
+//! borrowing an embedded view early); TAS and CAS are single-instruction
+//! flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcn_runtime::atomics::{CasConsensus, TestAndSet, WaitFreeSnapshot};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn snapshot_uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atomics/snapshot_uncontended");
+    for n in [2usize, 4, 8, 16, 32] {
+        let snap = WaitFreeSnapshot::new(n);
+        g.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| black_box(snap.scan()))
+        });
+        g.bench_with_input(BenchmarkId::new("update", n), &n, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                snap.update(0, black_box(k))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn snapshot_contended_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atomics/snapshot_scan_under_writers");
+    g.sample_size(20);
+    for writers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(writers), &writers, |b, &writers| {
+            let n = writers + 1;
+            let snap = Arc::new(WaitFreeSnapshot::new(n));
+            let stop = Arc::new(AtomicBool::new(false));
+            let handles: Vec<_> = (0..writers)
+                .map(|i| {
+                    let snap = Arc::clone(&snap);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut k = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            k += 1;
+                            snap.update(i + 1, k);
+                        }
+                    })
+                })
+                .collect();
+            b.iter(|| black_box(snap.scan()));
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                h.join().expect("writer thread");
+            }
+        });
+    }
+    g.finish();
+}
+
+fn tas_and_cas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atomics/tas_and_cas");
+    g.bench_function("test_and_set_fresh", |b| {
+        b.iter_with_setup(TestAndSet::new, |t| black_box(t.test_and_set()))
+    });
+    g.bench_function("test_and_set_taken", |b| {
+        let t = TestAndSet::new();
+        t.test_and_set();
+        b.iter(|| black_box(t.test_and_set()))
+    });
+    g.bench_function("cas_consensus_fresh", |b| {
+        b.iter_with_setup(CasConsensus::new, |c| black_box(c.propose(7)))
+    });
+    g.bench_function("cas_consensus_decided", |b| {
+        let c0 = CasConsensus::new();
+        c0.propose(1);
+        b.iter(|| black_box(c0.propose(2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, snapshot_uncontended, snapshot_contended_scan, tas_and_cas);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E2 / Figures 2–3 — the BG simulation's `sim_write`/`sim_snapshot`.
+//!
+//! Runs the classic BG configuration — a read/write `(t+1)`-set algorithm
+//! for `ASM(n, t, 1)` executed by `t + 1` wait-free simulators — and the
+//! same-`n` configuration, for growing `n`. Reports wall time; the
+//! deterministic step counts (the model-level cost) are printed once per
+//! size so EXPERIMENTS.md can record them.
+//!
+//! Expected shape: cost grows with both the number of simulated processes
+//! (more write/snapshot agreements) and the number of simulators (each
+//! runs the whole code of everyone — the BG simulation trades redundancy
+//! for resilience).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcn_bench::run_and_count;
+use mpcn_model::ModelParams;
+use mpcn_tasks::algorithms;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bg_classic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_3/bg_classic_t_plus_1_simulators");
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    for (n, t) in [(3u32, 1u32), (5, 2), (7, 3)] {
+        let alg = algorithms::kset_read_write(n, t).expect("valid params");
+        let target = ModelParams::new(t + 1, t, 1).expect("valid params");
+        let (steps, decided) = run_and_count(&alg, target, 1);
+        eprintln!("fig2_3: n={n} t={t} -> {steps} steps, {decided} simulator decisions");
+        g.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_t{t}")), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_and_count(&alg, target, seed))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bg_same_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_3/bg_n_simulators");
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    for n in [3u32, 5, 7] {
+        let alg = algorithms::kset_read_write(n, 1).expect("valid params");
+        let target = ModelParams::new(n, 1, 1).expect("valid params");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_and_count(&alg, target, seed))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bg_classic, bg_same_n);
+criterion_main!(benches);

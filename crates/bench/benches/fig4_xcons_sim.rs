@@ -1,0 +1,42 @@
+//! E3 / Figure 4 — `sim_x_cons_propose`: simulating consensus-number-`x`
+//! objects with read/write simulators (the Section 3 direction).
+//!
+//! Runs `group-xcons-then-min` for `ASM(n, t', x)` in its canonical
+//! read/write form `ASM(n, ⌊t'/x⌋, 1)` across `x`. Expected shape: larger
+//! `x` means fewer simulated consensus objects (⌈n/x⌉ groups) but each
+//! object's agreement is shared by more simulated ports; total cost stays
+//! in the same band — the interesting output is that *all* of these
+//! succeed with `t = ⌊t'/x⌋` read/write simulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcn_bench::run_and_count;
+use mpcn_model::ModelParams;
+use mpcn_tasks::algorithms;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn xcons_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/section3_xcons_to_read_write");
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    let n = 6u32;
+    let t_prime = 4u32;
+    for x in [1u32, 2, 4] {
+        let alg = algorithms::group_xcons_then_min(n, t_prime, x).expect("valid params");
+        let target = ModelParams::new(n, t_prime / x, 1).expect("valid params");
+        let (steps, _) = run_and_count(&alg, target, 1);
+        eprintln!("fig4: n={n} t'={t_prime} x={x} -> {steps} steps in {target}");
+        g.bench_with_input(BenchmarkId::from_parameter(x), &x, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_and_count(&alg, target, seed))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, xcons_simulation);
+criterion_main!(benches);

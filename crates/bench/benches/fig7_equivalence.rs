@@ -1,0 +1,70 @@
+//! E6 / Figure 7 — the model-equivalence reductions, end to end.
+//!
+//! Times each arrow of the paper's Figure 7 on concrete tasks:
+//! Section 3 (`ASM(n,t',x)` → `ASM(n,t,1)`), Section 4 (`ASM(n,t,1)` →
+//! `ASM(n,t',x')`), the generalized BG (`ASM(n,t',x)` → `ASM(t+1,t,1)`),
+//! and a same-class cross hop. Expected shape: the Section 4 direction is
+//! the most expensive (x-safe-agreement's combinatorial walk); all
+//! directions stay live and valid — that *is* the equivalence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpcn_bench::inputs;
+use mpcn_core::equivalence::round_trip;
+use mpcn_core::simulator::SimRun;
+use mpcn_model::ModelParams;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn arrows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7/arrows");
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+
+    g.bench_function("section3_ASM(6,4,2)_to_ASM(6,2,1)", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let check = round_trip::section3(6, 4, 2, &SimRun::seeded(seed), &inputs(6));
+            assert!(check.holds());
+            black_box(check.report.steps)
+        });
+    });
+
+    g.bench_function("section4_ASM(5,2,1)_to_ASM(5,4,2)", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let check = round_trip::section4(5, 2, 4, 2, &SimRun::seeded(seed), &inputs(5));
+            assert!(check.holds());
+            black_box(check.report.steps)
+        });
+    });
+
+    g.bench_function("generalized_bg_ASM(6,4,2)_to_ASM(3,2,1)", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let check = round_trip::generalized_bg(6, 4, 2, &SimRun::seeded(seed), &inputs(3));
+            assert!(check.holds());
+            black_box(check.report.steps)
+        });
+    });
+
+    g.bench_function("cross_ASM(6,4,2)_to_ASM(6,5,2)", |b| {
+        let m1 = ModelParams::new(6, 4, 2).expect("valid");
+        let m2 = ModelParams::new(6, 5, 2).expect("valid");
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let check = round_trip::cross_model(m1, m2, &SimRun::seeded(seed), &inputs(6));
+            assert!(check.holds());
+            black_box(check.report.steps)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, arrows);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E8 / Figure 8 + Section 5.5 — the colored-task simulation.
+//!
+//! Times the colored renaming simulation (each simulator must claim a
+//! *distinct* simulated decision via shared test&set) against the same
+//! parameters run colorlessly. Expected shape: colored costs slightly more
+//! (losers keep simulating until they claim a process), and the gap grows
+//! with the number of simulators competing per decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpcn_bench::inputs;
+use mpcn_core::colored::{run_colored, ColoredSpec};
+use mpcn_core::simulator::{run_colorless, SimRun, SimulationSpec};
+use mpcn_model::ModelParams;
+use mpcn_tasks::algorithms;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn colored_renaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8/colored_renaming");
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    for (n_src, n_tgt, t_tgt) in [(8u32, 4u32, 3u32), (10, 5, 4)] {
+        let alg = algorithms::renaming(n_src).expect("valid params");
+        let target = ModelParams::new(n_tgt, t_tgt, 2).expect("valid params");
+        let spec = ColoredSpec::new(alg, target).expect("valid colored spec");
+        let id = format!("src{n_src}_tgt{n_tgt}");
+        g.bench_with_input(BenchmarkId::from_parameter(id), &n_src, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let report =
+                    run_colored(&spec, &inputs(n_tgt as usize), &SimRun::seeded(seed));
+                assert!(report.all_correct_decided());
+                black_box(report.steps)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn colorless_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8/colorless_baseline");
+    g.warm_up_time(Duration::from_millis(400));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    for (n_src, n_tgt, t_tgt) in [(8u32, 4u32, 3u32), (10, 5, 4)] {
+        let alg = algorithms::kset_read_write(n_src, n_src - 1).expect("valid params");
+        let target = ModelParams::new(n_tgt, t_tgt, 2).expect("valid params");
+        let spec = SimulationSpec::new(alg, target).expect("valid spec");
+        let id = format!("src{n_src}_tgt{n_tgt}");
+        g.bench_with_input(BenchmarkId::from_parameter(id), &n_src, |b, _| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let report =
+                    run_colorless(&spec, &inputs(n_tgt as usize), &SimRun::seeded(seed));
+                assert!(report.all_correct_decided());
+                black_box(report.steps)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, colored_renaming, colorless_baseline);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! The colored-task extension (paper Section 5.5, Figure 8).
+//!
+//! A colored task (e.g. renaming) forbids two processes from deciding the
+//! same simulated process's value, so the colorless rule "adopt the first
+//! decision you compute" no longer works. The paper's fix: when a simulator
+//! obtains the decision of simulated process `p_j`, it competes on a shared
+//! one-shot test&set object `T&S[j]`; the winner decides `p_j`'s value, the
+//! losers resume simulating the *other* processes. (Test&set is available
+//! in the target model because `x' > 1`.)
+//!
+//! Conditions (Section 5.5) for simulating `ASM(n, t, x)` in
+//! `ASM(n', t', x')`:
+//!
+//! * `x' > 1` — the target must support test&set;
+//! * `⌊t/x⌋ ≥ ⌊t'/x'⌋` — the colorless soundness condition, so at most
+//!   `x·⌊t'/x'⌋ ≤ t` simulated processes block;
+//! * `n ≥ max(n', (n' − t') + t)` — enough simulated decisions for every
+//!   correct simulator to claim a distinct one: with `f ≤ t'` simulator
+//!   crashes, at least `n − x⌊f/x'⌋ ≥ n' − f` simulated processes decide.
+
+use mpcn_model::ModelParams;
+use mpcn_runtime::model_world::RunReport;
+use mpcn_tasks::SourceAlgorithm;
+
+use crate::simulator::{run_simulation, SimRun, SimulationSpec, SpecError};
+
+/// A validated colored-simulation instance.
+#[derive(Debug, Clone)]
+pub struct ColoredSpec {
+    inner: SimulationSpec,
+}
+
+/// Why a colored simulation is rejected by [`ColoredSpec::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColoredSpecError {
+    /// Underlying spec construction failed.
+    Spec(SpecError),
+    /// The target model has `x' = 1`: no test&set available for the
+    /// decision distribution.
+    TargetNeedsTestAndSet,
+    /// `⌊t/x⌋ < ⌊t'/x'⌋`: too many simulated processes could block.
+    Unsound,
+    /// `n < max(n', (n'−t') + t)`: not enough simulated processes for every
+    /// correct simulator to claim a distinct decision.
+    TooFewSimulatedProcesses {
+        /// Required minimum `n`.
+        needed: u32,
+        /// Actual `n`.
+        have: u32,
+    },
+}
+
+impl std::fmt::Display for ColoredSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColoredSpecError::Spec(e) => write!(f, "{e}"),
+            ColoredSpecError::TargetNeedsTestAndSet => {
+                write!(f, "colored simulation requires a target with x' > 1")
+            }
+            ColoredSpecError::Unsound => {
+                write!(f, "soundness condition ⌊t/x⌋ ≥ ⌊t'/x'⌋ violated")
+            }
+            ColoredSpecError::TooFewSimulatedProcesses { needed, have } => {
+                write!(f, "need n ≥ {needed} simulated processes, have {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColoredSpecError {}
+
+impl ColoredSpec {
+    /// Validates the Section 5.5 conditions and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// See [`ColoredSpecError`].
+    pub fn new(
+        algorithm: SourceAlgorithm,
+        target: ModelParams,
+    ) -> Result<Self, ColoredSpecError> {
+        if target.x() <= 1 {
+            return Err(ColoredSpecError::TargetNeedsTestAndSet);
+        }
+        let inner =
+            SimulationSpec::new(algorithm, target).map_err(ColoredSpecError::Spec)?;
+        if !inner.is_sound() {
+            return Err(ColoredSpecError::Unsound);
+        }
+        let src = inner.algorithm().model();
+        let needed = target.n().max(target.n() - target.t() + src.t());
+        if src.n() < needed {
+            return Err(ColoredSpecError::TooFewSimulatedProcesses {
+                needed,
+                have: src.n(),
+            });
+        }
+        Ok(ColoredSpec { inner })
+    }
+
+    /// The underlying (colorless-shape) spec.
+    pub fn spec(&self) -> &SimulationSpec {
+        &self.inner
+    }
+}
+
+/// Executes the colored simulation: each correct simulator decides the
+/// value of a **distinct** simulated process (Figure 8 + T&S decision
+/// distribution).
+///
+/// The returned report is indexed by simulator pid; validate with the
+/// colored task's validator (e.g. renaming distinctness holds across
+/// simulators because each claimed a different simulated process).
+pub fn run_colored(spec: &ColoredSpec, inputs: &[u64], run: &SimRun) -> RunReport {
+    run_simulation(&spec.inner, inputs, run, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcn_tasks::algorithms;
+
+    #[test]
+    fn rejects_read_write_target() {
+        let alg = algorithms::renaming(6).unwrap();
+        let target = ModelParams::new(4, 2, 1).unwrap();
+        assert_eq!(
+            ColoredSpec::new(alg, target).unwrap_err(),
+            ColoredSpecError::TargetNeedsTestAndSet
+        );
+    }
+
+    #[test]
+    fn rejects_unsound_classes() {
+        // source renaming(6) is wait-free: ASM(6,5,1), class 5.
+        // target ASM(4,3,2)? class ⌊3/2⌋ = 1 ≤ 5: sound. Make unsound:
+        // source ASM(6,1,1) (class 1) vs target class 2.
+        let alg = algorithms::kset_read_write(6, 1).unwrap();
+        let target = ModelParams::new(6, 4, 2).unwrap(); // class 2
+        assert_eq!(ColoredSpec::new(alg, target).unwrap_err(), ColoredSpecError::Unsound);
+    }
+
+    #[test]
+    fn rejects_too_few_simulated_processes() {
+        // renaming(4): ASM(4,3,1), t = 3. Target ASM(4,1,2):
+        // need n ≥ max(4, (4-1)+3) = 6 > 4.
+        let alg = algorithms::renaming(4).unwrap();
+        let target = ModelParams::new(4, 1, 2).unwrap();
+        assert_eq!(
+            ColoredSpec::new(alg, target).unwrap_err(),
+            ColoredSpecError::TooFewSimulatedProcesses { needed: 6, have: 4 }
+        );
+    }
+
+    #[test]
+    fn accepts_valid_parameters() {
+        // renaming(8): ASM(8,7,1), class 7. Target ASM(4,3,2), class 1:
+        // sound; n = 8 ≥ max(4, (4-3)+7) = 8. ✓
+        let alg = algorithms::renaming(8).unwrap();
+        let target = ModelParams::new(4, 3, 2).unwrap();
+        assert!(ColoredSpec::new(alg, target).is_ok());
+    }
+}

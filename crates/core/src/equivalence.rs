@@ -1,0 +1,260 @@
+//! Executable equivalence harness (paper Sections 5.2–5.4, Figure 7).
+//!
+//! The paper's theorems are statements about *all* algorithms; this module
+//! executes their content on the concrete algorithm catalogue of
+//! `mpcn-tasks`:
+//!
+//! * [`check_simulation`] runs one simulation and bundles the three
+//!   verdicts the theorems speak about — soundness of the parameters,
+//!   liveness (every correct simulator decides), and task validity;
+//! * [`round_trip`] packages the named reductions: Section 3
+//!   (`ASM(n,t',x)` → `ASM(n,t,1)`), Section 4 (`ASM(n,t,1)` →
+//!   `ASM(n,t',x)`), the generalized BG (`ASM(n,t',x)` → `ASM(t+1,t,1)`,
+//!   Section 5.2), and arbitrary cross-model hops (Section 5.3);
+//! * [`boundary`] drives the *negative* side: adversarial crash plans that
+//!   observably stall a simulation run with unsound parameters — the
+//!   executable shadow of "this simulation **requires** `t ≥ ⌊t'/x⌋`".
+
+use mpcn_model::ModelParams;
+use mpcn_runtime::model_world::RunReport;
+use mpcn_runtime::sched::Crashes;
+use mpcn_tasks::{SourceAlgorithm, Violation};
+
+use crate::simulator::{run_colorless, SimRun, SimulationSpec};
+
+/// The three verdicts of one simulation run.
+#[derive(Debug)]
+pub struct SimCheck {
+    /// Whether the parameters satisfy `⌊t/x⌋ ≥ ⌊t'/x'⌋`.
+    pub sound: bool,
+    /// Whether every non-crashed simulator decided.
+    pub live: bool,
+    /// Task-relation verdict over the decided values.
+    pub valid: Result<(), Violation>,
+    /// The raw run report (indexed by simulator pid).
+    pub report: RunReport,
+}
+
+impl SimCheck {
+    /// `true` iff the run upheld the theorem's promise: live and valid.
+    pub fn holds(&self) -> bool {
+        self.live && self.valid.is_ok()
+    }
+}
+
+/// Runs `algorithm` (designed for its own source model) in `target` under
+/// `run`, and validates liveness plus the task relation on the simulators'
+/// decisions.
+pub fn check_simulation(
+    algorithm: &SourceAlgorithm,
+    target: ModelParams,
+    inputs: &[u64],
+    run: &SimRun,
+) -> SimCheck {
+    let spec = SimulationSpec::new(algorithm.clone(), target)
+        .expect("source algorithm is self-consistent");
+    let report = run_colorless(&spec, inputs, run);
+    SimCheck {
+        sound: spec.is_sound(),
+        live: report.all_correct_decided(),
+        valid: algorithm.task().validate(inputs, &report.outcomes),
+        report,
+    }
+}
+
+/// The paper's named reductions as ready-made experiments.
+pub mod round_trip {
+    use super::*;
+    use mpcn_tasks::algorithms;
+
+    /// Section 3: an algorithm for `ASM(n, t', x)` (using consensus-number-
+    /// `x` objects) executed by read/write simulators in `ASM(n, t, 1)`
+    /// with `t = ⌊t'/x⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid model parameters.
+    pub fn section3(n: u32, t_prime: u32, x: u32, run: &SimRun, inputs: &[u64]) -> SimCheck {
+        let alg = algorithms::group_xcons_then_min(n, t_prime, x)
+            .expect("valid source parameters required");
+        let t = t_prime / x;
+        let target = ModelParams::new(n, t, 1).expect("valid target parameters required");
+        check_simulation(&alg, target, inputs, run)
+    }
+
+    /// Section 4: the read/write `(t+1)`-set algorithm for `ASM(n, t, 1)`
+    /// executed by simulators equipped with consensus-number-`x'` objects
+    /// in `ASM(n, t', x')`, with `t ≥ ⌊t'/x'⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid model parameters.
+    pub fn section4(
+        n: u32,
+        t: u32,
+        t_prime: u32,
+        x_prime: u32,
+        run: &SimRun,
+        inputs: &[u64],
+    ) -> SimCheck {
+        let alg = algorithms::kset_read_write(n, t).expect("valid source parameters required");
+        let target =
+            ModelParams::new(n, t_prime, x_prime).expect("valid target parameters required");
+        check_simulation(&alg, target, inputs, run)
+    }
+
+    /// Section 5.2 (generalized BG): an algorithm for `ASM(n, t', x)`
+    /// executed by `t + 1` wait-free simulators, `t = ⌊t'/x⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid model parameters.
+    pub fn generalized_bg(n: u32, t_prime: u32, x: u32, run: &SimRun, inputs: &[u64]) -> SimCheck {
+        let alg = algorithms::group_xcons_then_min(n, t_prime, x)
+            .expect("valid source parameters required");
+        let t = t_prime / x;
+        let target = ModelParams::new(t + 1, t, 1).expect("valid target parameters required");
+        check_simulation(&alg, target, inputs, run)
+    }
+
+    /// Section 5.3: a hop between two arbitrary models, sound iff
+    /// `⌊t1/x1⌋ ≥ ⌊t2/x2⌋` (equivalence when equal — run both directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid model parameters.
+    pub fn cross_model(
+        source: ModelParams,
+        target: ModelParams,
+        run: &SimRun,
+        inputs: &[u64],
+    ) -> SimCheck {
+        let alg = algorithms::group_xcons_then_min(source.n(), source.t(), source.x())
+            .expect("valid source parameters required");
+        check_simulation(&alg, target, inputs, run)
+    }
+}
+
+/// Adversarial crash plans demonstrating the *necessity* side of the
+/// theorems.
+pub mod boundary {
+    use super::*;
+
+    /// A crash plan that stalls an unsound simulation in a read/write
+    /// target (`x' = 1`): simulator `q_k` is crashed exactly inside its
+    /// `sa_propose` for the **input agreement of simulated process `p_k`**,
+    /// blocking `INPUT_AG[k]` — so `c` crashes block `c` distinct simulated
+    /// processes *before they propose anything*, the worst case of Lemma 1.
+    ///
+    /// Derivation of the step offsets: in its first round-robin round a
+    /// simulator performs, per simulated process, exactly the 3 steps of
+    /// the Figure 1 `sa_propose` on that process's input agreement (write
+    /// unstable, snapshot, write stable) and parks. Hence own-step
+    /// `3k + 1` is *between* `q_k`'s level-1 write and its stabilizing
+    /// write for `p_k`'s input agreement.
+    pub fn staggered_plan(crashes: u32) -> Crashes {
+        Crashes::AtOwnStep((0..crashes as usize).map(|k| (k, 3 * k as u64 + 1)).collect())
+    }
+
+    /// Runs the Section 4 shape with the staggered adversary: the
+    /// read/write `(t+1)`-set algorithm for `ASM(n, t, 1)` under `crashes`
+    /// simulator failures in a read/write target.
+    ///
+    /// With `crashes ≤ t` the run must complete (blocked ≤ t simulated
+    /// processes never propose — exactly what a t-resilient algorithm
+    /// tolerates); with `crashes > t` it must stall (the quorum `n − t`
+    /// of visible proposals is unreachable) — a timed-out report.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid model parameters.
+    pub fn staggered_kset_run(
+        n: u32,
+        t: u32,
+        crashes: u32,
+        target_t: u32,
+        seed: u64,
+        max_steps: u64,
+    ) -> SimCheck {
+        let alg = mpcn_tasks::algorithms::kset_read_write(n, t)
+            .expect("valid source parameters required");
+        let target = ModelParams::new(n, target_t, 1).expect("valid target parameters");
+        let run = SimRun::seeded(seed).crashes(staggered_plan(crashes)).max_steps(max_steps);
+        check_simulation(&alg, target, &(0..n as u64).map(|i| 100 + i).collect::<Vec<_>>(), &run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcn_runtime::sched::Schedule;
+
+    #[test]
+    fn section3_holds_with_crashes() {
+        // ASM(6, 4, 2) algorithm in ASM(6, 2, 1) with 2 simulator crashes.
+        for seed in 0..10 {
+            let run = SimRun::seeded(seed).crashes(Crashes::Random { seed, p: 0.01, max: 2 });
+            let inputs = [10, 20, 30, 40, 50, 60];
+            let check = round_trip::section3(6, 4, 2, &run, &inputs);
+            assert!(check.sound);
+            assert!(check.holds(), "seed {seed}: {:?}", check.valid);
+        }
+    }
+
+    #[test]
+    fn section4_holds_with_crashes() {
+        // ASM(5, 2, 1) algorithm in ASM(5, 4, 2) with up to 4 crashes.
+        for seed in 0..10 {
+            let run = SimRun::seeded(seed).crashes(Crashes::Random { seed, p: 0.01, max: 4 });
+            let inputs = [11, 22, 33, 44, 55];
+            let check = round_trip::section4(5, 2, 4, 2, &run, &inputs);
+            assert!(check.sound);
+            assert!(check.holds(), "seed {seed}: {:?}", check.valid);
+        }
+    }
+
+    #[test]
+    fn generalized_bg_reduces_to_wait_free() {
+        // ASM(6, 4, 2) → ASM(3, 2, 1): 3 wait-free simulators, each with
+        // only its own input.
+        for seed in 0..10 {
+            let run = SimRun::seeded(seed);
+            let inputs = [1, 2, 3];
+            let check = round_trip::generalized_bg(6, 4, 2, &run, &inputs);
+            assert!(check.sound);
+            assert!(check.holds(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn staggered_adversary_blocks_unsound_run() {
+        // Source tolerates t = 1; crash 3 simulators in a t' = 3 target:
+        // 3 > 1 blocked simulated processes → stall.
+        let check = boundary::staggered_kset_run(5, 1, 3, 3, 7, 60_000);
+        assert!(!check.sound);
+        assert!(check.report.timed_out, "unsound run must stall");
+        assert!(!check.live);
+    }
+
+    #[test]
+    fn staggered_adversary_tolerated_when_sound() {
+        // Source tolerates t = 2; crash 2 simulators: within budget.
+        let check = boundary::staggered_kset_run(5, 2, 2, 2, 7, 400_000);
+        assert!(check.sound);
+        assert!(check.holds(), "{:?}", check.valid);
+    }
+
+    #[test]
+    fn cross_model_same_class_both_directions() {
+        // ASM(6, 4, 2) (class 2) ↔ ASM(6, 2, 1) (class 2).
+        let m1 = ModelParams::new(6, 4, 2).unwrap();
+        let m2 = ModelParams::new(6, 2, 1).unwrap();
+        let inputs = [9, 8, 7, 6, 5, 4];
+        let run = SimRun { schedule: Schedule::RandomSeed(5), ..SimRun::default() };
+        let fwd = round_trip::cross_model(m1, m2, &run, &inputs);
+        let back = round_trip::cross_model(m2, m1, &run, &inputs);
+        assert!(fwd.sound && back.sound);
+        assert!(fwd.holds(), "{:?}", fwd.valid);
+        assert!(back.holds(), "{:?}", back.valid);
+    }
+}

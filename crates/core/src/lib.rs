@@ -1,0 +1,72 @@
+//! The general BG-style simulation between `ASM(n, t, x)` models — the
+//! primary contribution of Imbs & Raynal, *The Multiplicative Power of
+//! Consensus Numbers* (PODC 2010).
+//!
+//! # What this crate implements
+//!
+//! One simulation algorithm, [`simulator`], parameterized by the *source*
+//! model (the model algorithm `A` was designed for) and the *target* model
+//! (the model the simulators actually run in). It subsumes every reduction
+//! in the paper:
+//!
+//! | Paper artifact | Instantiation |
+//! |---|---|
+//! | BG simulation (Figs. 2–3) | source `x = 1`, target `x' = 1`, `n' = t+1` |
+//! | Section 3: `ASM(n,t',x)` in `ASM(n,t,1)` (Fig. 4) | source `x > 1`, target `x' = 1` |
+//! | Section 4: `ASM(n,t,1)` in `ASM(n,t',x)` (Figs. 5–6) | source `x = 1`, target `x' > 1` |
+//! | Section 5.2/5.3 equivalences (Fig. 7) | arbitrary source/target pairs |
+//! | Section 5.5 colored extension (Fig. 8) | [`colored`], target `x' > 1` |
+//!
+//! The key mechanism: every non-deterministic step of a simulated process
+//! (`mem.snapshot()` and `x_cons[a].propose()`) is funneled through a
+//! one-shot agreement object shared by the simulators — Figure 1 *safe
+//! agreement* when the target is read/write (`x' = 1`), the paper's new
+//! *x-safe-agreement* (Figures 5–6) when the target has consensus number
+//! `x' > 1`. A crash inside an agreement `propose` may block that object;
+//! safe agreement dies from 1 such crash, x-safe-agreement only from `x'`.
+//! Counting blocked objects gives the paper's arithmetic: `t'` target
+//! crashes block at most `⌊t'/x'⌋` agreement objects, each blocking at most
+//! `x` simulated processes (the ports of one simulated consensus object),
+//! hence the soundness condition
+//! `x·⌊t'/x'⌋ ≤ t  ⇔  ⌊t/x⌋ ≥ ⌊t'/x'⌋` — see
+//! [`simulator::SimulationSpec::is_sound`].
+//!
+//! [`equivalence`] builds the round-trip harness on top: it *executes* the
+//! equivalence `ASM(n1,t1,x1) ≃ ASM(n2,t2,x2) ⇔ ⌊t1/x1⌋ = ⌊t2/x2⌋` and the
+//! multiplicative law, and probes the boundary (unsound parameter choices
+//! produce observable blocking).
+//!
+//! # Quickstart
+//!
+//! Solve 3-set agreement among 5 processes with 2 crashes **in a model with
+//! consensus number 2 and 5 crashes allowed** — impossible directly from
+//! the algorithm's point of view, delivered by simulation
+//! (`⌊t/x⌋ = ⌊2/1⌋ = 2 = ⌊5/2⌋ = ⌊t'/x'⌋`):
+//!
+//! ```
+//! use mpcn_core::simulator::{run_colorless, SimRun, SimulationSpec};
+//! use mpcn_model::ModelParams;
+//! use mpcn_tasks::algorithms;
+//!
+//! let algorithm = algorithms::kset_read_write(5, 2).unwrap(); // for ASM(5,2,1)
+//! let target = ModelParams::new(6, 5, 2).unwrap();            // runs in ASM(6,5,2)
+//! let spec = SimulationSpec::new(algorithm, target).unwrap();
+//! assert!(spec.is_sound());
+//!
+//! // One input per *simulator* — each knows only its own.
+//! let inputs = [10, 20, 30, 40, 50, 60];
+//! let report = run_colorless(&spec, &inputs, &SimRun::seeded(42));
+//! assert!(report.all_correct_decided());
+//! spec.algorithm().task().validate(&inputs, &report.outcomes).unwrap();
+//! ```
+
+pub mod colored;
+pub mod equivalence;
+pub mod simulator;
+pub mod stats;
+pub mod threaded;
+
+pub use colored::{run_colored, ColoredSpec};
+pub use equivalence::{boundary, round_trip};
+pub use simulator::{run_colorless, SimRun, SimulationSpec, SpecError};
+pub use threaded::run_colorless_threaded;

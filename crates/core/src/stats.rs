@@ -1,0 +1,173 @@
+//! Empirical sweeps — the executable form of the paper's Section 5.4
+//! tables (experiment E7).
+//!
+//! [`kset_solvability_grid`] probes, for a grid of `(t', x)` pairs at fixed
+//! `n`, that `(⌊t'/x⌋ + 1)`-set agreement is delivered in `ASM(n, t', x)`
+//! by the Section 4 simulation under adversarial random crashes — the
+//! model-side hierarchy "`T_k` solvable iff `k > ⌊t'/x⌋`", row by row.
+//! [`consensus_class_zero_row`] adds the `x > t'` row ("when `x > t`, all
+//! tasks can be solved") with the leader-based direct algorithm.
+
+use mpcn_model::ModelParams;
+use mpcn_runtime::runner::run_direct;
+use mpcn_runtime::sched::{Crashes, Schedule};
+use mpcn_runtime::RunConfig;
+use mpcn_tasks::algorithms;
+
+use crate::equivalence::check_simulation;
+use crate::simulator::SimRun;
+
+/// One probed cell of the solvability grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCell {
+    /// Fault bound of the probed model.
+    pub t_prime: u32,
+    /// Consensus number of the probed model.
+    pub x: u32,
+    /// `⌊t'/x⌋` — the model's equivalence class.
+    pub class: u32,
+    /// The probed task: `k = class + 1` (the smallest solvable k-set).
+    pub k: u32,
+    /// Whether every probe run was live and valid.
+    pub ok: bool,
+    /// Number of runs probed.
+    pub runs: u32,
+}
+
+/// Probes `(⌊t'/x⌋+1)`-set agreement in `ASM(n, t', x)` for every
+/// `t' ∈ 1..=t_max`, `x ∈ 1..=x_max`, over `seeds_per_cell` random
+/// schedules with up to `t'` crashes each.
+///
+/// Each probe lifts the canonical read/write algorithm
+/// (`kset_read_write(n, ⌊t'/x⌋)`) into the probed model via the Section 4
+/// simulation; `ok` records that all probes were live and task-valid.
+///
+/// # Panics
+///
+/// Panics on invalid parameters (`t_max ≥ n` or `x_max > n`).
+pub fn kset_solvability_grid(
+    n: u32,
+    t_max: u32,
+    x_max: u32,
+    seeds_per_cell: u32,
+) -> Vec<GridCell> {
+    assert!(t_max < n && x_max <= n, "grid out of the model's range");
+    let inputs: Vec<u64> = (0..u64::from(n)).map(|i| 100 + i).collect();
+    let mut cells = Vec::new();
+    for t_prime in 1..=t_max {
+        for x in 1..=x_max {
+            let class = t_prime / x;
+            let k = class + 1;
+            let target = ModelParams::new(n, t_prime, x).expect("validated above");
+            let alg = algorithms::kset_read_write(n, class).expect("class < t' < n");
+            let mut ok = true;
+            for seed in 0..seeds_per_cell {
+                let run = SimRun::seeded(u64::from(seed)).crashes(Crashes::Random {
+                    seed: u64::from(seed) ^ 0x55,
+                    p: 0.01,
+                    max: t_prime as usize,
+                });
+                let check = check_simulation(&alg, target, &inputs, &run);
+                debug_assert!(check.sound, "grid probes are sound by construction");
+                ok &= check.holds();
+            }
+            cells.push(GridCell { t_prime, x, class, k, ok, runs: seeds_per_cell });
+        }
+    }
+    cells
+}
+
+/// Probes the `x > t'` row: consensus (class 0) solved directly by the
+/// leader algorithm in `ASM(n, t', x)` over random schedules and crashes.
+///
+/// Returns `(x, ok)` per probed consensus number `x ∈ t'+1 ..= x_max`.
+///
+/// # Panics
+///
+/// Panics on invalid parameters.
+pub fn consensus_class_zero_row(
+    n: u32,
+    t_prime: u32,
+    x_max: u32,
+    seeds_per_cell: u32,
+) -> Vec<(u32, bool)> {
+    let inputs: Vec<u64> = (0..u64::from(n)).map(|i| 100 + i).collect();
+    (t_prime + 1..=x_max)
+        .map(|x| {
+            let alg = algorithms::consensus_leader_x(n, t_prime, x).expect("t' < x <= n");
+            let mut ok = true;
+            for seed in 0..seeds_per_cell {
+                let programs = alg.instantiate(&inputs);
+                let cfg = RunConfig::new(n as usize)
+                    .schedule(Schedule::RandomSeed(u64::from(seed)))
+                    .crashes(Crashes::Random {
+                        seed: u64::from(seed) ^ 0x99,
+                        p: 0.02,
+                        max: t_prime as usize,
+                    });
+                let report = run_direct(cfg, programs, alg.layout().clone());
+                ok &= report.all_correct_decided()
+                    && alg.task().validate(&inputs, &report.outcomes).is_ok();
+            }
+            (x, ok)
+        })
+        .collect()
+}
+
+/// Renders a solvability grid as a text table (rows `t'`, columns `x`,
+/// entries `k✓`/`k✗`), for the examples and EXPERIMENTS.md.
+pub fn render_grid(cells: &[GridCell]) -> String {
+    let t_max = cells.iter().map(|c| c.t_prime).max().unwrap_or(0);
+    let x_max = cells.iter().map(|c| c.x).max().unwrap_or(0);
+    let mut out = String::from("  t'\\x |");
+    for x in 1..=x_max {
+        out.push_str(&format!(" {x:>4}"));
+    }
+    out.push('\n');
+    for t in 1..=t_max {
+        out.push_str(&format!("  {t:>4} |"));
+        for x in 1..=x_max {
+            let cell = cells
+                .iter()
+                .find(|c| c.t_prime == t && c.x == x)
+                .expect("rectangular grid");
+            out.push_str(&format!(" {:>3}{}", cell.k, if cell.ok { '✓' } else { '✗' }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_all_cells_hold() {
+        let cells = kset_solvability_grid(5, 3, 3, 2);
+        assert_eq!(cells.len(), 9);
+        for c in &cells {
+            assert_eq!(c.class, c.t_prime / c.x);
+            assert_eq!(c.k, c.class + 1);
+            assert!(c.ok, "cell t'={} x={} failed", c.t_prime, c.x);
+        }
+    }
+
+    #[test]
+    fn class_zero_row_holds() {
+        let row = consensus_class_zero_row(5, 1, 4, 3);
+        assert_eq!(row.iter().map(|r| r.0).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert!(row.iter().all(|r| r.1));
+    }
+
+    #[test]
+    fn grid_rendering_is_rectangular() {
+        let cells = vec![
+            GridCell { t_prime: 1, x: 1, class: 1, k: 2, ok: true, runs: 1 },
+            GridCell { t_prime: 1, x: 2, class: 0, k: 1, ok: true, runs: 1 },
+        ];
+        let s = render_grid(&cells);
+        assert!(s.contains("2✓"));
+        assert!(s.contains("1✓"));
+    }
+}

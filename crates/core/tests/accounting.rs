@@ -1,0 +1,91 @@
+//! Step-accounting invariants of the general simulation: the deterministic
+//! per-kind operation counts expose the structure the paper's cost
+//! arguments rely on.
+
+use mpcn_core::simulator::{kinds, run_colorless, SimRun, SimulationSpec};
+use mpcn_model::ModelParams;
+use mpcn_tasks::algorithms;
+
+fn family(report: &mpcn_runtime::model_world::RunReport, base: u32) -> u64 {
+    (0..4).map(|d| report.ops_on_kind(base + d)).sum()
+}
+
+#[test]
+fn every_simulated_process_costs_one_input_agreement_per_simulator() {
+    // Crash-free, read/write target: each of the n' simulators performs
+    // exactly one 3-step safe-agreement propose per simulated process,
+    // plus polls. So input-agreement ops ≥ 3·n·n' and are a multiple of
+    // nothing in general — but the propose floor is exact and the counts
+    // are deterministic.
+    let n_sim = 4u32;
+    let n_tgt = 3u32;
+    let alg = algorithms::kset_read_write(n_sim, 1).unwrap();
+    let target = ModelParams::new(n_tgt, 1, 1).unwrap();
+    let spec = SimulationSpec::new(alg, target).unwrap();
+    let report = run_colorless(&spec, &[1, 2, 3], &SimRun::seeded(5));
+    assert!(report.all_correct_decided());
+
+    let input_ops = family(&report, kinds::INPUT_AG_BASE);
+    let propose_floor = u64::from(3 * n_sim * n_tgt);
+    assert!(
+        input_ops >= propose_floor,
+        "input agreement ops {input_ops} below the propose floor {propose_floor}"
+    );
+
+    // The whole run decomposes exactly into the known kinds.
+    let total: u64 = report.ops_by_kind.iter().map(|(_, c)| c).sum();
+    assert_eq!(total, report.steps, "all steps are accounted to a kind");
+    let known = report.ops_on_kind(kinds::MEM)
+        + family(&report, kinds::INPUT_AG_BASE)
+        + family(&report, kinds::SNAP_AG_BASE)
+        + family(&report, kinds::XCONS_AG_BASE);
+    assert_eq!(known, report.steps, "no stray object kinds");
+}
+
+#[test]
+fn xcons_agreement_ops_appear_iff_source_uses_objects() {
+    let target = ModelParams::new(4, 1, 1).unwrap();
+
+    let rw = algorithms::kset_read_write(4, 1).unwrap();
+    let spec = SimulationSpec::new(rw, target).unwrap();
+    let report = run_colorless(&spec, &[1, 2, 3, 4], &SimRun::seeded(6));
+    assert_eq!(family(&report, kinds::XCONS_AG_BASE), 0);
+
+    let xc = algorithms::group_xcons_then_min(4, 2, 2).unwrap();
+    let spec = SimulationSpec::new(xc, target).unwrap();
+    let report = run_colorless(&spec, &[1, 2, 3, 4], &SimRun::seeded(6));
+    assert!(family(&report, kinds::XCONS_AG_BASE) > 0);
+}
+
+#[test]
+fn accounting_is_deterministic_across_replays() {
+    let alg = algorithms::group_xcons_then_min(5, 2, 2).unwrap();
+    let target = ModelParams::new(5, 2, 2).unwrap();
+    let spec = SimulationSpec::new(alg, target).unwrap();
+    let a = run_colorless(&spec, &[9, 8, 7, 6, 5], &SimRun::seeded(77));
+    let b = run_colorless(&spec, &[9, 8, 7, 6, 5], &SimRun::seeded(77));
+    assert_eq!(a.ops_by_kind, b.ops_by_kind);
+    assert_eq!(a.steps, b.steps);
+}
+
+#[test]
+fn x_prime_targets_shift_steps_into_tas_and_consensus_kinds() {
+    // Same source, two targets: the x' = 2 target's agreement objects use
+    // test&set + consensus sub-objects (kinds base+1/base+2), the x' = 1
+    // target uses only the snapshot sub-object (kind base+0).
+    let alg = algorithms::kset_read_write(5, 2).unwrap();
+
+    let rw_target = ModelParams::new(5, 2, 1).unwrap();
+    let spec = SimulationSpec::new(alg.clone(), rw_target).unwrap();
+    let rw_report = run_colorless(&spec, &[1, 2, 3, 4, 5], &SimRun::seeded(8));
+    assert!(rw_report.ops_on_kind(kinds::SNAP_AG_BASE) > 0, "Fig.1 snapshot object used");
+    assert_eq!(rw_report.ops_on_kind(kinds::SNAP_AG_BASE + 1), 0, "no test&set sub-objects");
+
+    let x2_target = ModelParams::new(5, 4, 2).unwrap();
+    let spec = SimulationSpec::new(alg, x2_target).unwrap();
+    let x2_report = run_colorless(&spec, &[1, 2, 3, 4, 5], &SimRun::seeded(8));
+    assert_eq!(x2_report.ops_on_kind(kinds::SNAP_AG_BASE), 0, "no Fig.1 snapshot object");
+    assert!(x2_report.ops_on_kind(kinds::SNAP_AG_BASE + 1) > 0, "x_compete test&sets used");
+    assert!(x2_report.ops_on_kind(kinds::SNAP_AG_BASE + 2) > 0, "XCONS[ℓ] objects used");
+    assert!(x2_report.ops_on_kind(kinds::SNAP_AG_BASE + 3) > 0, "X_SAFE_AG registers used");
+}

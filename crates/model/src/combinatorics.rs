@@ -1,0 +1,319 @@
+//! Subset combinatorics for the Figure 6 `x_safe_agreement` object.
+//!
+//! The Section 4 simulation equips each x-safe-agreement object with
+//! `SET_LIST[1..m]`, "an array containing the `m` subsets of simulators of
+//! size `x`" (`m = C(n, x)`), and one consensus-number-`x` object per
+//! subset. All owners must scan `SET_LIST` *in the very same order*, so the
+//! enumeration order must be canonical: we use colexicographic-free plain
+//! lexicographic order on the sorted element lists, with a rank/unrank pair
+//! so that object keys can be derived from set indices without materializing
+//! the whole list.
+
+/// Binomial coefficient `C(n, k)` with saturating-overflow checking.
+///
+/// # Panics
+///
+/// Panics if the value overflows `u64` — far beyond anything the simulation
+/// instantiates (`n ≤ 64` in practice).
+///
+/// ```
+/// use mpcn_model::combinatorics::binomial;
+/// assert_eq!(binomial(10, 5), 252);
+/// assert_eq!(binomial(5, 0), 1);
+/// assert_eq!(binomial(4, 7), 0);
+/// ```
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        // Multiply first, then divide: (acc * (n - i)) is always divisible
+        // by (i + 1) because acc already holds C(n, i).
+        acc = acc
+            .checked_mul(n - i)
+            .expect("binomial coefficient overflows u64")
+            / (i + 1);
+    }
+    acc
+}
+
+/// Iterator over all `k`-element subsets of `{0, 1, …, n−1}` in
+/// lexicographic order of their sorted element vectors.
+///
+/// This is the canonical `SET_LIST` scan order of Figure 6.
+///
+/// ```
+/// use mpcn_model::combinatorics::subsets;
+/// let all: Vec<Vec<u32>> = subsets(4, 2).collect();
+/// assert_eq!(all, vec![
+///     vec![0, 1], vec![0, 2], vec![0, 3],
+///     vec![1, 2], vec![1, 3], vec![2, 3],
+/// ]);
+/// ```
+pub fn subsets(n: u32, k: u32) -> Subsets {
+    let current = if k <= n {
+        Some((0..k).collect())
+    } else {
+        None
+    };
+    Subsets { n, k, current }
+}
+
+/// Iterator produced by [`subsets`].
+#[derive(Debug, Clone)]
+pub struct Subsets {
+    n: u32,
+    k: u32,
+    current: Option<Vec<u32>>,
+}
+
+impl Iterator for Subsets {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let cur = self.current.take()?;
+        let out = cur.clone();
+        if self.k == 0 {
+            // Single empty subset.
+            self.current = None;
+            return Some(out);
+        }
+        // Compute the lexicographic successor.
+        let mut next = cur;
+        let k = self.k as usize;
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.current = None;
+                return Some(out);
+            }
+            i -= 1;
+            if next[i] < self.n - (self.k - i as u32) {
+                next[i] += 1;
+                for j in i + 1..k {
+                    next[j] = next[j - 1] + 1;
+                }
+                self.current = Some(next);
+                return Some(out);
+            }
+        }
+    }
+}
+
+/// Rank (0-based) of a sorted `k`-subset of `{0, …, n−1}` in the
+/// lexicographic enumeration of [`subsets`].
+///
+/// # Panics
+///
+/// Panics if `set` is not strictly increasing or contains elements `≥ n`.
+///
+/// ```
+/// use mpcn_model::combinatorics::{subset_rank, subsets};
+/// for (i, s) in subsets(6, 3).enumerate() {
+///     assert_eq!(subset_rank(6, &s) as usize, i);
+/// }
+/// ```
+pub fn subset_rank(n: u32, set: &[u32]) -> u64 {
+    let k = set.len() as u32;
+    let mut rank: u64 = 0;
+    let mut prev: i64 = -1;
+    for (i, &e) in set.iter().enumerate() {
+        assert!(
+            (e as i64) > prev && e < n,
+            "subset must be strictly increasing with elements < n"
+        );
+        // Count subsets whose element at position i is smaller than e while
+        // positions 0..i match.
+        for c in (prev + 1) as u32..e {
+            rank += binomial((n - c - 1) as u64, (k - i as u32 - 1) as u64);
+        }
+        prev = e as i64;
+    }
+    rank
+}
+
+/// Inverse of [`subset_rank`]: the `rank`-th (0-based) `k`-subset of
+/// `{0, …, n−1}` in lexicographic order.
+///
+/// # Panics
+///
+/// Panics if `rank ≥ C(n, k)`.
+///
+/// ```
+/// use mpcn_model::combinatorics::subset_unrank;
+/// assert_eq!(subset_unrank(4, 2, 0), vec![0, 1]);
+/// assert_eq!(subset_unrank(4, 2, 5), vec![2, 3]);
+/// ```
+pub fn subset_unrank(n: u32, k: u32, mut rank: u64) -> Vec<u32> {
+    assert!(
+        rank < binomial(n as u64, k as u64),
+        "rank {rank} out of range for C({n}, {k})"
+    );
+    let mut out = Vec::with_capacity(k as usize);
+    let mut c = 0u32; // next candidate element
+    for i in 0..k {
+        loop {
+            let with_c = binomial((n - c - 1) as u64, (k - i - 1) as u64);
+            if rank < with_c {
+                out.push(c);
+                c += 1;
+                break;
+            }
+            rank -= with_c;
+            c += 1;
+        }
+    }
+    out
+}
+
+/// Index (0-based position in the scan order) of the *first* subset in
+/// `SET_LIST` that contains every element of `owners`; `None` if
+/// `owners.len() > k`.
+///
+/// In the Figure 6 correctness argument, the agreement value is fixed at
+/// the first `SET_LIST[ℓ]` with `owners ⊆ SET_LIST[ℓ]`; this helper lets
+/// tests and benches locate that index directly.
+///
+/// # Panics
+///
+/// Panics if `owners` is not strictly increasing or has elements `≥ n`.
+pub fn first_superset_rank(n: u32, k: u32, owners: &[u32]) -> Option<u64> {
+    if owners.len() as u32 > k {
+        return None;
+    }
+    // Lexicographically smallest k-superset of `owners`: greedily fill the
+    // smallest unused elements while keeping the result sorted.
+    let mut sup: Vec<u32> = Vec::with_capacity(k as usize);
+    let mut oi = 0usize;
+    let mut cand = 0u32;
+    while (sup.len() as u32) < k {
+        let need = owners.len() - oi; // owners still to place
+        let slots = k as usize - sup.len();
+        if oi < owners.len() && (cand >= owners[oi] || slots == need) {
+            if oi > 0 {
+                assert!(owners[oi] > owners[oi - 1], "owners must be strictly increasing");
+            }
+            assert!(owners[oi] < n, "owner id out of range");
+            sup.push(owners[oi]);
+            cand = owners[oi] + 1;
+            oi += 1;
+        } else {
+            sup.push(cand);
+            cand += 1;
+        }
+    }
+    Some(subset_rank(n, &sup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(10, 1), 10);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(52, 5), 2_598_960);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..30u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 1..30u64 {
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn subsets_count_and_order() {
+        for n in 0..9u32 {
+            for k in 0..=n {
+                let all: Vec<_> = subsets(n, k).collect();
+                assert_eq!(all.len() as u64, binomial(n as u64, k as u64), "C({n},{k})");
+                // Strictly increasing lexicographic order, all valid.
+                for s in &all {
+                    assert_eq!(s.len() as u32, k);
+                    for w in s.windows(2) {
+                        assert!(w[0] < w[1]);
+                    }
+                    if let Some(&mx) = s.last() {
+                        assert!(mx < n);
+                    }
+                }
+                for w in all.windows(2) {
+                    assert!(w[0] < w[1], "lexicographic order violated: {:?} {:?}", w[0], w[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_subset_enumeration() {
+        let all: Vec<_> = subsets(5, 0).collect();
+        assert_eq!(all, vec![Vec::<u32>::new()]);
+        let none: Vec<_> = subsets(2, 3).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        for n in 1..9u32 {
+            for k in 1..=n {
+                for (i, s) in subsets(n, k).enumerate() {
+                    assert_eq!(subset_rank(n, &s), i as u64);
+                    assert_eq!(subset_unrank(n, k, i as u64), s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_out_of_range_panics() {
+        subset_unrank(4, 2, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rank_rejects_unsorted() {
+        subset_rank(5, &[2, 1]);
+    }
+
+    #[test]
+    fn first_superset_is_first_in_scan_order() {
+        for n in 2..8u32 {
+            for k in 1..=n {
+                let owner_sets: Vec<Vec<u32>> =
+                    (1..=k).flat_map(|j| subsets(n, j)).collect();
+                for owners in owner_sets {
+                    let got = first_superset_rank(n, k, &owners).unwrap();
+                    let expect = subsets(n, k)
+                        .position(|s| owners.iter().all(|o| s.contains(o)))
+                        .unwrap() as u64;
+                    assert_eq!(got, expect, "n={n} k={k} owners={owners:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_superset_too_many_owners() {
+        assert_eq!(first_superset_rank(5, 2, &[0, 1, 2]), None);
+    }
+}

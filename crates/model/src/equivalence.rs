@@ -1,0 +1,287 @@
+//! Equivalence classes of `ASM(n, t, x)` models (Sections 5.2–5.4).
+//!
+//! The paper's main theorem: for colorless decision tasks,
+//! `ASM(n1, t1, x1) ≃ ASM(n2, t2, x2)` **iff** `⌊t1/x1⌋ = ⌊t2/x2⌋`
+//! (assuming `n1 > t1`, `n2 > t2`). Each class has the canonical
+//! representative `ASM(t+1, t, 1)` where `t = ⌊t'/x⌋` — the wait-free
+//! read/write model the BG simulation reduces to.
+//!
+//! This module regenerates the paper's Section 5.4 enumerations: the
+//! partition of `x ∈ 1..=n` at fixed `t'` (the worked `t' = 8` example) and
+//! the *multiplicative law*: `ASM(n, t', x) ≃ ASM(n, t, 1)` iff
+//! `t·x ≤ t' ≤ t·x + (x − 1)`.
+
+use crate::params::ModelParams;
+
+/// The equivalence class `⌊t/x⌋` of a system model, used as a value type.
+///
+/// Class 0 is the failure-free read/write class (every colorless task
+/// solvable that is solvable at all in the asynchronous model); larger
+/// classes are strictly weaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EquivalenceClass(pub u32);
+
+impl EquivalenceClass {
+    /// The class of a model.
+    pub fn of(m: ModelParams) -> Self {
+        EquivalenceClass(m.class())
+    }
+
+    /// Canonical wait-free representative `ASM(t+1, t, 1)` of this class.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: `ASM(t+1, t, 1)` is always well-formed.
+    pub fn canonical_wait_free(&self) -> ModelParams {
+        ModelParams::new(self.0 + 1, self.0, 1).expect("ASM(t+1, t, 1) is always valid")
+    }
+
+    /// Canonical `n`-process representative `ASM(n, t, 1)` of this class.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when `n ≤ class` (then `t < n` fails).
+    pub fn canonical_with_n(&self, n: u32) -> Option<ModelParams> {
+        ModelParams::new(n, self.0, 1).ok()
+    }
+}
+
+impl std::fmt::Display for EquivalenceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "class ⌊t/x⌋ = {}", self.0)
+    }
+}
+
+/// Whether two models have the same computational power for colorless
+/// decision tasks: `⌊t1/x1⌋ = ⌊t2/x2⌋` (the paper's main theorem,
+/// Section 5.3).
+///
+/// ```
+/// use mpcn_model::{ModelParams, equivalence::equivalent};
+/// let a = ModelParams::new(12, 9, 4).unwrap();
+/// let b = ModelParams::new(3, 2, 1).unwrap();
+/// assert!(equivalent(a, b)); // ⌊9/4⌋ = 2 = ⌊2/1⌋
+/// ```
+pub fn equivalent(a: ModelParams, b: ModelParams) -> bool {
+    a.class() == b.class()
+}
+
+/// Canonical read/write form `ASM(n, ⌊t/x⌋, 1)` of a model, keeping `n`.
+///
+/// Section 5.4: "`ASM(n, t, 1)` can be taken as the canonical form
+/// representing all the models of that class."
+pub fn canonical(m: ModelParams) -> ModelParams {
+    ModelParams::new(m.n(), m.class(), 1).expect("class < t < n, so canonical form is valid")
+}
+
+/// The multiplicative law (Section 5.4): the inclusive range of `t'` such
+/// that `ASM(n, t', x) ≃ ASM(n, t, 1)`, namely `[t·x, t·x + (x−1)]`.
+///
+/// ```
+/// use mpcn_model::equivalence::multiplicative_range;
+/// assert_eq!(multiplicative_range(2, 4), (8, 11));
+/// ```
+pub fn multiplicative_range(t: u32, x: u32) -> (u32, u32) {
+    (t * x, t * x + (x - 1))
+}
+
+/// One row of the Section 5.4 partition at fixed `t'`: a maximal range of
+/// consensus numbers `x` whose models `ASM(n, t', x)` fall in the same
+/// equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassRow {
+    /// Smallest `x` of the row (inclusive).
+    pub x_min: u32,
+    /// Largest `x` of the row (inclusive).
+    pub x_max: u32,
+    /// The common class `⌊t'/x⌋` for `x ∈ [x_min, x_max]`.
+    pub class: u32,
+}
+
+/// Partition `x ∈ 1..=x_max` into maximal equal-class ranges at fixed `t'`
+/// — the paper's Section 5.4 worked example generalized.
+///
+/// For `t' = 8`, `x_max = n ≥ 9` this returns exactly the paper's five
+/// groups: `x ∈ [9, n] → class 0`, `x ∈ [5, 8] → class 1`,
+/// `x ∈ [3, 4] → class 2`, `x = 2 → class 4`, `x = 1 → class 8`.
+///
+/// ```
+/// use mpcn_model::equivalence::{class_partition, ClassRow};
+/// let rows = class_partition(8, 12);
+/// assert_eq!(rows[0], ClassRow { x_min: 1, x_max: 1, class: 8 });
+/// assert_eq!(rows.last().unwrap(), &ClassRow { x_min: 9, x_max: 12, class: 0 });
+/// assert_eq!(rows.len(), 5);
+/// ```
+pub fn class_partition(t_prime: u32, x_max: u32) -> Vec<ClassRow> {
+    let mut rows = Vec::new();
+    let mut x = 1u32;
+    while x <= x_max {
+        let class = t_prime / x;
+        let mut hi = x;
+        while hi < x_max && t_prime / (hi + 1) == class {
+            hi += 1;
+        }
+        rows.push(ClassRow { x_min: x, x_max: hi, class });
+        x = hi + 1;
+    }
+    rows
+}
+
+/// The grid of classes `⌊t/x⌋` for `t ∈ 0..=t_max`, `x ∈ 1..=x_max`
+/// (row-major in `t`). Used by the Table-5.4 bench and example to print the
+/// full landscape of model equivalences.
+pub fn class_grid(t_max: u32, x_max: u32) -> Vec<Vec<u32>> {
+    (0..=t_max)
+        .map(|t| (1..=x_max).map(|x| t / x).collect())
+        .collect()
+}
+
+/// The paper's Section 5.4 closing inequality: `ASM(n, t', x) ≃ ASM(n, t, 1)`
+/// iff `t'/t ≥ x > t'/(t+1)` (for `t ≥ 1`), stated here as an exact integer
+/// predicate equivalent to `⌊t'/x⌋ = t`.
+///
+/// Provided to cross-check the two formulations against each other in tests.
+pub fn in_class_by_ratio(t_prime: u32, x: u32, t: u32) -> bool {
+    // x > t'/(t+1)  ⇔  x (t+1) > t'
+    // t'/t ≥ x      ⇔  t' ≥ x t   (t ≥ 1; for t = 0 the condition is x > t')
+    if t == 0 {
+        x > t_prime
+    } else {
+        x * (t + 1) > t_prime && t_prime >= x * t
+    }
+}
+
+/// Checks whether increasing the consensus number from `x` to `x + dx` at
+/// fixed `(n, t)` changes the computational power (Section 5.4, "increasing
+/// the consensus number can be useless").
+///
+/// Returns `true` when `ASM(n, t, x)` and `ASM(n, t, x+dx)` are equivalent,
+/// i.e. the stronger objects buy nothing.
+pub fn upgrade_is_useless(t: u32, x: u32, dx: u32) -> bool {
+    t / x == t / (x + dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(n: u32, t: u32, x: u32) -> ModelParams {
+        ModelParams::new(n, t, x).unwrap()
+    }
+
+    #[test]
+    fn paper_example_t8_partition() {
+        // Section 5.4, worked example t' = 8 in a system of n = 12 processes.
+        let rows = class_partition(8, 12);
+        assert_eq!(
+            rows,
+            vec![
+                ClassRow { x_min: 1, x_max: 1, class: 8 },
+                ClassRow { x_min: 2, x_max: 2, class: 4 },
+                ClassRow { x_min: 3, x_max: 4, class: 2 },
+                ClassRow { x_min: 5, x_max: 8, class: 1 },
+                ClassRow { x_min: 9, x_max: 12, class: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn partition_covers_range_without_gaps() {
+        for t in 0..20 {
+            for xm in 1..25 {
+                let rows = class_partition(t, xm);
+                assert_eq!(rows.first().unwrap().x_min, 1);
+                assert_eq!(rows.last().unwrap().x_max, xm);
+                for w in rows.windows(2) {
+                    assert_eq!(w[0].x_max + 1, w[1].x_min);
+                    assert!(w[0].class > w[1].class, "classes strictly decrease in x");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equivalent_iff_same_class() {
+        assert!(equivalent(m(10, 8, 4), m(10, 8, 3)));
+        assert!(equivalent(m(10, 8, 2), m(10, 4, 1)));
+        assert!(!equivalent(m(10, 8, 2), m(10, 8, 3)));
+        // ASM(n, n-1, n-1) ≃ ASM(n, 1, 1) — paper's Contribution #1 example.
+        assert!(equivalent(m(10, 9, 9), m(10, 1, 1)));
+        // ... and more generally ASM(n, t, t) ≃ ASM(n, 1, 1).
+        for t in 1..9 {
+            assert!(equivalent(m(10, t, t), m(10, 1, 1)));
+        }
+        // ∀ t' < t: ASM(n, t', t) ≃ ASM(n, 0, 1) (failure-free read/write).
+        for t in 2..9u32 {
+            for tp in 0..t {
+                assert!(equivalent(m(10, tp, t), m(10, 0, 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_keeps_n_and_reduces_to_read_write() {
+        let c = canonical(m(12, 9, 4));
+        assert_eq!((c.n(), c.t(), c.x()), (12, 2, 1));
+        assert!(equivalent(c, m(12, 9, 4)));
+    }
+
+    #[test]
+    fn canonical_wait_free_representative() {
+        let c = EquivalenceClass::of(m(12, 9, 4)).canonical_wait_free();
+        assert_eq!((c.n(), c.t(), c.x()), (3, 2, 1));
+        assert!(c.is_wait_free());
+    }
+
+    #[test]
+    fn multiplicative_law_matches_floor() {
+        // t·x ≤ t' ≤ t·x + (x−1)  ⇔  ⌊t'/x⌋ = t
+        for t in 0..12u32 {
+            for x in 1..9u32 {
+                let (lo, hi) = multiplicative_range(t, x);
+                for tp in 0..120u32 {
+                    let in_range = lo <= tp && tp <= hi;
+                    assert_eq!(in_range, tp / x == t, "t={t} x={x} t'={tp}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_formulation_matches_floor_formulation() {
+        for t in 0..12u32 {
+            for x in 1..12u32 {
+                for tp in 0..100u32 {
+                    assert_eq!(
+                        in_class_by_ratio(tp, x, t),
+                        tp / x == t,
+                        "t'={tp} x={x} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upgrade_uselessness() {
+        // ASM(n, 8, 3) ≃ ASM(n, 8, 4): buying consensus number 4 is useless.
+        assert!(upgrade_is_useless(8, 3, 1));
+        // ASM(n, 8, 4) vs ASM(n, 8, 5): class drops 2 → 1, genuinely stronger.
+        assert!(!upgrade_is_useless(8, 4, 1));
+    }
+
+    #[test]
+    fn class_grid_shape() {
+        let g = class_grid(8, 4);
+        assert_eq!(g.len(), 9);
+        assert_eq!(g[8], vec![8, 4, 2, 2]);
+        assert_eq!(g[0], vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn canonical_with_n_fails_when_n_too_small() {
+        let class = EquivalenceClass(5);
+        assert!(class.canonical_with_n(5).is_none());
+        assert!(class.canonical_with_n(6).is_some());
+    }
+}

@@ -1,0 +1,182 @@
+//! The hierarchy of system models induced by set consensus numbers
+//! (Sections 1.1 and 5.4).
+//!
+//! Gafni & Kuznetsov's *set consensus number* of a task `T` is the greatest
+//! `k` such that `T` can be wait-free solved from read/write registers and
+//! `k`-set agreement objects. In a system of `n` processes this partitions
+//! tasks into `n` classes: class 1 = universal tasks (consensus-equivalent),
+//! class `n` = trivial tasks. The paper connects that hierarchy to the
+//! `ASM(n, t, x)` lattice: a task `T_k` of set consensus number `k` is
+//! solvable in `ASM(n, t, x)` **iff** `k > ⌊t/x⌋`.
+
+use crate::params::ModelParams;
+
+/// Set consensus number of a decision task (Gafni & Kuznetsov, DISC 2009).
+///
+/// `SetConsensusNumber(k)` means: the task can be wait-free solved from
+/// `k`-set agreement objects but not from `(k+1)`-set agreement objects.
+/// `k`-set agreement itself has set consensus number `k`; consensus has set
+/// consensus number 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetConsensusNumber(pub u32);
+
+impl SetConsensusNumber {
+    /// Whether a task of this set consensus number is solvable in model `m`
+    /// (the paper's hierarchy relation, Section 5.4):
+    /// `T_k` solvable in `ASM(n, t, x)` iff `k > ⌊t/x⌋`.
+    ///
+    /// ```
+    /// use mpcn_model::{ModelParams, SetConsensusNumber};
+    /// let m = ModelParams::new(10, 8, 4).unwrap(); // class 2
+    /// assert!(SetConsensusNumber(3).solvable_in(m));
+    /// assert!(!SetConsensusNumber(2).solvable_in(m));
+    /// ```
+    pub fn solvable_in(&self, m: ModelParams) -> bool {
+        self.0 > m.class()
+    }
+
+    /// The largest `t'` such that a task of this set consensus number is
+    /// solvable in `ASM(n, t', x)` at fixed `x`
+    /// (Contribution #1: `t' ≤ (k−1)·x + (x−1) = k·x − 1`).
+    ///
+    /// Returns `None` for `SetConsensusNumber(0)` (no task has set consensus
+    /// number 0).
+    pub fn max_tolerable_t(&self, x: u32) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        Some(self.0 * x - 1)
+    }
+
+    /// The smallest consensus number `x` making the task solvable in
+    /// `ASM(n, t', x)` at fixed `t'`
+    /// (Contribution #1: `x ≥ (t' + 1)/k`, i.e. `x = ⌈(t'+1)/k⌉`).
+    ///
+    /// Returns `None` for `SetConsensusNumber(0)`.
+    pub fn min_sufficient_x(&self, t_prime: u32) -> Option<u32> {
+        if self.0 == 0 {
+            return None;
+        }
+        Some((t_prime + 1).div_ceil(self.0))
+    }
+}
+
+/// A task class in the size-`n` task hierarchy of Gafni & Kuznetsov as
+/// described in Section 1.1: class 1 = universal, class `n` = trivial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskClass {
+    /// The class index, `1 ..= n`.
+    pub k: u32,
+    /// System size defining the hierarchy.
+    pub n: u32,
+}
+
+impl TaskClass {
+    /// Creates the task class `k` in a system of `n` processes.
+    ///
+    /// Returns `None` unless `1 ≤ k ≤ n`.
+    pub fn new(k: u32, n: u32) -> Option<Self> {
+        (1..=n).contains(&k).then_some(TaskClass { k, n })
+    }
+
+    /// Class 1 contains the universal tasks (consensus-equivalent).
+    pub fn is_universal(&self) -> bool {
+        self.k == 1
+    }
+
+    /// Class `n` contains the trivial tasks (solvable asynchronously from
+    /// registers alone, wait-free).
+    pub fn is_trivial(&self) -> bool {
+        self.k == self.n
+    }
+
+    /// A task in class `k` is strictly more difficult than one in class
+    /// `k + 1` (Section 5.4).
+    pub fn harder_than(&self, other: &TaskClass) -> bool {
+        self.n == other.n && self.k < other.k
+    }
+}
+
+/// Enumerates, for each class `c = ⌊t/x⌋` reachable with `t ∈ 0..n`,
+/// `x ∈ 1..=n`, the set of tasks (by set consensus number `k ∈ 1..=n`)
+/// solvable in that class. This is the model-side of the paper's hierarchy:
+/// the solvable set grows strictly as the class decreases.
+pub fn solvability_matrix(n: u32) -> Vec<(u32, Vec<u32>)> {
+    let mut classes: Vec<u32> = (0..n)
+        .flat_map(|t| (1..=n).map(move |x| t / x))
+        .collect();
+    classes.sort_unstable();
+    classes.dedup();
+    classes
+        .into_iter()
+        .map(|c| {
+            let solvable = (1..=n).filter(|&k| k > c).collect();
+            (c, solvable)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consensus_is_class_one() {
+        // Consensus (k = 1) is solvable only in class-0 models.
+        let k1 = SetConsensusNumber(1);
+        assert!(k1.solvable_in(ModelParams::new(5, 0, 1).unwrap()));
+        assert!(k1.solvable_in(ModelParams::new(5, 1, 2).unwrap()));
+        assert!(!k1.solvable_in(ModelParams::new(5, 1, 1).unwrap()));
+        assert!(!k1.solvable_in(ModelParams::new(5, 4, 4).unwrap()));
+    }
+
+    #[test]
+    fn contribution1_bounds() {
+        // T_k solvable in ASM(n, t', x) iff t' ≤ k·x − 1 (fixed x).
+        let k = SetConsensusNumber(3);
+        assert_eq!(k.max_tolerable_t(2), Some(5));
+        for tp in 0..=5 {
+            assert!(k.solvable_in(ModelParams::new(12, tp, 2).unwrap()));
+        }
+        assert!(!k.solvable_in(ModelParams::new(12, 6, 2).unwrap()));
+
+        // ... and x ≥ (t'+1)/k (fixed t').
+        assert_eq!(k.min_sufficient_x(8), Some(3));
+        assert!(k.solvable_in(ModelParams::new(12, 8, 3).unwrap()));
+        assert!(!k.solvable_in(ModelParams::new(12, 8, 2).unwrap()));
+    }
+
+    #[test]
+    fn zero_set_consensus_number_has_no_bounds() {
+        assert_eq!(SetConsensusNumber(0).max_tolerable_t(3), None);
+        assert_eq!(SetConsensusNumber(0).min_sufficient_x(3), None);
+    }
+
+    #[test]
+    fn task_class_construction() {
+        assert!(TaskClass::new(0, 5).is_none());
+        assert!(TaskClass::new(6, 5).is_none());
+        let c1 = TaskClass::new(1, 5).unwrap();
+        let c5 = TaskClass::new(5, 5).unwrap();
+        assert!(c1.is_universal());
+        assert!(c5.is_trivial());
+        assert!(c1.harder_than(&c5));
+        assert!(!c5.harder_than(&c1));
+    }
+
+    #[test]
+    fn solvability_matrix_is_monotone() {
+        let m = solvability_matrix(6);
+        // Classes appear in increasing order with strictly shrinking solvable sets.
+        for w in m.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1.len() > w[1].1.len());
+            for k in &w[1].1 {
+                assert!(w[0].1.contains(k), "solvable sets are nested");
+            }
+        }
+        // Class 0 solves everything; the largest class solves only trivial tasks.
+        assert_eq!(m[0].1, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.last().unwrap().1, vec![6]);
+    }
+}

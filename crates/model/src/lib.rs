@@ -1,0 +1,40 @@
+//! Model-parameter algebra for `ASM(n, t, x)` system models.
+//!
+//! This crate implements the *computability algebra* of Imbs & Raynal,
+//! "The Multiplicative Power of Consensus Numbers" (PODC 2010): the
+//! [`ModelParams`] triple describing an asynchronous shared-memory system
+//! model, the equivalence-class structure induced by `⌊t/x⌋`
+//! ([`equivalence`]), the derived hierarchy of system models and its
+//! relation to set consensus numbers ([`hierarchy`]), and the subset
+//! combinatorics needed by the Figure 6 `x_safe_agreement` implementation
+//! ([`combinatorics`]).
+//!
+//! Everything in this crate is pure (no shared memory, no threads): it is
+//! the *statement* of the paper's results. The executable *reductions* that
+//! establish them live in `mpcn-core`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mpcn_model::{ModelParams, equivalence};
+//!
+//! // ASM(10, 8, 4) and ASM(7, 2, 1) have the same computational power for
+//! // colorless decision tasks because ⌊8/4⌋ = ⌊2/1⌋ = 2.
+//! let a = ModelParams::new(10, 8, 4).unwrap();
+//! let b = ModelParams::new(7, 2, 1).unwrap();
+//! assert!(equivalence::equivalent(a, b));
+//! assert_eq!(a.class(), 2);
+//!
+//! // 3-set agreement is solvable in both (k > ⌊t/x⌋), 2-set agreement in neither.
+//! assert!(a.kset_solvable(3));
+//! assert!(!a.kset_solvable(2));
+//! ```
+
+pub mod combinatorics;
+pub mod equivalence;
+pub mod hierarchy;
+pub mod params;
+
+pub use equivalence::{canonical, equivalent, multiplicative_range, EquivalenceClass};
+pub use hierarchy::{SetConsensusNumber, TaskClass};
+pub use params::{ModelParams, ParamError};

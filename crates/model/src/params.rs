@@ -1,0 +1,312 @@
+//! The `ASM(n, t, x)` model-parameter triple.
+//!
+//! `ASM(n, t, x)` (Section 2.3 of the paper) denotes an asynchronous
+//! shared-memory system made up of `n` sequential processes, of which up to
+//! `t` may crash, communicating through a snapshot memory (read/write
+//! registers) and — when `x > 1` — as many objects of consensus number `x`
+//! as desired, each statically accessible by at most `x` processes.
+
+use std::fmt;
+
+/// Parameters `(n, t, x)` of an asynchronous shared-memory system model.
+///
+/// Invariants enforced by [`ModelParams::new`]:
+///
+/// * `n ≥ 1` — at least one process;
+/// * `t < n` — at least one process is correct in every run (the paper
+///   assumes `1 ≤ t < n` for the simulations but also reasons about the
+///   failure-free model `ASM(n, 0, 1)`, so `t = 0` is allowed here);
+/// * `1 ≤ x ≤ n` — objects with consensus number `x` have `x` ports; `x = 1`
+///   is the pure read/write model.
+///
+/// The paper notes that when `x > t` every colorless task is solvable (the
+/// model is "universal enough"); [`ModelParams::is_universal`] exposes that
+/// predicate.
+///
+/// # Examples
+///
+/// ```
+/// use mpcn_model::ModelParams;
+///
+/// let m = ModelParams::new(10, 8, 4).unwrap();
+/// assert_eq!(m.class(), 2);             // ⌊8/4⌋
+/// assert!(m.is_wait_free() == false);   // t < n - 1
+/// assert!(ModelParams::new(4, 3, 3).unwrap().is_wait_free());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelParams {
+    n: u32,
+    t: u32,
+    x: u32,
+}
+
+/// Error returned when `(n, t, x)` violates the model invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// `n` must be at least 1.
+    NoProcesses,
+    /// `t` must be strictly less than `n`.
+    TooManyFaults {
+        /// The offending `t`.
+        t: u32,
+        /// The system size `n`.
+        n: u32,
+    },
+    /// `x` must satisfy `1 ≤ x ≤ n`.
+    BadConsensusNumber {
+        /// The offending `x`.
+        x: u32,
+        /// The system size `n`.
+        n: u32,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::NoProcesses => write!(f, "model must contain at least one process"),
+            ParamError::TooManyFaults { t, n } => {
+                write!(f, "fault bound t={t} must be strictly less than n={n}")
+            }
+            ParamError::BadConsensusNumber { x, n } => {
+                write!(f, "consensus number x={x} must satisfy 1 <= x <= n={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl ModelParams {
+    /// Creates a validated `ASM(n, t, x)` parameter triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `n == 0`, `t >= n`, `x == 0` or `x > n`.
+    ///
+    /// ```
+    /// use mpcn_model::{ModelParams, ParamError};
+    ///
+    /// assert!(ModelParams::new(5, 2, 2).is_ok());
+    /// assert_eq!(ModelParams::new(5, 5, 1), Err(ParamError::TooManyFaults { t: 5, n: 5 }));
+    /// assert_eq!(ModelParams::new(5, 2, 0), Err(ParamError::BadConsensusNumber { x: 0, n: 5 }));
+    /// ```
+    pub fn new(n: u32, t: u32, x: u32) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::NoProcesses);
+        }
+        if t >= n {
+            return Err(ParamError::TooManyFaults { t, n });
+        }
+        if x == 0 || x > n {
+            return Err(ParamError::BadConsensusNumber { x, n });
+        }
+        Ok(ModelParams { n, t, x })
+    }
+
+    /// The pure read/write model `ASM(n, t, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `n == 0` or `t >= n`.
+    pub fn read_write(n: u32, t: u32) -> Result<Self, ParamError> {
+        Self::new(n, t, 1)
+    }
+
+    /// The wait-free model `ASM(n, n-1, x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `n == 0`, `x == 0` or `x > n`.
+    pub fn wait_free(n: u32, x: u32) -> Result<Self, ParamError> {
+        if n == 0 {
+            return Err(ParamError::NoProcesses);
+        }
+        Self::new(n, n - 1, x)
+    }
+
+    /// Number of processes `n`.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Upper bound `t` on the number of crashes.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// Consensus number `x` of the shared objects (1 = read/write only).
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+
+    /// The equivalence class `⌊t/x⌋` of this model (Section 5.3).
+    ///
+    /// Two models with the same class have the same computational power for
+    /// colorless decision tasks — the paper's main theorem.
+    ///
+    /// ```
+    /// use mpcn_model::ModelParams;
+    /// assert_eq!(ModelParams::new(9, 8, 3).unwrap().class(), 2);
+    /// ```
+    pub fn class(&self) -> u32 {
+        self.t / self.x
+    }
+
+    /// `true` when `t = n - 1`, i.e. algorithms for this model must be
+    /// wait-free.
+    pub fn is_wait_free(&self) -> bool {
+        self.t == self.n - 1
+    }
+
+    /// `true` when `x > t`: consensus — and hence every task — is solvable.
+    ///
+    /// The paper restricts attention to `x ≤ t` because "when `x > t`, all
+    /// tasks can be solved" (Section 1.2): fewer than `x` processes can
+    /// crash, so a single consensus-number-`x` object shared by any `x`
+    /// processes always has a correct participant, and `⌊t/x⌋ = 0` puts the
+    /// model in the failure-free class.
+    pub fn is_universal(&self) -> bool {
+        self.x > self.t
+    }
+
+    /// Minimal number of correct processes in any run: `n - t`.
+    pub fn min_correct(&self) -> u32 {
+        self.n - self.t
+    }
+
+    /// Whether `k`-set agreement (and, more generally, any task of set
+    /// consensus number `k`) is solvable in this model.
+    ///
+    /// This is the hierarchy relation of Section 5.4: a task `T_k` with set
+    /// consensus number `k` can be solved in `ASM(n, t, x)` **iff**
+    /// `k > ⌊t/x⌋`.
+    ///
+    /// ```
+    /// use mpcn_model::ModelParams;
+    /// let m = ModelParams::new(10, 8, 4).unwrap(); // class 2
+    /// assert!(!m.kset_solvable(1)); // consensus
+    /// assert!(!m.kset_solvable(2));
+    /// assert!(m.kset_solvable(3));
+    /// ```
+    pub fn kset_solvable(&self, k: u32) -> bool {
+        k > self.class()
+    }
+
+    /// Whether this model is strictly stronger than `other` in the hierarchy
+    /// of Section 5.4: strictly more tasks are solvable here.
+    ///
+    /// `S ≻ S'` iff `class(S) < class(S')`.
+    pub fn stronger_than(&self, other: &ModelParams) -> bool {
+        self.class() < other.class()
+    }
+}
+
+impl fmt::Display for ModelParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ASM({}, {}, {})", self.n, self.t, self.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_process_count() {
+        assert_eq!(ModelParams::new(0, 0, 1), Err(ParamError::NoProcesses));
+    }
+
+    #[test]
+    fn new_validates_fault_bound() {
+        assert_eq!(
+            ModelParams::new(3, 3, 1),
+            Err(ParamError::TooManyFaults { t: 3, n: 3 })
+        );
+        assert_eq!(
+            ModelParams::new(3, 7, 1),
+            Err(ParamError::TooManyFaults { t: 7, n: 3 })
+        );
+        assert!(ModelParams::new(3, 2, 1).is_ok());
+        assert!(ModelParams::new(3, 0, 1).is_ok(), "failure-free model is allowed");
+    }
+
+    #[test]
+    fn new_validates_consensus_number() {
+        assert_eq!(
+            ModelParams::new(3, 1, 0),
+            Err(ParamError::BadConsensusNumber { x: 0, n: 3 })
+        );
+        assert_eq!(
+            ModelParams::new(3, 1, 4),
+            Err(ParamError::BadConsensusNumber { x: 4, n: 3 })
+        );
+        assert!(ModelParams::new(3, 1, 3).is_ok());
+    }
+
+    #[test]
+    fn class_is_floor_of_t_over_x() {
+        let cases = [
+            (10u32, 8u32, 1u32, 8u32),
+            (10, 8, 2, 4),
+            (10, 8, 3, 2),
+            (10, 8, 4, 2),
+            (10, 8, 5, 1),
+            (10, 8, 8, 1),
+            (10, 8, 9, 0),
+        ];
+        for (n, t, x, want) in cases {
+            assert_eq!(ModelParams::new(n, t, x).unwrap().class(), want, "({n},{t},{x})");
+        }
+    }
+
+    #[test]
+    fn wait_free_constructor() {
+        let m = ModelParams::wait_free(7, 3).unwrap();
+        assert_eq!(m.t(), 6);
+        assert!(m.is_wait_free());
+    }
+
+    #[test]
+    fn read_write_constructor() {
+        let m = ModelParams::read_write(5, 2).unwrap();
+        assert_eq!(m.x(), 1);
+    }
+
+    #[test]
+    fn universality_predicate() {
+        assert!(ModelParams::new(5, 1, 2).unwrap().is_universal());
+        assert!(!ModelParams::new(5, 2, 2).unwrap().is_universal());
+        // x > t implies class 0, same as the failure-free read/write model.
+        assert_eq!(ModelParams::new(5, 1, 2).unwrap().class(), 0);
+    }
+
+    #[test]
+    fn display_formats_like_the_paper() {
+        assert_eq!(ModelParams::new(5, 2, 2).unwrap().to_string(), "ASM(5, 2, 2)");
+    }
+
+    #[test]
+    fn kset_solvable_matches_hierarchy_relation() {
+        // ASM(n, k, 1): k-set agreement impossible, (k+1)-set possible.
+        for k in 1..6u32 {
+            let m = ModelParams::new(10, k, 1).unwrap();
+            assert!(!m.kset_solvable(k));
+            assert!(m.kset_solvable(k + 1));
+        }
+    }
+
+    #[test]
+    fn stronger_than_is_strict() {
+        let s = ModelParams::new(10, 3, 1).unwrap();
+        let w = ModelParams::new(10, 4, 1).unwrap();
+        assert!(s.stronger_than(&w));
+        assert!(!w.stronger_than(&s));
+        assert!(!s.stronger_than(&s));
+    }
+
+    #[test]
+    fn min_correct() {
+        assert_eq!(ModelParams::new(10, 8, 4).unwrap().min_correct(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the model algebra: the laws the paper's
+//! Section 5 reasons with, checked over randomized parameters.
+
+use proptest::prelude::*;
+
+use mpcn_model::combinatorics::{
+    binomial, first_superset_rank, subset_rank, subset_unrank, subsets,
+};
+use mpcn_model::equivalence::{
+    canonical, class_partition, equivalent, in_class_by_ratio, multiplicative_range,
+    upgrade_is_useless,
+};
+use mpcn_model::{ModelParams, SetConsensusNumber};
+
+fn arb_model() -> impl Strategy<Value = ModelParams> {
+    (2u32..20).prop_flat_map(|n| {
+        (0..n, 1..=n).prop_map(move |(t, x)| ModelParams::new(n, t, x).expect("valid by range"))
+    })
+}
+
+proptest! {
+    /// Equivalence is an equivalence relation (reflexive, symmetric,
+    /// transitive) — required for the partition of Section 5.4 to exist.
+    #[test]
+    fn equivalence_relation_laws(a in arb_model(), b in arb_model(), c in arb_model()) {
+        prop_assert!(equivalent(a, a));
+        prop_assert_eq!(equivalent(a, b), equivalent(b, a));
+        if equivalent(a, b) && equivalent(b, c) {
+            prop_assert!(equivalent(a, c));
+        }
+    }
+
+    /// The canonical form is idempotent, stays in the class, and has x = 1.
+    #[test]
+    fn canonical_form_laws(m in arb_model()) {
+        let c = canonical(m);
+        prop_assert!(equivalent(m, c));
+        prop_assert_eq!(c.x(), 1);
+        prop_assert_eq!(canonical(c), c);
+    }
+
+    /// The multiplicative law range is exactly the preimage of the class.
+    #[test]
+    fn multiplicative_range_is_exact(t in 0u32..30, x in 1u32..12, tp in 0u32..400) {
+        let (lo, hi) = multiplicative_range(t, x);
+        prop_assert_eq!(lo <= tp && tp <= hi, tp / x == t);
+        // Ranges tile: hi + 1 = lo of the next class.
+        let (lo_next, _) = multiplicative_range(t + 1, x);
+        prop_assert_eq!(hi + 1, lo_next);
+    }
+
+    /// The ratio formulation of Section 5.4 equals the floor formulation.
+    #[test]
+    fn ratio_vs_floor(tp in 0u32..300, x in 1u32..20, t in 0u32..30) {
+        prop_assert_eq!(in_class_by_ratio(tp, x, t), tp / x == t);
+    }
+
+    /// Class partitions cover 1..=x_max with strictly decreasing classes.
+    #[test]
+    fn partition_covers_and_decreases(tp in 0u32..40, x_max in 1u32..40) {
+        let rows = class_partition(tp, x_max);
+        prop_assert_eq!(rows.first().expect("non-empty").x_min, 1);
+        prop_assert_eq!(rows.last().expect("non-empty").x_max, x_max);
+        for w in rows.windows(2) {
+            prop_assert_eq!(w[0].x_max + 1, w[1].x_min);
+            prop_assert!(w[0].class > w[1].class);
+        }
+        for row in &rows {
+            for x in row.x_min..=row.x_max {
+                prop_assert_eq!(tp / x, row.class);
+            }
+        }
+    }
+
+    /// Upgrade uselessness is monotone: if x → x+dx is useless then any
+    /// smaller upgrade is too.
+    #[test]
+    fn upgrade_uselessness_monotone(t in 0u32..40, x in 1u32..12, dx in 1u32..8) {
+        if upgrade_is_useless(t, x, dx) {
+            for d in 1..dx {
+                prop_assert!(upgrade_is_useless(t, x, d));
+            }
+        }
+    }
+
+    /// Task-solvability bounds of Contribution #1 are exact.
+    #[test]
+    fn contribution1_bounds_exact(k in 1u32..10, x in 1u32..8, tp in 0u32..80) {
+        let task = SetConsensusNumber(k);
+        let max_t = task.max_tolerable_t(x).expect("k >= 1");
+        // Solvable iff t' <= k·x − 1, for any n large enough.
+        let n = tp + 2;
+        let m = ModelParams::new(n, tp, x.min(n)).expect("valid");
+        if x <= n {
+            prop_assert_eq!(task.solvable_in(m), tp <= max_t);
+        }
+        let min_x = task.min_sufficient_x(tp).expect("k >= 1");
+        if min_x <= n && tp < n {
+            let m2 = ModelParams::new(n, tp, min_x).expect("valid");
+            prop_assert!(task.solvable_in(m2));
+            if min_x > 1 {
+                let m3 = ModelParams::new(n, tp, min_x - 1).expect("valid");
+                prop_assert!(!task.solvable_in(m3));
+            }
+        }
+    }
+
+    /// Subset rank/unrank are mutually inverse and order preserving.
+    #[test]
+    fn subset_rank_unrank_inverse(n in 1u32..12, k in 1u32..12) {
+        prop_assume!(k <= n);
+        let m = binomial(n as u64, k as u64);
+        for rank in 0..m.min(50) {
+            let s = subset_unrank(n, k, rank);
+            prop_assert_eq!(subset_rank(n, &s), rank);
+        }
+        // Order preservation on a sample of adjacent pairs.
+        for rank in 0..m.min(20).saturating_sub(1) {
+            let a = subset_unrank(n, k, rank);
+            let b = subset_unrank(n, k, rank + 1);
+            prop_assert!(a < b, "lexicographic order");
+        }
+    }
+
+    /// `first_superset_rank` finds the first scan-order superset — the
+    /// Figure 6 convergence point of any owner set.
+    #[test]
+    fn first_superset_matches_linear_scan(n in 2u32..9, k in 1u32..9, seed in 0u64..1000) {
+        prop_assume!(k <= n);
+        // Derive a pseudo-random owner set of size 1..=k from the seed.
+        let size = (seed % u64::from(k)) as u32 + 1;
+        let mut owners: Vec<u32> = (0..n).collect();
+        // Deterministic shuffle-by-seed, then take `size` sorted.
+        owners.sort_by_key(|&v| (seed.wrapping_mul(31).wrapping_add(u64::from(v) * 2654435761)) % 97);
+        let mut owners: Vec<u32> = owners.into_iter().take(size as usize).collect();
+        owners.sort_unstable();
+        let got = first_superset_rank(n, k, &owners).expect("size <= k");
+        let expect = subsets(n, k)
+            .position(|s| owners.iter().all(|o| s.contains(o)))
+            .expect("superset exists") as u64;
+        prop_assert_eq!(got, expect);
+    }
+}

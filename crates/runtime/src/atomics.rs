@@ -1,0 +1,501 @@
+//! Lock-free primitives on real atomics (experiment E9).
+//!
+//! The paper's Section 1.1 frames everything in terms of Herlihy's
+//! consensus hierarchy: registers (consensus number 1), test&set (2), and
+//! compare&swap (∞). This module provides real, contention-safe
+//! implementations of the three levels plus the wait-free atomic snapshot
+//! the model is built on:
+//!
+//! * [`WaitFreeSnapshot`] — Afek-et-al-style single-writer snapshot with
+//!   embedded scans: `update` performs a scan and stores it alongside the
+//!   data, `scan` double-collects and *borrows* the embedded view of any
+//!   cell it saw move twice. Wait-free: at most `n + 2` collects.
+//! * [`TestAndSet`] — one-shot test&set (consensus number 2).
+//! * [`CasConsensus`] — one-shot consensus from compare&swap (consensus
+//!   number ∞).
+//!
+//! These are used by the `atomics_primitives` bench and stress tests; the
+//! simulations themselves run on the deterministic
+//! [`crate::model_world::ModelWorld`], which provides the same sequential
+//! semantics with scheduler-controlled interleavings.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::epoch::{self, Atomic, Owned};
+
+/// One cell record: data value, update sequence number, and the scan
+/// embedded by the updater.
+#[derive(Debug)]
+struct Record {
+    seq: u64,
+    data: u64,
+    view: Arc<Vec<u64>>,
+}
+
+/// A wait-free single-writer multi-reader atomic snapshot object over `n`
+/// `u64` cells (initially 0).
+///
+/// Linearizable: every [`scan`](WaitFreeSnapshot::scan) returns a view that
+/// existed at some instant during the scan; every
+/// [`update`](WaitFreeSnapshot::update) appears atomic. The implementation
+/// is the classic unbounded-sequence-number algorithm of Afek, Attiya,
+/// Dolev, Gafni, Merritt & Shavit (JACM 1993): an updater embeds a full
+/// scan in its record, and a scanner that sees some cell change twice can
+/// safely borrow that cell's embedded view (the second update's scan began
+/// after the scanner did).
+///
+/// Writer discipline: cell `i` must be updated by at most one thread at a
+/// time (single-writer per cell, as in the paper's `mem[j]`); scans may run
+/// from any number of threads concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use mpcn_runtime::atomics::WaitFreeSnapshot;
+///
+/// let snap = WaitFreeSnapshot::new(3);
+/// snap.update(0, 7);
+/// snap.update(2, 9);
+/// assert_eq!(snap.scan(), vec![7, 0, 9]);
+/// ```
+pub struct WaitFreeSnapshot {
+    cells: Vec<Atomic<Record>>,
+}
+
+impl std::fmt::Debug for WaitFreeSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitFreeSnapshot").field("n", &self.cells.len()).finish()
+    }
+}
+
+impl WaitFreeSnapshot {
+    /// Creates a snapshot object with `n` cells, all 0.
+    pub fn new(n: usize) -> Self {
+        let zero_view = Arc::new(vec![0u64; n]);
+        WaitFreeSnapshot {
+            cells: (0..n)
+                .map(|_| {
+                    Atomic::new(Record { seq: 0, data: 0, view: Arc::clone(&zero_view) })
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the object has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Collects `(seq, data)` of every cell (one read per cell).
+    fn collect(&self, guard: &epoch::Guard) -> Vec<(u64, u64)> {
+        self.cells
+            .iter()
+            .map(|c| {
+                let shared = c.load(Ordering::Acquire, guard);
+                // Safety: records are only retired through `defer_destroy`
+                // while the guard pins the epoch.
+                let r = unsafe { shared.deref() };
+                (r.seq, r.data)
+            })
+            .collect()
+    }
+
+    /// Atomically reads all cells.
+    ///
+    /// Wait-free: terminates within `n + 2` collects regardless of
+    /// concurrent updates.
+    pub fn scan(&self) -> Vec<u64> {
+        let guard = epoch::pin();
+        let n = self.cells.len();
+        let mut moved = vec![false; n];
+        let mut prev = self.collect(&guard);
+        loop {
+            let cur = self.collect(&guard);
+            if prev.iter().zip(&cur).all(|(a, b)| a.0 == b.0) {
+                // Clean double collect: the memory was still in between.
+                return cur.into_iter().map(|(_, d)| d).collect();
+            }
+            for j in 0..n {
+                if prev[j].0 != cur[j].0 {
+                    if moved[j] {
+                        // Cell j moved twice during our scan: its latest
+                        // embedded view was produced by a scan that started
+                        // after ours — borrow it.
+                        let shared = self.cells[j].load(Ordering::Acquire, &guard);
+                        let r = unsafe { shared.deref() };
+                        return r.view.as_ref().clone();
+                    }
+                    moved[j] = true;
+                }
+            }
+            prev = cur;
+        }
+    }
+
+    /// Atomically writes `data` into cell `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn update(&self, i: usize, data: u64) {
+        let view = Arc::new(self.scan());
+        let guard = epoch::pin();
+        let cur = self.cells[i].load(Ordering::Acquire, &guard);
+        let seq = unsafe { cur.deref() }.seq + 1;
+        let new = Owned::new(Record { seq, data, view });
+        let old = self.cells[i].swap(new, Ordering::AcqRel, &guard);
+        // Safety: `old` is unlinked; no new reader can obtain it, and
+        // current readers are protected by their epoch pins.
+        unsafe { guard.defer_destroy(old) };
+    }
+}
+
+impl Drop for WaitFreeSnapshot {
+    fn drop(&mut self) {
+        // Safety: we have exclusive access; reclaim the final records.
+        let guard = unsafe { epoch::unprotected() };
+        for c in &self.cells {
+            let shared = c.load(Ordering::Relaxed, guard);
+            if !shared.is_null() {
+                drop(unsafe { shared.into_owned() });
+            }
+        }
+    }
+}
+
+/// The naive *obstruction-free* snapshot: repeated double collect without
+/// embedded scans. Provided as the ablation baseline for
+/// [`WaitFreeSnapshot`]: it is cheaper per attempt but its scans can retry
+/// unboundedly under concurrent updates (and livelock entirely under
+/// sustained writes), which is exactly why Afek et al. embed scans in
+/// updates — and why the BG-style simulations need the wait-free version.
+///
+/// ```
+/// use mpcn_runtime::atomics::DoubleCollectSnapshot;
+/// let s = DoubleCollectSnapshot::new(2);
+/// s.update(1, 9);
+/// assert_eq!(s.try_scan(4), Some(vec![0, 9]));
+/// ```
+pub struct DoubleCollectSnapshot {
+    cells: Vec<AtomicU64>,
+    seqs: Vec<AtomicU64>,
+}
+
+impl std::fmt::Debug for DoubleCollectSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DoubleCollectSnapshot").field("n", &self.cells.len()).finish()
+    }
+}
+
+impl DoubleCollectSnapshot {
+    /// Creates a snapshot object with `n` cells, all 0.
+    pub fn new(n: usize) -> Self {
+        DoubleCollectSnapshot {
+            cells: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            seqs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the object has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Writes `data` into cell `i` (single writer per cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn update(&self, i: usize, data: u64) {
+        // Seq first (Release) so a scan that sees the new data also sees
+        // the new seq on its second collect and retries.
+        self.seqs[i].fetch_add(1, Ordering::Release);
+        self.cells[i].store(data, Ordering::Release);
+        self.seqs[i].fetch_add(1, Ordering::Release);
+    }
+
+    fn collect(&self) -> (Vec<u64>, Vec<u64>) {
+        let seqs: Vec<u64> = self.seqs.iter().map(|s| s.load(Ordering::Acquire)).collect();
+        let data: Vec<u64> = self.cells.iter().map(|c| c.load(Ordering::Acquire)).collect();
+        (seqs, data)
+    }
+
+    /// Attempts an atomic scan with at most `max_collects` collects.
+    ///
+    /// Returns `None` if no two consecutive collects were identical within
+    /// the budget — the obstruction-free failure mode under contention.
+    pub fn try_scan(&self, max_collects: usize) -> Option<Vec<u64>> {
+        let mut prev = self.collect();
+        for _ in 1..max_collects {
+            let cur = self.collect();
+            // Stable iff no writer was mid-flight (even seqs) and nothing
+            // moved between the collects.
+            if prev.0 == cur.0 && cur.0.iter().all(|s| s % 2 == 0) {
+                return Some(cur.1);
+            }
+            prev = cur;
+        }
+        None
+    }
+}
+
+/// One-shot test&set on a real atomic (consensus number 2).
+///
+/// Returns `true` to exactly one caller — the linearization winner.
+///
+/// ```
+/// use mpcn_runtime::atomics::TestAndSet;
+/// let t = TestAndSet::new();
+/// assert!(t.test_and_set());
+/// assert!(!t.test_and_set());
+/// ```
+#[derive(Debug, Default)]
+pub struct TestAndSet {
+    taken: AtomicBool,
+}
+
+impl TestAndSet {
+    /// Creates an unset object.
+    pub fn new() -> Self {
+        TestAndSet::default()
+    }
+
+    /// `true` iff this is the first invocation ever.
+    pub fn test_and_set(&self) -> bool {
+        !self.taken.swap(true, Ordering::AcqRel)
+    }
+
+    /// Whether the object has been set (read-only probe).
+    pub fn is_set(&self) -> bool {
+        self.taken.load(Ordering::Acquire)
+    }
+}
+
+/// One-shot consensus from compare&swap (consensus number ∞).
+///
+/// Any number of threads may propose; all obtain the same decided value,
+/// which is one of the proposals.
+///
+/// Values must be `< u64::MAX` (the maximum is reserved as the empty
+/// sentinel).
+///
+/// ```
+/// use mpcn_runtime::atomics::CasConsensus;
+/// let c = CasConsensus::new();
+/// assert_eq!(c.propose(5), 5);
+/// assert_eq!(c.propose(9), 5);
+/// assert_eq!(c.decided(), Some(5));
+/// ```
+#[derive(Debug)]
+pub struct CasConsensus {
+    slot: AtomicU64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl Default for CasConsensus {
+    fn default() -> Self {
+        CasConsensus { slot: AtomicU64::new(EMPTY) }
+    }
+}
+
+impl CasConsensus {
+    /// Creates an undecided object.
+    pub fn new() -> Self {
+        CasConsensus::default()
+    }
+
+    /// Proposes `v` and returns the decided value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == u64::MAX` (reserved sentinel).
+    pub fn propose(&self, v: u64) -> u64 {
+        assert_ne!(v, EMPTY, "u64::MAX is reserved");
+        match self
+            .slot
+            .compare_exchange(EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => v,
+            Err(winner) => winner,
+        }
+    }
+
+    /// The decided value, if any proposal has landed.
+    pub fn decided(&self) -> Option<u64> {
+        let v = self.slot.load(Ordering::Acquire);
+        (v != EMPTY).then_some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn snapshot_sequential_semantics() {
+        let s = WaitFreeSnapshot::new(4);
+        assert_eq!(s.scan(), vec![0, 0, 0, 0]);
+        s.update(1, 11);
+        s.update(3, 33);
+        assert_eq!(s.scan(), vec![0, 11, 0, 33]);
+        s.update(1, 12);
+        assert_eq!(s.scan(), vec![0, 12, 0, 33]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_concurrent_scans_are_monotone() {
+        // Each writer monotonically increases its own cell; any single
+        // scanner must observe pointwise non-decreasing views (scans of a
+        // linearizable snapshot are totally ordered).
+        const N: usize = 4;
+        const ROUNDS: u64 = 2000;
+        let snap = Arc::new(WaitFreeSnapshot::new(N));
+        thread::scope(|sc| {
+            for i in 0..N {
+                let snap = Arc::clone(&snap);
+                sc.spawn(move || {
+                    for k in 1..=ROUNDS {
+                        snap.update(i, k);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let snap = Arc::clone(&snap);
+                sc.spawn(move || {
+                    let mut last = vec![0u64; N];
+                    for _ in 0..ROUNDS {
+                        let v = snap.scan();
+                        for j in 0..N {
+                            assert!(v[j] >= last[j], "scan regressed at cell {j}");
+                        }
+                        last = v;
+                    }
+                });
+            }
+        });
+        assert_eq!(snap.scan(), vec![ROUNDS; N]);
+    }
+
+    #[test]
+    fn snapshot_writer_reads_own_last_write() {
+        const ROUNDS: u64 = 1000;
+        let snap = Arc::new(WaitFreeSnapshot::new(3));
+        thread::scope(|sc| {
+            for i in 0..3 {
+                let snap = Arc::clone(&snap);
+                sc.spawn(move || {
+                    for k in 1..=ROUNDS {
+                        snap.update(i, k);
+                        let v = snap.scan();
+                        assert_eq!(v[i], k, "writer {i} lost its own write");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn double_collect_sequential_semantics() {
+        let s = DoubleCollectSnapshot::new(3);
+        assert_eq!(s.try_scan(2), Some(vec![0, 0, 0]));
+        s.update(0, 5);
+        s.update(2, 7);
+        assert_eq!(s.try_scan(2), Some(vec![5, 0, 7]));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn double_collect_scans_are_valid_when_they_succeed() {
+        // Under writers, successful scans must still be consistent views:
+        // each writer publishes (k, k) into two... one cell here, so we
+        // check per-cell monotonicity across a scanner's successes.
+        let s = Arc::new(DoubleCollectSnapshot::new(2));
+        thread::scope(|sc| {
+            let sw = Arc::clone(&s);
+            sc.spawn(move || {
+                for k in 1..=3000u64 {
+                    sw.update(0, k);
+                }
+            });
+            let sr = Arc::clone(&s);
+            sc.spawn(move || {
+                let mut last = 0u64;
+                let mut successes = 0u32;
+                for _ in 0..3000 {
+                    if let Some(v) = sr.try_scan(3) {
+                        assert!(v[0] >= last, "scan regressed");
+                        last = v[0];
+                        successes += 1;
+                    }
+                }
+                // Not asserted > 0: the obstruction-free scan may fail
+                // throughout — that is its documented weakness.
+                let _ = successes;
+            });
+        });
+    }
+
+    #[test]
+    fn tas_single_winner_under_contention() {
+        let t = Arc::new(TestAndSet::new());
+        let wins: usize = thread::scope(|sc| {
+            (0..8)
+                .map(|_| {
+                    let t = Arc::clone(&t);
+                    sc.spawn(move || usize::from(t.test_and_set()))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(wins, 1);
+        assert!(t.is_set());
+    }
+
+    #[test]
+    fn cas_consensus_agreement_validity() {
+        let c = Arc::new(CasConsensus::new());
+        let decisions: Vec<u64> = thread::scope(|sc| {
+            (0..8u64)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    sc.spawn(move || c.propose(i + 100))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let first = decisions[0];
+        assert!(decisions.iter().all(|&d| d == first), "agreement");
+        assert!((100..108).contains(&first), "validity");
+        assert_eq!(c.decided(), Some(first));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn cas_consensus_rejects_sentinel() {
+        CasConsensus::new().propose(u64::MAX);
+    }
+
+    #[test]
+    fn cas_consensus_undecided_probe() {
+        let c = CasConsensus::new();
+        assert_eq!(c.decided(), None);
+    }
+}

@@ -1,0 +1,270 @@
+//! Exhaustive schedule exploration — bounded model checking for the
+//! agreement protocols (loom-style, but over the model world's virtual
+//! processes).
+//!
+//! A model-world run is fully determined by its *choice vector*: at the
+//! `i`-th scheduling decision the scheduler picks `alive[c_i % alive.len()]`
+//! ([`Schedule::Indexed`]). Because process bodies are deterministic, the
+//! branch degree at each decision (`alive.len()`) is a function of the
+//! prefix of choices — so the space of schedules forms a finitely-branching
+//! tree that can be enumerated without state snapshots: run, read off the
+//! recorded branch degrees, increment the deepest incrementable choice
+//! ("odometer" DFS), re-run.
+//!
+//! Crash patterns compose orthogonally: crash plans are expressed per
+//! victim's own step count ([`Crashes::AtOwnStep`]), which is schedule
+//! independent, so exhausting `(victim, step)` pairs × schedules covers
+//! every placement of a crash in every interleaving.
+//!
+//! Use **bounded** process bodies (no unbounded busy-wait loops): a
+//! spinning process makes the schedule tree infinite. The agreement
+//! protocols are verified with propose sequences plus a fixed number of
+//! polls — safety (agreement, validity) is exhaustively checked on every
+//! interleaving of the proposes.
+
+use crate::model_world::{Body, ModelWorld, RunConfig, RunReport};
+use crate::sched::{Crashes, Schedule};
+
+/// Bounds for an exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Maximum number of runs before giving up (incomplete exploration).
+    pub max_runs: u64,
+    /// Step budget per run (guards against accidental unbounded bodies).
+    pub max_steps: u64,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits { max_runs: 100_000, max_steps: 10_000 }
+    }
+}
+
+/// Result of an exploration.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// Number of schedules executed.
+    pub runs: u64,
+    /// Whether the whole schedule tree was exhausted within the limits.
+    pub complete: bool,
+    /// The first violation found: the choice vector reproducing it and the
+    /// checker's message.
+    pub violation: Option<(Vec<usize>, String)>,
+    /// Deepest schedule length seen.
+    pub max_depth: usize,
+}
+
+impl ExploreOutcome {
+    /// Panics with a reproduction recipe if a violation was found.
+    ///
+    /// # Panics
+    ///
+    /// If [`ExploreOutcome::violation`] is `Some`.
+    pub fn assert_no_violation(&self) {
+        if let Some((choices, msg)) = &self.violation {
+            panic!(
+                "exploration found a violating schedule: {msg}\n  reproduce with Schedule::Indexed {{ choices: vec!{choices:?} }}"
+            );
+        }
+    }
+}
+
+/// Exhaustively explores every schedule of the processes produced by
+/// `make_bodies` (re-invoked per run — bodies must be deterministic),
+/// running `check` on every completed run.
+///
+/// Stops early at the first violation or when `limits.max_runs` is hit.
+pub fn explore<F, C>(
+    n: usize,
+    crashes: Crashes,
+    limits: ExploreLimits,
+    make_bodies: F,
+    check: C,
+) -> ExploreOutcome
+where
+    F: Fn() -> Vec<Body>,
+    C: Fn(&RunReport) -> Result<(), String>,
+{
+    let mut choices: Vec<usize> = Vec::new();
+    let mut runs = 0u64;
+    let mut max_depth = 0usize;
+    loop {
+        if runs >= limits.max_runs {
+            return ExploreOutcome { runs, complete: false, violation: None, max_depth };
+        }
+        let cfg = RunConfig::new(n)
+            .schedule(Schedule::Indexed { choices: choices.clone() })
+            .crashes(crashes.clone())
+            .max_steps(limits.max_steps)
+            .record_branching(true);
+        let report = ModelWorld::run(cfg, make_bodies());
+        runs += 1;
+        let branching = report
+            .branching
+            .clone()
+            .expect("branching recording was requested");
+        max_depth = max_depth.max(branching.len());
+        if let Err(msg) = check(&report) {
+            // Normalize the reproducing vector to the run's actual depth.
+            let mut repro = choices.clone();
+            repro.resize(branching.len(), 0);
+            return ExploreOutcome {
+                runs,
+                complete: false,
+                violation: Some((repro, msg)),
+                max_depth,
+            };
+        }
+        // Odometer step: extend to the run's depth with implicit zeros,
+        // then increment the deepest position with siblings left.
+        let depth = branching.len();
+        choices.resize(depth, 0);
+        let mut advanced = false;
+        for i in (0..depth).rev() {
+            if choices[i] + 1 < branching[i] {
+                choices[i] += 1;
+                choices.truncate(i + 1);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return ExploreOutcome { runs, complete: true, violation: None, max_depth };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{Env, ObjKey};
+
+    const REG: ObjKey = ObjKey::new(60, 0, 0);
+    const TAS: ObjKey = ObjKey::new(61, 0, 0);
+
+    fn tas_bodies() -> Vec<Body> {
+        (0..2)
+            .map(|_| {
+                Box::new(move |env: Env<ModelWorld>| u64::from(env.tas(TAS))) as Body
+            })
+            .collect()
+    }
+
+    #[test]
+    fn explores_all_interleavings_of_two_single_step_processes() {
+        // Two processes, one step each: exactly 2 schedules (AB, BA).
+        let out = explore(
+            2,
+            Crashes::None,
+            ExploreLimits::default(),
+            tas_bodies,
+            |report| {
+                let wins: u64 = report.decided_values().iter().sum();
+                (wins == 1).then_some(()).ok_or_else(|| format!("{wins} winners"))
+            },
+        );
+        assert!(out.complete);
+        assert!(out.violation.is_none());
+        assert_eq!(out.runs, 2);
+        assert_eq!(out.max_depth, 2);
+    }
+
+    #[test]
+    fn finds_a_violation_and_reports_the_schedule() {
+        // A deliberately broken invariant: "process 1 always wins the
+        // test&set" fails exactly on schedules where 0 runs first.
+        let out = explore(
+            2,
+            Crashes::None,
+            ExploreLimits::default(),
+            tas_bodies,
+            |report| match report.outcomes[1].decided() {
+                Some(1) => Ok(()),
+                other => Err(format!("p1 got {other:?}")),
+            },
+        );
+        let (choices, _msg) = out.violation.expect("violation must be found");
+        // Reproduce it.
+        let cfg = RunConfig::new(2).schedule(Schedule::Indexed { choices });
+        let report = ModelWorld::run(cfg, tas_bodies());
+        assert_eq!(report.outcomes[1].decided(), Some(0));
+    }
+
+    #[test]
+    fn schedule_count_matches_interleaving_combinatorics() {
+        // Two processes with 2 steps each: C(4,2) = 6 interleavings.
+        let bodies = || {
+            (0..2)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        env.reg_write(ObjKey::new(62, i, 0), 1u64);
+                        env.reg_write(ObjKey::new(62, i, 1), 2u64);
+                        i
+                    }) as Body
+                })
+                .collect()
+        };
+        let out = explore(2, Crashes::None, ExploreLimits::default(), bodies, |_r| Ok(()));
+        assert!(out.complete);
+        assert_eq!(out.runs, 6);
+    }
+
+    #[test]
+    fn three_processes_one_step_each_gives_six_orders() {
+        let bodies = || {
+            (0..3)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        env.reg_write(REG.with_b(i), 1u64);
+                        i
+                    }) as Body
+                })
+                .collect()
+        };
+        let out = explore(3, Crashes::None, ExploreLimits::default(), bodies, |_r| Ok(()));
+        assert!(out.complete);
+        assert_eq!(out.runs, 6, "3! orders");
+    }
+
+    #[test]
+    fn run_limit_reports_incomplete() {
+        let out = explore(
+            2,
+            Crashes::None,
+            ExploreLimits { max_runs: 3, max_steps: 100 },
+            || {
+                (0..2)
+                    .map(|i| {
+                        Box::new(move |env: Env<ModelWorld>| {
+                            for b in 0..3 {
+                                env.reg_write(ObjKey::new(63, i, b), b);
+                            }
+                            i
+                        }) as Body
+                    })
+                    .collect()
+            },
+            |_r| Ok(()),
+        );
+        assert!(!out.complete);
+        assert_eq!(out.runs, 3);
+    }
+
+    #[test]
+    fn crash_plans_compose_with_exploration() {
+        // Crash p0 before its only step, in every schedule: p1 must then
+        // always win the test&set.
+        let out = explore(
+            2,
+            Crashes::AtOwnStep(vec![(0, 0)]),
+            ExploreLimits::default(),
+            tas_bodies,
+            |report| match report.outcomes[1].decided() {
+                Some(1) => Ok(()),
+                other => Err(format!("p1 got {other:?}")),
+            },
+        );
+        assert!(out.complete, "exploration finishes");
+        out.assert_no_violation();
+    }
+}

@@ -1,0 +1,889 @@
+//! The deterministic, crash-injecting model world.
+//!
+//! [`ModelWorld`] executes a set of virtual processes — arbitrary Rust
+//! closures over [`Env`] — under a *step gate*: every shared-memory
+//! operation first waits for a grant from the scheduler, which issues one
+//! grant at a time. Consequences:
+//!
+//! * every operation is an atomic step (linearizability by construction),
+//!   matching the paper's model where processes "execute a sequence of
+//!   atomic steps";
+//! * runs are **deterministic**: given the same [`RunConfig`] (schedule
+//!   seed, crash policy) and the same process bodies, the step trace and
+//!   all outcomes are identical;
+//! * crashes are delivered *instead of* a process's next step, i.e. between
+//!   two shared accesses — so a crash can land in the middle of a
+//!   multi-step protocol (e.g. inside `sa_propose`), which is precisely the
+//!   failure mode the BG-style simulations must tolerate.
+//!
+//! Processes signal decision by returning a `u64` from their body. A run
+//! ends when every process has returned or crashed, or when the step budget
+//! is exhausted (remaining processes are reported [`Outcome::Undecided`] —
+//! used by the boundary experiments to detect forever-blocked simulations).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::sched::{CrashState, Crashes, Schedule, ScheduleState};
+use crate::world::{Env, MemVal, ObjKey, Pid, Stored, World};
+
+/// Panic payload used to unwind a crashed virtual process.
+struct CrashSignal;
+
+/// Silences the default panic report for crash-signal unwinds (they are
+/// the *intended* crash mechanism, not errors); all other panics keep the
+/// previous hook.
+fn install_crash_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// How long the scheduler waits for a granted process to complete one step
+/// before declaring the harness wedged (indicates a bug in a process body,
+/// e.g. an infinite local loop that never touches shared memory).
+const STEP_GRANT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Final status of one virtual process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The process returned (decided) this value.
+    Decided(u64),
+    /// The process was crashed by the adversary.
+    Crashed,
+    /// The process was still running when the step budget ran out
+    /// (blocked forever, or simply starved).
+    Undecided,
+}
+
+impl Outcome {
+    /// The decided value, if any.
+    pub fn decided(&self) -> Option<u64> {
+        match self {
+            Outcome::Decided(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Result of a [`ModelWorld::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-process outcome, indexed by [`Pid`].
+    pub outcomes: Vec<Outcome>,
+    /// Total completed shared-memory steps.
+    pub steps: u64,
+    /// `true` if the step budget was exhausted before every process
+    /// finished or crashed.
+    pub timed_out: bool,
+    /// The schedule of completed steps, if requested via
+    /// [`RunConfig::record_trace`].
+    pub trace: Option<Vec<Pid>>,
+    /// The number of alive processes at each scheduling decision (pick), if
+    /// requested via [`RunConfig::record_branching`]. This is the branch
+    /// degree the exhaustive explorer ([`crate::explore`]) uses to
+    /// enumerate sibling schedules; its length counts *picks* (including
+    /// crash deliveries and withdrawn grants), not completed steps.
+    pub branching: Option<Vec<usize>>,
+    /// Completed shared-memory operations per object-kind namespace —
+    /// the cost breakdown of a run (e.g. how many steps went to the BG
+    /// simulation's input agreements vs. snapshot agreements vs. `MEM`).
+    /// Sorted by kind for stable output.
+    pub ops_by_kind: Vec<(u32, u64)>,
+}
+
+impl RunReport {
+    /// Values decided by processes that finished.
+    pub fn decided_values(&self) -> Vec<u64> {
+        self.outcomes.iter().filter_map(Outcome::decided).collect()
+    }
+
+    /// Pids crashed by the adversary.
+    pub fn crashed_pids(&self) -> Vec<Pid> {
+        self.pids_with(|o| matches!(o, Outcome::Crashed))
+    }
+
+    /// Pids that neither decided nor crashed (blocked/starved at timeout).
+    pub fn undecided_pids(&self) -> Vec<Pid> {
+        self.pids_with(|o| matches!(o, Outcome::Undecided))
+    }
+
+    /// Completed operations on object kind `kind` (0 if none).
+    pub fn ops_on_kind(&self, kind: u32) -> u64 {
+        self.ops_by_kind
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// `true` iff every non-crashed process decided.
+    pub fn all_correct_decided(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| !matches!(o, Outcome::Undecided))
+    }
+
+    /// Number of distinct decided values.
+    pub fn distinct_decisions(&self) -> usize {
+        let mut v = self.decided_values();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    fn pids_with(&self, f: impl Fn(&Outcome) -> bool) -> Vec<Pid> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| f(o))
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+/// Configuration of one model-world run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    n: usize,
+    schedule: Schedule,
+    crashes: Crashes,
+    max_steps: u64,
+    record_trace: bool,
+    record_branching: bool,
+}
+
+impl RunConfig {
+    /// A run of `n` processes with the default schedule (seeded random),
+    /// no crashes, and a 2-million-step budget.
+    pub fn new(n: usize) -> Self {
+        RunConfig {
+            n,
+            schedule: Schedule::default(),
+            crashes: Crashes::None,
+            max_steps: 2_000_000,
+            record_trace: false,
+            record_branching: false,
+        }
+    }
+
+    /// Sets the scheduling policy.
+    pub fn schedule(mut self, s: Schedule) -> Self {
+        self.schedule = s;
+        self
+    }
+
+    /// Sets the crash adversary.
+    pub fn crashes(mut self, c: Crashes) -> Self {
+        self.crashes = c;
+        self
+    }
+
+    /// Sets the step budget.
+    pub fn max_steps(mut self, m: u64) -> Self {
+        self.max_steps = m;
+        self
+    }
+
+    /// Records the step trace into the report (for determinism tests).
+    pub fn record_trace(mut self, yes: bool) -> Self {
+        self.record_trace = yes;
+        self
+    }
+
+    /// Records the branch degree of every scheduling decision (for the
+    /// exhaustive explorer).
+    pub fn record_branching(mut self, yes: bool) -> Self {
+        self.record_branching = yes;
+        self
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// A process body: runs with an [`Env`] handle and returns its decision.
+pub type Body = Box<dyn FnOnce(Env<ModelWorld>) -> u64 + Send>;
+
+#[derive(Debug)]
+enum Object {
+    Register(Option<Stored>),
+    Snapshot(Vec<Option<Stored>>),
+    Tas(bool),
+    XCons { ports: Vec<Pid>, decided: Option<Stored> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Permit {
+    Idle,
+    Granted,
+    Crash,
+}
+
+struct State {
+    permits: Vec<Permit>,
+    op_done: bool,
+    /// Process is parked at its gate, ready to take a granted step. The
+    /// scheduler only picks among *settled* processes (waiting, finished or
+    /// crashed), which makes the alive set — and hence branch degrees and
+    /// traces — deterministic instead of racing with finish recording.
+    waiting: Vec<bool>,
+    finished: Vec<bool>,
+    crashed: Vec<bool>,
+    /// Crashes caused by the adversary (as opposed to the end-of-run sweep
+    /// that unwinds blocked processes after a timeout).
+    adversary_crash: Vec<bool>,
+    results: Vec<Option<u64>>,
+    failures: Vec<(Pid, String)>,
+    objects: HashMap<ObjKey, Object>,
+    op_counts: HashMap<u32, u64>,
+    own_steps: Vec<u64>,
+    trace: Vec<Pid>,
+    /// Free mode: no scheduler; every op proceeds immediately (used for
+    /// direct unit tests of object semantics).
+    free: bool,
+}
+
+struct Inner {
+    st: Mutex<State>,
+    proc_cvs: Vec<Condvar>,
+    sched_cv: Condvar,
+}
+
+/// The deterministic gated world. Cheap to clone (shared handle).
+///
+/// See the [module docs](self) for the execution model, and
+/// [`ModelWorld::run`] for the entry point.
+#[derive(Clone)]
+pub struct ModelWorld {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ModelWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.st.lock();
+        f.debug_struct("ModelWorld")
+            .field("n", &st.permits.len())
+            .field("objects", &st.objects.len())
+            .field("free", &st.free)
+            .finish()
+    }
+}
+
+impl ModelWorld {
+    fn new(n: usize, free: bool) -> Self {
+        let st = State {
+            permits: vec![Permit::Idle; n],
+            op_done: false,
+            waiting: vec![false; n],
+            finished: vec![false; n],
+            crashed: vec![false; n],
+            adversary_crash: vec![false; n],
+            results: vec![None; n],
+            failures: Vec::new(),
+            objects: HashMap::new(),
+            op_counts: HashMap::new(),
+            own_steps: vec![0; n],
+            trace: Vec::new(),
+            free,
+        };
+        ModelWorld {
+            inner: Arc::new(Inner {
+                st: Mutex::new(st),
+                proc_cvs: (0..n).map(|_| Condvar::new()).collect(),
+                sched_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// A world with no scheduler: every operation proceeds immediately.
+    ///
+    /// Only for single-threaded unit tests of object semantics; concurrent
+    /// use would be linearizable (each op still runs under the world lock)
+    /// but not deterministic.
+    pub fn new_free(n: usize) -> Self {
+        ModelWorld::new(n, true)
+    }
+
+    /// Runs `bodies` (one per process) to completion under `cfg`.
+    ///
+    /// Returns when every process has decided or crashed, or when the step
+    /// budget is exhausted (then the remaining processes are reported
+    /// [`Outcome::Undecided`] and [`RunReport::timed_out`] is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies.len() != cfg.n()`, or if any process body panics
+    /// with anything other than the internal crash signal (i.e. a real bug
+    /// in an algorithm under test).
+    pub fn run(cfg: RunConfig, bodies: Vec<Body>) -> RunReport {
+        assert_eq!(bodies.len(), cfg.n(), "one body per process required");
+        install_crash_hook();
+        let n = cfg.n();
+        let world = ModelWorld::new(n, false);
+        let mut sched = ScheduleState::new(cfg.schedule.clone());
+        let mut crash = CrashState::new(cfg.crashes.clone());
+
+        let handles: Vec<_> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(pid, body)| {
+                let w = world.clone();
+                std::thread::Builder::new()
+                    .name(format!("mpcn-proc-{pid}"))
+                    .spawn(move || w.drive(pid, body))
+                    .expect("spawn virtual process thread")
+            })
+            .collect();
+
+        let mut steps: u64 = 0;
+        let mut timed_out = false;
+        let mut branching: Vec<usize> = Vec::new();
+        loop {
+            let alive: Vec<Pid> = {
+                // Wait until every process is settled (parked at its gate,
+                // finished, or crashed): the alive set is then a pure
+                // function of the schedule prefix, so runs are replayable.
+                let mut st = world.inner.st.lock();
+                loop {
+                    let settled = (0..n)
+                        .all(|p| st.waiting[p] || st.finished[p] || st.crashed[p]);
+                    if settled {
+                        break;
+                    }
+                    if world
+                        .inner
+                        .sched_cv
+                        .wait_for(&mut st, STEP_GRANT_TIMEOUT)
+                        .timed_out()
+                    {
+                        panic!(
+                            "a virtual process did not settle within {STEP_GRANT_TIMEOUT:?} (runaway local loop?)"
+                        );
+                    }
+                }
+                (0..n).filter(|&p| !st.finished[p] && !st.crashed[p]).collect()
+            };
+            if alive.is_empty() {
+                break;
+            }
+            if steps >= cfg.max_steps {
+                timed_out = true;
+                for p in alive {
+                    world.deliver_crash(p);
+                }
+                break;
+            }
+            if cfg.record_branching {
+                branching.push(alive.len());
+            }
+            let pid = sched.pick(&alive);
+            let own = { world.inner.st.lock().own_steps[pid] };
+            if crash.should_crash(pid, own) {
+                world.inner.st.lock().adversary_crash[pid] = true;
+                world.deliver_crash(pid);
+            } else if world.grant(pid, cfg.record_trace) {
+                steps += 1;
+            }
+        }
+
+        for h in handles {
+            h.join().expect("virtual process thread never panics (crashes are caught)");
+        }
+
+        let mut st = world.inner.st.lock();
+        if let Some((pid, msg)) = st.failures.first() {
+            panic!("virtual process {pid} failed: {msg}");
+        }
+        let outcomes = (0..n)
+            .map(|p| {
+                if let Some(v) = st.results[p] {
+                    Outcome::Decided(v)
+                } else if st.adversary_crash[p] {
+                    Outcome::Crashed
+                } else {
+                    // Unwound by the timeout sweep: blocked or starved.
+                    Outcome::Undecided
+                }
+            })
+            .collect();
+        let mut ops_by_kind: Vec<(u32, u64)> =
+            st.op_counts.iter().map(|(&k, &c)| (k, c)).collect();
+        ops_by_kind.sort_unstable();
+        RunReport {
+            outcomes,
+            steps,
+            timed_out,
+            trace: cfg.record_trace.then(|| std::mem::take(&mut st.trace)),
+            branching: cfg.record_branching.then_some(branching),
+            ops_by_kind,
+        }
+    }
+
+    /// Thread body for one virtual process.
+    fn drive(&self, pid: Pid, body: Body) {
+        let env = Env::new(self.clone(), pid);
+        let result = catch_unwind(AssertUnwindSafe(move || body(env)));
+        let mut st = self.inner.st.lock();
+        match result {
+            Ok(v) => {
+                st.finished[pid] = true;
+                st.results[pid] = Some(v);
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<CrashSignal>().is_some() {
+                    st.crashed[pid] = true;
+                } else {
+                    let msg = panic_message(payload.as_ref());
+                    st.failures.push((pid, msg));
+                    st.crashed[pid] = true;
+                }
+            }
+        }
+        self.inner.sched_cv.notify_one();
+    }
+
+    /// Grants one step to `pid`; returns `true` if a step was completed
+    /// (`false` if the process finished or crashed while granted).
+    fn grant(&self, pid: Pid, record_trace: bool) -> bool {
+        let mut st = self.inner.st.lock();
+        st.permits[pid] = Permit::Granted;
+        self.inner.proc_cvs[pid].notify_one();
+        loop {
+            if st.op_done {
+                st.op_done = false;
+                st.own_steps[pid] += 1;
+                if record_trace {
+                    st.trace.push(pid);
+                }
+                return true;
+            }
+            if st.finished[pid] || st.crashed[pid] {
+                st.permits[pid] = Permit::Idle;
+                return false;
+            }
+            if self
+                .inner
+                .sched_cv
+                .wait_for(&mut st, STEP_GRANT_TIMEOUT)
+                .timed_out()
+            {
+                panic!("virtual process {pid} did not take its granted step within {STEP_GRANT_TIMEOUT:?} (runaway local loop?)");
+            }
+        }
+    }
+
+    /// Crashes `pid`: the process unwinds at its next (or pending) gate.
+    fn deliver_crash(&self, pid: Pid) {
+        let mut st = self.inner.st.lock();
+        st.permits[pid] = Permit::Crash;
+        self.inner.proc_cvs[pid].notify_one();
+        while !st.crashed[pid] && !st.finished[pid] {
+            if self
+                .inner
+                .sched_cv
+                .wait_for(&mut st, STEP_GRANT_TIMEOUT)
+                .timed_out()
+            {
+                panic!("virtual process {pid} did not acknowledge crash within {STEP_GRANT_TIMEOUT:?}");
+            }
+        }
+    }
+
+    /// Performs one gated shared-memory step: waits for the scheduler's
+    /// grant, runs `op` on the object map, signals completion, and accounts
+    /// the operation to its object-kind namespace.
+    fn step<R>(&self, pid: Pid, kind: u32, op: impl FnOnce(&mut HashMap<ObjKey, Object>) -> R) -> R {
+        let mut st = self.inner.st.lock();
+        if !st.free {
+            st.waiting[pid] = true;
+            self.inner.sched_cv.notify_one();
+            loop {
+                match st.permits[pid] {
+                    Permit::Granted => {
+                        st.permits[pid] = Permit::Idle;
+                        st.waiting[pid] = false;
+                        break;
+                    }
+                    Permit::Crash => {
+                        st.waiting[pid] = false;
+                        drop(st);
+                        std::panic::panic_any(CrashSignal);
+                    }
+                    Permit::Idle => self.inner.proc_cvs[pid].wait(&mut st),
+                }
+            }
+        }
+        let out = op(&mut st.objects);
+        *st.op_counts.entry(kind).or_insert(0) += 1;
+        if !st.free {
+            st.op_done = true;
+            self.inner.sched_cv.notify_one();
+        }
+        out
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn downcast<T: MemVal>(stored: &Stored, key: ObjKey, what: &str) -> T {
+    stored
+        .downcast_ref::<T>()
+        .unwrap_or_else(|| panic!("type mismatch reading {what} {key}"))
+        .clone()
+}
+
+impl World for ModelWorld {
+    fn reg_write<T: MemVal>(&self, pid: Pid, key: ObjKey, val: T) {
+        self.step(pid, key.kind, |objs| {
+            match objs.entry(key).or_insert(Object::Register(None)) {
+                Object::Register(slot) => *slot = Some(Arc::new(val)),
+                other => panic!("object {key} is not a register: {other:?}"),
+            }
+        });
+    }
+
+    fn reg_read<T: MemVal>(&self, pid: Pid, key: ObjKey) -> Option<T> {
+        self.step(pid, key.kind, |objs| {
+            match objs.entry(key).or_insert(Object::Register(None)) {
+                Object::Register(slot) => slot.as_ref().map(|s| downcast(s, key, "register")),
+                other => panic!("object {key} is not a register: {other:?}"),
+            }
+        })
+    }
+
+    fn snap_write<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize, idx: usize, val: T) {
+        assert!(idx < len, "snapshot cell index {idx} out of range (len {len})");
+        self.step(pid, key.kind, |objs| {
+            match objs.entry(key).or_insert_with(|| Object::Snapshot(vec![None; len])) {
+                Object::Snapshot(cells) => {
+                    assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
+                    cells[idx] = Some(Arc::new(val));
+                }
+                other => panic!("object {key} is not a snapshot object: {other:?}"),
+            }
+        });
+    }
+
+    fn snap_scan<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize) -> Vec<Option<T>> {
+        self.step(pid, key.kind, |objs| {
+            match objs.entry(key).or_insert_with(|| Object::Snapshot(vec![None; len])) {
+                Object::Snapshot(cells) => {
+                    assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
+                    cells
+                        .iter()
+                        .map(|c| c.as_ref().map(|s| downcast(s, key, "snapshot cell")))
+                        .collect()
+                }
+                other => panic!("object {key} is not a snapshot object: {other:?}"),
+            }
+        })
+    }
+
+    fn tas(&self, pid: Pid, key: ObjKey) -> bool {
+        self.step(pid, key.kind, |objs| {
+            match objs.entry(key).or_insert(Object::Tas(false)) {
+                Object::Tas(taken) => {
+                    let won = !*taken;
+                    *taken = true;
+                    won
+                }
+                other => panic!("object {key} is not a test&set object: {other:?}"),
+            }
+        })
+    }
+
+    fn xcons_propose<T: MemVal>(&self, pid: Pid, key: ObjKey, ports: &[Pid], val: T) -> T {
+        assert!(
+            ports.contains(&pid),
+            "process {pid} is not a port of consensus object {key} (ports {ports:?})"
+        );
+        self.step(pid, key.kind, |objs| {
+            match objs
+                .entry(key)
+                .or_insert_with(|| Object::XCons { ports: ports.to_vec(), decided: None })
+            {
+                Object::XCons { ports: stored_ports, decided } => {
+                    assert_eq!(
+                        stored_ports, ports,
+                        "consensus object {key} accessed with inconsistent port sets"
+                    );
+                    let d = decided.get_or_insert_with(|| Arc::new(val));
+                    downcast(d, key, "consensus object")
+                }
+                other => panic!("object {key} is not a consensus object: {other:?}"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Crashes, Schedule};
+
+    fn body(f: impl FnOnce(Env<ModelWorld>) -> u64 + Send + 'static) -> Body {
+        Box::new(f)
+    }
+
+    const REG: ObjKey = ObjKey::new(1, 0, 0);
+    const SNAP: ObjKey = ObjKey::new(2, 0, 0);
+    const TAS: ObjKey = ObjKey::new(3, 0, 0);
+    const CONS: ObjKey = ObjKey::new(4, 0, 0);
+
+    #[test]
+    fn free_world_register_semantics() {
+        let w = ModelWorld::new_free(1);
+        assert_eq!(w.reg_read::<u64>(0, REG), None);
+        w.reg_write(0, REG, 17u64);
+        assert_eq!(w.reg_read::<u64>(0, REG), Some(17));
+        w.reg_write(0, REG, 18u64);
+        assert_eq!(w.reg_read::<u64>(0, REG), Some(18));
+    }
+
+    #[test]
+    fn free_world_snapshot_semantics() {
+        let w = ModelWorld::new_free(2);
+        assert_eq!(w.snap_scan::<u64>(0, SNAP, 3), vec![None, None, None]);
+        w.snap_write(0, SNAP, 3, 0, 5u64);
+        w.snap_write(1, SNAP, 3, 2, 7u64);
+        assert_eq!(w.snap_scan::<u64>(1, SNAP, 3), vec![Some(5), None, Some(7)]);
+    }
+
+    #[test]
+    fn free_world_tas_once() {
+        let w = ModelWorld::new_free(2);
+        assert!(w.tas(0, TAS));
+        assert!(!w.tas(1, TAS));
+        assert!(!w.tas(0, TAS));
+    }
+
+    #[test]
+    fn free_world_xcons_agreement_and_ports() {
+        let w = ModelWorld::new_free(3);
+        let ports = vec![0usize, 2];
+        assert_eq!(w.xcons_propose(0, CONS, &ports, 40u64), 40);
+        assert_eq!(w.xcons_propose(2, CONS, &ports, 41u64), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a port")]
+    fn xcons_rejects_non_port() {
+        let w = ModelWorld::new_free(3);
+        w.xcons_propose(1, CONS, &[0, 2], 1u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent port sets")]
+    fn xcons_rejects_port_mutation() {
+        let w = ModelWorld::new_free(3);
+        w.xcons_propose(0, CONS, &[0, 2], 1u64);
+        w.xcons_propose(1, CONS, &[0, 1], 2u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn register_type_mismatch_panics() {
+        let w = ModelWorld::new_free(1);
+        w.reg_write(0, REG, 1u64);
+        let _: Option<String> = w.reg_read(0, REG);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a register")]
+    fn object_kind_mismatch_panics() {
+        let w = ModelWorld::new_free(1);
+        w.tas(0, REG);
+        w.reg_write(0, REG, 1u64);
+    }
+
+    #[test]
+    fn scheduled_run_all_decide() {
+        let cfg = RunConfig::new(3).schedule(Schedule::RandomSeed(1));
+        let bodies = (0..3)
+            .map(|i| {
+                body(move |env| {
+                    env.reg_write(ObjKey::new(10, i, 0), i);
+                    env.reg_read::<u64>(ObjKey::new(10, i, 0)).unwrap()
+                })
+            })
+            .collect();
+        let report = ModelWorld::run(cfg, bodies);
+        assert_eq!(report.decided_values().len(), 3);
+        assert!(report.all_correct_decided());
+        assert!(!report.timed_out);
+        assert_eq!(report.steps, 6);
+    }
+
+    #[test]
+    fn scheduled_tas_exactly_one_winner() {
+        for seed in 0..20 {
+            let cfg = RunConfig::new(4).schedule(Schedule::RandomSeed(seed));
+            let bodies = (0..4).map(|_| body(move |env| u64::from(env.tas(TAS)))).collect();
+            let report = ModelWorld::run(cfg, bodies);
+            assert_eq!(report.decided_values().iter().sum::<u64>(), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_traces() {
+        let run = |seed| {
+            let cfg = RunConfig::new(3)
+                .schedule(Schedule::RandomSeed(seed))
+                .record_trace(true);
+            let bodies = (0..3)
+                .map(|i| {
+                    body(move |env| {
+                        for r in 0..5u64 {
+                            env.snap_write(SNAP, 3, i as usize, r);
+                            env.snap_scan::<u64>(SNAP, 3);
+                        }
+                        i
+                    })
+                })
+                .collect();
+            ModelWorld::run(cfg, bodies).trace.unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn crash_at_own_step_is_honored() {
+        // Process 0 is crashed before its second op; it never decides.
+        let cfg = RunConfig::new(2)
+            .schedule(Schedule::RoundRobin)
+            .crashes(Crashes::AtOwnStep(vec![(0, 1)]));
+        let bodies = (0..2)
+            .map(|i| {
+                body(move |env| {
+                    env.reg_write(REG, i);
+                    env.reg_write(REG, i + 10);
+                    i
+                })
+            })
+            .collect();
+        let report = ModelWorld::run(cfg, bodies);
+        assert_eq!(report.outcomes[0], Outcome::Crashed);
+        assert_eq!(report.outcomes[1], Outcome::Decided(1));
+    }
+
+    #[test]
+    fn blocked_process_reports_undecided_on_timeout() {
+        // Process 1 spins until REG is written, but process 0 crashes before
+        // writing: the run times out and 1 is Undecided.
+        let cfg = RunConfig::new(2)
+            .schedule(Schedule::RandomSeed(2))
+            .crashes(Crashes::AtOwnStep(vec![(0, 0)]))
+            .max_steps(5_000);
+        let bodies: Vec<Body> = vec![
+            body(|env| {
+                env.reg_write(REG, 1u64);
+                0
+            }),
+            body(|env| loop {
+                if let Some(v) = env.reg_read::<u64>(REG) {
+                    return v;
+                }
+            }),
+        ];
+        let report = ModelWorld::run(cfg, bodies);
+        assert!(report.timed_out);
+        assert_eq!(report.outcomes[0], Outcome::Crashed);
+        assert_eq!(report.outcomes[1], Outcome::Undecided);
+        assert!(!report.all_correct_decided());
+    }
+
+    #[test]
+    fn spin_wait_completes_without_crash() {
+        // Same as above but no crash: the spinner is eventually satisfied.
+        let cfg = RunConfig::new(2).schedule(Schedule::RandomSeed(3));
+        let bodies: Vec<Body> = vec![
+            body(|env| {
+                env.reg_write(REG, 42u64);
+                0
+            }),
+            body(|env| loop {
+                if let Some(v) = env.reg_read::<u64>(REG) {
+                    return v;
+                }
+            }),
+        ];
+        let report = ModelWorld::run(cfg, bodies);
+        assert_eq!(report.outcomes[1], Outcome::Decided(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual process 0 failed")]
+    fn algorithm_bug_panics_surface() {
+        let cfg = RunConfig::new(1);
+        let bodies: Vec<Body> = vec![body(|_env| panic!("algorithm bug"))];
+        ModelWorld::run(cfg, bodies);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let report = RunReport {
+            outcomes: vec![Outcome::Decided(3), Outcome::Crashed, Outcome::Undecided, Outcome::Decided(3)],
+            steps: 10,
+            timed_out: true,
+            trace: None,
+            branching: None,
+            ops_by_kind: vec![],
+        };
+        assert_eq!(report.decided_values(), vec![3, 3]);
+        assert_eq!(report.crashed_pids(), vec![1]);
+        assert_eq!(report.undecided_pids(), vec![2]);
+        assert_eq!(report.distinct_decisions(), 1);
+        assert!(!report.all_correct_decided());
+    }
+
+    #[test]
+    fn snapshot_scan_is_one_atomic_step() {
+        // A scan never observes a torn pair of writes: writer alternates
+        // writing (k, k) into two cells via two ops — scans may see cells
+        // differing by at most one step. With gating, each scan sees some
+        // prefix of the writer's history.
+        let cfg = RunConfig::new(2).schedule(Schedule::RandomSeed(11));
+        let bodies: Vec<Body> = vec![
+            body(|env| {
+                for k in 0..50u64 {
+                    env.snap_write(SNAP, 2, 0, k);
+                    env.snap_write(SNAP, 2, 1, k);
+                }
+                0
+            }),
+            body(|env| {
+                for _ in 0..30 {
+                    let v = env.snap_scan::<u64>(SNAP, 2);
+                    let a = v[0].unwrap_or(0);
+                    let b = v[1].unwrap_or(0);
+                    assert!(a == b || a == b + 1, "torn snapshot: {a} vs {b}");
+                }
+                1
+            }),
+        ];
+        let report = ModelWorld::run(cfg, bodies);
+        assert!(report.all_correct_decided());
+    }
+}

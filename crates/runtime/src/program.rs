@@ -1,0 +1,204 @@
+//! The coroutine interface of simulated processes (paper Section 2.4).
+//!
+//! "The code of a simulated process `pj` contains invocations of
+//! `mem[j].write()`, of `mem.snapshot()`, and of
+//! `x_cons[a].x_cons_propose()` ... These are the **only** operations used
+//! by the processes `p1, …, pn` to cooperate."
+//!
+//! A [`SimProcess`] is an explicit state machine over exactly those three
+//! operations. Writing algorithms this way lets the same code run
+//! *directly* in a world (see [`crate::runner`]) and *under simulation* by
+//! BG-style simulators (see `mpcn-core`), which is the whole point of the
+//! paper's reductions.
+
+use crate::world::Pid;
+
+/// A shared-memory operation a simulated process may invoke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimOp {
+    /// `mem[j].write(v)` — write the process's own cell of the simulated
+    /// snapshot memory.
+    Write(u64),
+    /// `mem.snapshot()` — atomically read the whole simulated memory.
+    Snapshot,
+    /// `x_cons[a].x_cons_propose(v)` — propose `v` to the `a`-th simulated
+    /// consensus object (the process must be one of its ≤ x ports).
+    XConsPropose {
+        /// Index of the consensus object in the [`XConsLayout`].
+        obj: usize,
+        /// Proposed value.
+        value: u64,
+    },
+}
+
+/// What a simulated process does next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimStep {
+    /// Invoke a shared-memory operation; the process will be resumed with
+    /// the matching [`SimResponse`].
+    Invoke(SimOp),
+    /// Decide (terminate with) this value.
+    Decide(u64),
+}
+
+/// The completion of a [`SimOp`], delivered to [`SimProcess::on_response`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimResponse {
+    /// A [`SimOp::Write`] completed.
+    WriteAck,
+    /// A [`SimOp::Snapshot`] completed with this view (`None` = `⊥`).
+    Snapshot(Vec<Option<u64>>),
+    /// A [`SimOp::XConsPropose`] completed with the object's decision.
+    XConsDecided(u64),
+}
+
+/// A simulated sequential process: a deterministic state machine whose only
+/// interaction with the world is through [`SimOp`]s.
+///
+/// Determinism matters: the BG-style simulations execute *every* simulated
+/// process at *every* simulator, and correctness (Lemma 6) rests on all
+/// simulators observing identical behaviour given identical responses. The
+/// only non-deterministic inputs are the responses themselves, which the
+/// simulation forces to agree via safe agreement.
+pub trait SimProcess: Send {
+    /// First activation; returns the first step.
+    fn begin(&mut self) -> SimStep;
+
+    /// Resumption with the response of the previously invoked operation.
+    ///
+    /// Never called after a [`SimStep::Decide`] has been returned.
+    fn on_response(&mut self, resp: SimResponse) -> SimStep;
+}
+
+/// The static layout of consensus-number-`x` objects available to a
+/// simulated algorithm: object `a` is accessible exactly by `ports[a]`
+/// (the paper: "a given object cannot be accessed by more than `x`
+/// (statically defined) processes").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct XConsLayout {
+    ports: Vec<Vec<Pid>>,
+}
+
+impl XConsLayout {
+    /// A layout with no consensus objects (`x = 1` algorithms).
+    pub fn none() -> Self {
+        XConsLayout { ports: Vec::new() }
+    }
+
+    /// Builds a layout from the port set of each object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation if some object has more
+    /// than `x` ports, an empty port set, duplicate ports, or a port `≥ n`.
+    pub fn new(ports: Vec<Vec<Pid>>, n: usize, x: u32) -> Result<Self, String> {
+        for (a, ps) in ports.iter().enumerate() {
+            if ps.is_empty() {
+                return Err(format!("object {a} has no ports"));
+            }
+            if ps.len() > x as usize {
+                return Err(format!(
+                    "object {a} has {} ports but consensus number is {x}",
+                    ps.len()
+                ));
+            }
+            let mut sorted = ps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != ps.len() {
+                return Err(format!("object {a} has duplicate ports"));
+            }
+            if let Some(&bad) = ps.iter().find(|&&p| p >= n) {
+                return Err(format!("object {a} port {bad} out of range (n = {n})"));
+            }
+        }
+        Ok(XConsLayout { ports })
+    }
+
+    /// Partition layout: processes `0..n` grouped into consecutive chunks
+    /// of at most `x`, one consensus object per chunk. The canonical way an
+    /// `ASM(n, t, x)` algorithm uses its objects (e.g. the group-consensus
+    /// k-set algorithm of `mpcn-tasks`).
+    pub fn partition(n: usize, x: u32) -> Self {
+        let ports = (0..n)
+            .step_by(x as usize)
+            .map(|lo| (lo..(lo + x as usize).min(n)).collect())
+            .collect();
+        XConsLayout { ports }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// `true` if there are no consensus objects.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// Port set of object `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn ports(&self, a: usize) -> &[Pid] {
+        &self.ports[a]
+    }
+
+    /// Index of the object whose port set contains `pid`, scanning in
+    /// object order; `None` if the process owns no object.
+    pub fn object_of(&self, pid: Pid) -> Option<usize> {
+        self.ports.iter().position(|ps| ps.contains(&pid))
+    }
+
+    /// The largest port-set size — the minimal consensus number the
+    /// underlying model must provide.
+    pub fn required_x(&self) -> u32 {
+        self.ports.iter().map(|p| p.len() as u32).max().unwrap_or(1)
+    }
+}
+
+/// A boxed process, as consumed by runners and simulators.
+pub type BoxedProcess = Box<dyn SimProcess>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_validation() {
+        assert!(XConsLayout::new(vec![vec![0, 1]], 3, 2).is_ok());
+        assert!(XConsLayout::new(vec![vec![0, 1, 2]], 3, 2).is_err(), "too many ports");
+        assert!(XConsLayout::new(vec![vec![]], 3, 2).is_err(), "empty ports");
+        assert!(XConsLayout::new(vec![vec![0, 0]], 3, 2).is_err(), "duplicate ports");
+        assert!(XConsLayout::new(vec![vec![0, 3]], 3, 2).is_err(), "port out of range");
+    }
+
+    #[test]
+    fn partition_layout() {
+        let l = XConsLayout::partition(7, 3);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.ports(0), &[0, 1, 2]);
+        assert_eq!(l.ports(1), &[3, 4, 5]);
+        assert_eq!(l.ports(2), &[6]);
+        assert_eq!(l.required_x(), 3);
+        assert_eq!(l.object_of(4), Some(1));
+        assert_eq!(l.object_of(6), Some(2));
+    }
+
+    #[test]
+    fn partition_exact_division() {
+        let l = XConsLayout::partition(6, 2);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.ports(2), &[4, 5]);
+    }
+
+    #[test]
+    fn empty_layout() {
+        let l = XConsLayout::none();
+        assert!(l.is_empty());
+        assert_eq!(l.required_x(), 1);
+        assert_eq!(l.object_of(0), None);
+    }
+}

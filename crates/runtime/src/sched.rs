@@ -1,0 +1,237 @@
+//! Scheduling policies and crash adversaries for the model world.
+//!
+//! The paper's results quantify over *all* asynchronous interleavings and
+//! over *all* crash patterns of at most `t` processes. The model world
+//! executes one interleaving per run; these types choose which one:
+//!
+//! * [`Schedule`] decides which process performs the next shared-memory
+//!   step (seeded random for liveness sampling, scripted prefixes for
+//!   adversarial safety tests);
+//! * [`Crashes`] decides if a chosen process crashes *instead of* taking
+//!   its next step — i.e. crashes land between two shared accesses, the
+//!   exact granularity the BG-style arguments need (a simulator crashing
+//!   after writing `(v, 1)` but before stabilizing blocks that
+//!   safe-agreement object forever).
+
+use crate::world::Pid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which process takes the next step.
+#[derive(Debug, Clone)]
+pub enum Schedule {
+    /// Uniformly random among alive processes, from a seeded RNG
+    /// (deterministic given the seed).
+    RandomSeed(u64),
+    /// Strict rotation among alive processes.
+    RoundRobin,
+    /// Follow `steps` (skipping entries for dead processes), then fall back
+    /// to seeded-random. Used to drive adversarial prefixes, e.g. "let
+    /// simulator 0 enter `sa_propose` and park it there".
+    Scripted {
+        /// The forced schedule prefix.
+        steps: Vec<Pid>,
+        /// Seed for the random tail.
+        then_seed: u64,
+    },
+    /// At step `i`, pick `alive[choices[i] % alive.len()]` (0 beyond the
+    /// end of `choices`). The backbone of the exhaustive explorer
+    /// ([`crate::explore`]): a run is fully determined by its choice
+    /// vector, and the recorded branch degrees tell the explorer how many
+    /// siblings each prefix has.
+    Indexed {
+        /// Index into the alive set per step.
+        choices: Vec<usize>,
+    },
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::RandomSeed(0xC0FFEE)
+    }
+}
+
+pub(crate) struct ScheduleState {
+    policy: Schedule,
+    rng: StdRng,
+    cursor: usize,
+    rr_next: usize,
+}
+
+impl ScheduleState {
+    pub(crate) fn new(policy: Schedule) -> Self {
+        let seed = match &policy {
+            Schedule::RandomSeed(s) => *s,
+            Schedule::Scripted { then_seed, .. } => *then_seed,
+            Schedule::RoundRobin | Schedule::Indexed { .. } => 0,
+        };
+        ScheduleState { policy, rng: StdRng::seed_from_u64(seed), cursor: 0, rr_next: 0 }
+    }
+
+    /// Picks the next process among `alive` (non-empty).
+    pub(crate) fn pick(&mut self, alive: &[Pid]) -> Pid {
+        debug_assert!(!alive.is_empty());
+        match &self.policy {
+            Schedule::RandomSeed(_) => alive[self.rng.gen_range(0..alive.len())],
+            Schedule::RoundRobin => {
+                // Find the first alive pid at or after rr_next, cyclically.
+                let max = alive.iter().copied().max().unwrap();
+                for off in 0..=max + 1 {
+                    let cand = (self.rr_next + off) % (max + 1);
+                    if alive.contains(&cand) {
+                        self.rr_next = cand + 1;
+                        return cand;
+                    }
+                }
+                alive[0]
+            }
+            Schedule::Scripted { steps, .. } => {
+                while self.cursor < steps.len() {
+                    let cand = steps[self.cursor];
+                    self.cursor += 1;
+                    if alive.contains(&cand) {
+                        return cand;
+                    }
+                }
+                alive[self.rng.gen_range(0..alive.len())]
+            }
+            Schedule::Indexed { choices } => {
+                let idx = choices.get(self.cursor).copied().unwrap_or(0);
+                self.cursor += 1;
+                alive[idx % alive.len()]
+            }
+        }
+    }
+}
+
+/// Whether (and when) processes crash.
+#[derive(Debug, Clone, Default)]
+pub enum Crashes {
+    /// No process ever crashes.
+    #[default]
+    None,
+    /// Crash process `pid` right before it would take its `step`-th
+    /// (0-based, counted per-process) shared-memory step. The adversarial
+    /// workhorse: `(q, 3)` kills simulator `q` exactly after its third
+    /// shared access — e.g. in the middle of a `sa_propose` sequence.
+    AtOwnStep(Vec<(Pid, u64)>),
+    /// Each time a process is granted a step, crash it instead with
+    /// probability `p`, up to `max` total crashes. Deterministic given
+    /// `seed`.
+    Random {
+        /// RNG seed.
+        seed: u64,
+        /// Per-grant crash probability.
+        p: f64,
+        /// Maximum number of crashes (the model's `t`).
+        max: usize,
+    },
+}
+
+pub(crate) struct CrashState {
+    policy: Crashes,
+    rng: StdRng,
+    crashes_so_far: usize,
+}
+
+impl CrashState {
+    pub(crate) fn new(policy: Crashes) -> Self {
+        let seed = match &policy {
+            Crashes::Random { seed, .. } => *seed,
+            _ => 0,
+        };
+        CrashState { policy, rng: StdRng::seed_from_u64(seed), crashes_so_far: 0 }
+    }
+
+    /// Decides whether `pid`, about to take its `own_step`-th step, crashes
+    /// now instead.
+    pub(crate) fn should_crash(&mut self, pid: Pid, own_step: u64) -> bool {
+        let crash = match &self.policy {
+            Crashes::None => false,
+            Crashes::AtOwnStep(plan) => plan.iter().any(|&(p, s)| p == pid && s == own_step),
+            Crashes::Random { p, max, .. } => {
+                self.crashes_so_far < *max && self.rng.gen_bool(*p)
+            }
+        };
+        if crash {
+            self.crashes_so_far += 1;
+        }
+        crash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schedule_is_deterministic() {
+        let alive: Vec<Pid> = (0..5).collect();
+        let picks = |seed| {
+            let mut st = ScheduleState::new(Schedule::RandomSeed(seed));
+            (0..100).map(|_| st.pick(&alive)).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(42), picks(42));
+        assert_ne!(picks(42), picks(43));
+    }
+
+    #[test]
+    fn round_robin_rotates_and_skips_dead() {
+        let mut st = ScheduleState::new(Schedule::RoundRobin);
+        let alive: Vec<Pid> = vec![0, 1, 2];
+        let seq: Vec<_> = (0..6).map(|_| st.pick(&alive)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+        let alive2: Vec<Pid> = vec![0, 2];
+        let seq2: Vec<_> = (0..4).map(|_| st.pick(&alive2)).collect();
+        assert_eq!(seq2, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn scripted_prefix_then_random() {
+        let mut st = ScheduleState::new(Schedule::Scripted { steps: vec![2, 2, 0], then_seed: 9 });
+        let alive: Vec<Pid> = vec![0, 1, 2];
+        assert_eq!(st.pick(&alive), 2);
+        assert_eq!(st.pick(&alive), 2);
+        assert_eq!(st.pick(&alive), 0);
+        // Falls back to random afterwards — still within alive set.
+        for _ in 0..20 {
+            assert!(alive.contains(&st.pick(&alive)));
+        }
+    }
+
+    #[test]
+    fn scripted_skips_dead_entries() {
+        let mut st = ScheduleState::new(Schedule::Scripted { steps: vec![1, 0], then_seed: 9 });
+        let alive: Vec<Pid> = vec![0, 2];
+        assert_eq!(st.pick(&alive), 0, "dead pid 1 skipped");
+    }
+
+    #[test]
+    fn crash_at_own_step() {
+        let mut cs = CrashState::new(Crashes::AtOwnStep(vec![(1, 2)]));
+        assert!(!cs.should_crash(1, 0));
+        assert!(!cs.should_crash(1, 1));
+        assert!(!cs.should_crash(0, 2));
+        assert!(cs.should_crash(1, 2));
+    }
+
+    #[test]
+    fn random_crashes_respect_max() {
+        let mut cs = CrashState::new(Crashes::Random { seed: 3, p: 1.0, max: 2 });
+        let mut total = 0;
+        for s in 0..10 {
+            if cs.should_crash(s % 3, s as u64) {
+                total += 1;
+            }
+        }
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn no_crash_policy() {
+        let mut cs = CrashState::new(Crashes::None);
+        for s in 0..100 {
+            assert!(!cs.should_crash(s % 7, s as u64));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the runtime: scheduler determinism and
+//! fairness, object linearization invariants, and crash-granularity
+//! properties over randomized schedules.
+
+use proptest::prelude::*;
+
+use mpcn_runtime::model_world::{Body, ModelWorld, RunConfig};
+use mpcn_runtime::sched::{Crashes, Schedule};
+use mpcn_runtime::world::{Env, ObjKey};
+
+fn counter_bodies(n: usize, rounds: u64) -> Vec<Body> {
+    (0..n)
+        .map(|i| {
+            Box::new(move |env: Env<ModelWorld>| {
+                let snap = ObjKey::new(70, 0, 0);
+                for r in 1..=rounds {
+                    env.snap_write(snap, n, i, r);
+                }
+                let view = env.snap_scan::<u64>(snap, n);
+                view.into_iter().flatten().sum()
+            }) as Body
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical configurations yield identical traces and outcomes.
+    #[test]
+    fn runs_are_deterministic(seed in 0u64..1_000_000, n in 2usize..6) {
+        let run = |s| {
+            let cfg = RunConfig::new(n)
+                .schedule(Schedule::RandomSeed(s))
+                .record_trace(true);
+            let r = ModelWorld::run(cfg, counter_bodies(n, 4));
+            (r.trace.clone().expect("requested"), r.outcomes)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Every process is eventually scheduled under the random policy: all
+    /// processes finish (no starvation within the step budget).
+    #[test]
+    fn random_scheduler_is_fair(seed in 0u64..1_000_000, n in 2usize..6) {
+        let cfg = RunConfig::new(n).schedule(Schedule::RandomSeed(seed));
+        let report = ModelWorld::run(cfg, counter_bodies(n, 3));
+        prop_assert!(report.all_correct_decided());
+        prop_assert_eq!(report.decided_values().len(), n);
+    }
+
+    /// Test&set has exactly one winner under every random schedule and any
+    /// number of adversary crashes (crashed invokers simply claim nothing).
+    #[test]
+    fn tas_single_winner_with_crashes(
+        seed in 0u64..1_000_000,
+        crashes in 0usize..3,
+    ) {
+        let n = 4usize;
+        let key = ObjKey::new(71, 0, 0);
+        let bodies: Vec<Body> = (0..n)
+            .map(|_| Box::new(move |env: Env<ModelWorld>| u64::from(env.tas(key))) as Body)
+            .collect();
+        let cfg = RunConfig::new(n)
+            .schedule(Schedule::RandomSeed(seed))
+            .crashes(Crashes::Random { seed: seed ^ 1, p: 0.2, max: crashes });
+        let report = ModelWorld::run(cfg, bodies);
+        let winners: u64 = report.decided_values().iter().sum();
+        prop_assert!(winners <= 1, "{winners} winners");
+        if report.crashed_pids().is_empty() {
+            prop_assert_eq!(winners, 1);
+        }
+    }
+
+    /// Snapshot scans observe prefix-closed writer histories: a scan never
+    /// sees write r+1 of a writer without every earlier write of the same
+    /// writer having happened (per-cell monotone sequence of observations).
+    #[test]
+    fn snapshot_observations_are_monotone(seed in 0u64..1_000_000) {
+        let n = 3usize;
+        let snap = ObjKey::new(72, 0, 0);
+        let mut bodies: Vec<Body> = (0..n - 1)
+            .map(|i| {
+                Box::new(move |env: Env<ModelWorld>| {
+                    for r in 1..=5u64 {
+                        env.snap_write(snap, n, i, r);
+                    }
+                    0u64
+                }) as Body
+            })
+            .collect();
+        bodies.push(Box::new(move |env: Env<ModelWorld>| {
+            let mut last = vec![0u64; n];
+            for _ in 0..10 {
+                let view = env.snap_scan::<u64>(snap, n);
+                for (j, v) in view.into_iter().enumerate() {
+                    let v = v.unwrap_or(0);
+                    assert!(v >= last[j], "cell {j} regressed: {v} < {}", last[j]);
+                    last[j] = v;
+                }
+            }
+            1u64
+        }));
+        let cfg = RunConfig::new(n).schedule(Schedule::RandomSeed(seed));
+        let report = ModelWorld::run(cfg, bodies);
+        prop_assert!(report.all_correct_decided());
+    }
+
+    /// Crash planning at own-step granularity: a process crashed at step s
+    /// completes exactly s shared-memory operations.
+    #[test]
+    fn crash_respects_own_step_count(seed in 0u64..1_000_000, s in 0u64..5) {
+        let n = 2usize;
+        let reg = ObjKey::new(73, 0, 0);
+        let bodies: Vec<Body> = (0..n)
+            .map(|i| {
+                Box::new(move |env: Env<ModelWorld>| {
+                    for r in 0..8u64 {
+                        env.reg_write(reg.with_b(i as u64), r);
+                    }
+                    i as u64
+                }) as Body
+            })
+            .collect();
+        let cfg = RunConfig::new(n)
+            .schedule(Schedule::RandomSeed(seed))
+            .crashes(Crashes::AtOwnStep(vec![(0, s)]))
+            .record_trace(true);
+        let report = ModelWorld::run(cfg, bodies);
+        prop_assert_eq!(report.crashed_pids(), vec![0]);
+        let trace = report.trace.as_ref().expect("requested");
+        let p0_steps = trace.iter().filter(|&&p| p == 0).count() as u64;
+        prop_assert_eq!(p0_steps, s, "p0 must take exactly {} steps", s);
+    }
+}

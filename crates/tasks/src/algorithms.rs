@@ -1,0 +1,399 @@
+//! The catalogue of source algorithms (`A` in the paper's reductions).
+//!
+//! A [`SourceAlgorithm`] is a *solved task*: a task, the model the solving
+//! algorithm is designed for, the consensus-object layout it uses, and a
+//! factory producing one [`mpcn_runtime::program::SimProcess`] per process. Simulations take a
+//! `SourceAlgorithm` for a source model and execute it in a target model.
+
+use std::sync::Arc;
+
+use mpcn_model::ModelParams;
+use mpcn_runtime::program::{BoxedProcess, XConsLayout};
+
+use crate::programs::{DecideInput, GroupXCons, GroupXConsThenMin, Renaming, WriteSnapMin};
+use crate::task::TaskKind;
+
+/// Factory producing the program of process `pid` with proposal `input`.
+type Factory = Arc<dyn Fn(usize, u64) -> BoxedProcess + Send + Sync>;
+
+/// An algorithm solving a task in a given `ASM(n, t, x)` model.
+#[derive(Clone)]
+pub struct SourceAlgorithm {
+    name: String,
+    model: ModelParams,
+    task: TaskKind,
+    layout: XConsLayout,
+    factory: Factory,
+}
+
+impl std::fmt::Debug for SourceAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceAlgorithm")
+            .field("name", &self.name)
+            .field("model", &self.model)
+            .field("task", &self.task)
+            .field("xcons_objects", &self.layout.len())
+            .finish()
+    }
+}
+
+impl SourceAlgorithm {
+    /// Assembles an algorithm description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout demands a consensus number larger than the
+    /// model provides.
+    pub fn new(
+        name: impl Into<String>,
+        model: ModelParams,
+        task: TaskKind,
+        layout: XConsLayout,
+        factory: Factory,
+    ) -> Self {
+        assert!(
+            layout.required_x() <= model.x(),
+            "layout needs consensus number {} but model is {model}",
+            layout.required_x()
+        );
+        SourceAlgorithm { name: name.into(), model, task, layout, factory }
+    }
+
+    /// Human-readable algorithm name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The model this algorithm is designed for (it is `t`-resilient with
+    /// this model's `t` and uses objects of consensus number ≤ `x`).
+    pub fn model(&self) -> ModelParams {
+        self.model
+    }
+
+    /// The task the algorithm solves.
+    pub fn task(&self) -> TaskKind {
+        self.task
+    }
+
+    /// The consensus-object layout the algorithm's processes use.
+    pub fn layout(&self) -> &XConsLayout {
+        &self.layout
+    }
+
+    /// Instantiates the program of one process with its (agreed) proposal —
+    /// the entry point used by simulators, which learn each simulated
+    /// process's input only through the input-agreement objects.
+    pub fn program(&self, pid: usize, input: u64) -> BoxedProcess {
+        (self.factory)(pid, input)
+    }
+
+    /// Instantiates the `n` process programs for the given proposals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the model's `n`.
+    pub fn instantiate(&self, inputs: &[u64]) -> Vec<BoxedProcess> {
+        assert_eq!(
+            inputs.len(),
+            self.model.n() as usize,
+            "one input per process of {} required",
+            self.model
+        );
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(pid, &input)| (self.factory)(pid, input))
+            .collect()
+    }
+}
+
+/// Write/snapshot/min: `(t+1)`-set agreement, t-resilient, in
+/// `ASM(n, t, 1)` (the algorithm the Section 4 simulation lifts into
+/// `ASM(n, t', x)`).
+///
+/// # Errors
+///
+/// Returns the parameter-validation error for invalid `(n, t, 1)`.
+pub fn kset_read_write(n: u32, t: u32) -> Result<SourceAlgorithm, mpcn_model::ParamError> {
+    let model = ModelParams::new(n, t, 1)?;
+    let quorum = (n - t) as usize;
+    Ok(SourceAlgorithm::new(
+        format!("write-snap-min(n={n}, t={t})"),
+        model,
+        TaskKind::KSet(t + 1),
+        XConsLayout::none(),
+        Arc::new(move |_pid, input| Box::new(WriteSnapMin::new(input, quorum))),
+    ))
+}
+
+/// Group consensus: wait-free `⌈n/x⌉`-set agreement in `ASM(n, n−1, x)`.
+///
+/// # Errors
+///
+/// Returns the parameter-validation error for invalid `(n, n−1, x)`.
+pub fn group_xcons(n: u32, x: u32) -> Result<SourceAlgorithm, mpcn_model::ParamError> {
+    let model = ModelParams::wait_free(n, x)?;
+    let layout = XConsLayout::partition(n as usize, x);
+    let k = n.div_ceil(x);
+    Ok(SourceAlgorithm::new(
+        format!("group-xcons(n={n}, x={x})"),
+        model,
+        TaskKind::KSet(k),
+        layout,
+        Arc::new(move |pid, input| Box::new(GroupXCons::new(input, pid / x as usize))),
+    ))
+}
+
+/// Group consensus then write/snapshot/min: t-resilient
+/// `min(⌈n/x⌉, t+1)`-set agreement in `ASM(n, t, x)` — the canonical
+/// "uses both object types" input for the Section 3 simulation.
+///
+/// # Errors
+///
+/// Returns the parameter-validation error for invalid `(n, t, x)`.
+pub fn group_xcons_then_min(
+    n: u32,
+    t: u32,
+    x: u32,
+) -> Result<SourceAlgorithm, mpcn_model::ParamError> {
+    let model = ModelParams::new(n, t, x)?;
+    let layout = XConsLayout::partition(n as usize, x);
+    let quorum = (n - t) as usize;
+    let k = n.div_ceil(x).min(t + 1);
+    Ok(SourceAlgorithm::new(
+        format!("group-xcons-then-min(n={n}, t={t}, x={x})"),
+        model,
+        TaskKind::KSet(k),
+        layout,
+        Arc::new(move |pid, input| {
+            Box::new(GroupXConsThenMin::new(input, pid / x as usize, quorum))
+        }),
+    ))
+}
+
+/// Consensus from a single x-consensus object, for `n ≤ x` (wait-free).
+///
+/// # Errors
+///
+/// Returns the parameter-validation error if `n > x` or `(n, n−1, x)` is
+/// invalid.
+pub fn consensus_via_xcons(n: u32, x: u32) -> Result<SourceAlgorithm, mpcn_model::ParamError> {
+    if n > x {
+        return Err(mpcn_model::ParamError::BadConsensusNumber { x, n });
+    }
+    let model = ModelParams::wait_free(n, x)?;
+    let layout = XConsLayout::partition(n as usize, x);
+    debug_assert_eq!(layout.len(), 1);
+    Ok(SourceAlgorithm::new(
+        format!("consensus-via-xcons(n={n}, x={x})"),
+        model,
+        TaskKind::Consensus,
+        layout,
+        Arc::new(move |_pid, input| Box::new(GroupXCons::new(input, 0))),
+    ))
+}
+
+/// Leader-based consensus in `ASM(n, t, x)` for `t < x` — the class-0
+/// witness: "when `x > t`, all tasks can be solved" (paper Section 1.2).
+///
+/// # Errors
+///
+/// Returns the parameter-validation error if `t ≥ x` or `(n, t, x)` is
+/// invalid.
+pub fn consensus_leader_x(n: u32, t: u32, x: u32) -> Result<SourceAlgorithm, mpcn_model::ParamError> {
+    let model = ModelParams::new(n, t, x)?;
+    if !model.is_universal() {
+        return Err(mpcn_model::ParamError::BadConsensusNumber { x, n });
+    }
+    let leaders: Vec<usize> = (0..x as usize).collect();
+    let layout = XConsLayout::new(vec![leaders], n as usize, x).expect("x <= n ports");
+    Ok(SourceAlgorithm::new(
+        format!("consensus-leader-x(n={n}, t={t}, x={x})"),
+        model,
+        TaskKind::Consensus,
+        layout,
+        Arc::new(move |pid, input| {
+            Box::new(crate::programs::LeaderConsensus::new(input, pid < x as usize))
+        }),
+    ))
+}
+
+/// Snapshot-based wait-free `(2n−1)`-renaming in `ASM(n, n−1, 1)` — the
+/// colored task for the Section 5.5 extension. Inputs are ignored (the
+/// identifiers being renamed are the process indices).
+///
+/// # Errors
+///
+/// Returns the parameter-validation error for invalid `(n, n−1, 1)`.
+pub fn renaming(n: u32) -> Result<SourceAlgorithm, mpcn_model::ParamError> {
+    let model = ModelParams::wait_free(n, 1)?;
+    Ok(SourceAlgorithm::new(
+        format!("renaming(n={n})"),
+        model,
+        TaskKind::Renaming { names: 2 * n as u64 - 1 },
+        XConsLayout::none(),
+        Arc::new(move |pid, _input| Box::new(Renaming::new(pid))),
+    ))
+}
+
+/// Decide your own input — the trivial task, wait-free in `ASM(n, n−1, 1)`.
+///
+/// # Errors
+///
+/// Returns the parameter-validation error for invalid `(n, n−1, 1)`.
+pub fn trivial(n: u32) -> Result<SourceAlgorithm, mpcn_model::ParamError> {
+    let model = ModelParams::wait_free(n, 1)?;
+    Ok(SourceAlgorithm::new(
+        format!("trivial(n={n})"),
+        model,
+        TaskKind::Trivial,
+        XConsLayout::none(),
+        Arc::new(move |_pid, input| Box::new(DecideInput::new(input))),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpcn_runtime::runner::run_direct;
+    use mpcn_runtime::sched::{Crashes, Schedule};
+    use mpcn_runtime::RunConfig;
+
+    fn run_and_validate(alg: &SourceAlgorithm, inputs: &[u64], seed: u64, crashes: Crashes) {
+        let programs = alg.instantiate(inputs);
+        let cfg = RunConfig::new(inputs.len())
+            .schedule(Schedule::RandomSeed(seed))
+            .crashes(crashes);
+        let report = run_direct(cfg, programs, alg.layout().clone());
+        assert!(report.all_correct_decided(), "{}: liveness, seed {seed}", alg.name());
+        alg.task()
+            .validate(inputs, &report.outcomes)
+            .unwrap_or_else(|v| panic!("{}: {v} (seed {seed})", alg.name()));
+    }
+
+    #[test]
+    fn kset_read_write_solves_its_task() {
+        let alg = kset_read_write(5, 2).unwrap();
+        assert_eq!(alg.task(), TaskKind::KSet(3));
+        for seed in 0..20 {
+            run_and_validate(&alg, &[11, 22, 33, 44, 55], seed, Crashes::Random {
+                seed,
+                p: 0.02,
+                max: 2,
+            });
+        }
+    }
+
+    #[test]
+    fn group_xcons_solves_its_task() {
+        let alg = group_xcons(6, 3).unwrap();
+        assert_eq!(alg.task(), TaskKind::KSet(2));
+        for seed in 0..20 {
+            run_and_validate(&alg, &[1, 2, 3, 4, 5, 6], seed, Crashes::Random {
+                seed,
+                p: 0.05,
+                max: 5,
+            });
+        }
+    }
+
+    #[test]
+    fn group_then_min_solves_its_task() {
+        let alg = group_xcons_then_min(6, 4, 2).unwrap();
+        assert_eq!(alg.task(), TaskKind::KSet(3), "min(3, 5) = 3");
+        for seed in 0..20 {
+            run_and_validate(&alg, &[9, 8, 7, 6, 5, 4], seed, Crashes::Random {
+                seed,
+                p: 0.03,
+                max: 4,
+            });
+        }
+    }
+
+    #[test]
+    fn consensus_via_xcons_solves_consensus() {
+        let alg = consensus_via_xcons(3, 3).unwrap();
+        for seed in 0..20 {
+            run_and_validate(&alg, &[5, 6, 7], seed, Crashes::Random { seed, p: 0.05, max: 2 });
+        }
+        assert!(consensus_via_xcons(4, 3).is_err(), "n > x is rejected");
+    }
+
+    #[test]
+    fn consensus_leader_x_solves_consensus() {
+        // ASM(6, 2, 3): t = 2 < x = 3 → consensus solvable, 2-resilient.
+        let alg = consensus_leader_x(6, 2, 3).unwrap();
+        assert_eq!(alg.task(), TaskKind::Consensus);
+        for seed in 0..20 {
+            run_and_validate(&alg, &[5, 6, 7, 8, 9, 10], seed, Crashes::Random {
+                seed,
+                p: 0.03,
+                max: 2,
+            });
+        }
+    }
+
+    #[test]
+    fn consensus_leader_x_requires_t_below_x() {
+        assert!(consensus_leader_x(6, 3, 3).is_err(), "t = x is rejected");
+        assert!(consensus_leader_x(6, 2, 2).is_err());
+        assert!(consensus_leader_x(6, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn consensus_leader_x_survives_leader_crashes() {
+        // Crash 2 of the 3 leaders at their first step: the remaining
+        // leader publishes and everyone decides.
+        let alg = consensus_leader_x(5, 2, 3).unwrap();
+        for seed in 0..20 {
+            let programs = alg.instantiate(&[5, 6, 7, 8, 9]);
+            let cfg = RunConfig::new(5)
+                .schedule(Schedule::RandomSeed(seed))
+                .crashes(Crashes::AtOwnStep(vec![(0, 0), (1, 0)]));
+            let report = run_direct(cfg, programs, alg.layout().clone());
+            assert!(report.all_correct_decided(), "seed {seed}");
+            alg.task().validate(&[5, 6, 7, 8, 9], &report.outcomes).unwrap();
+        }
+    }
+
+    #[test]
+    fn renaming_solves_renaming() {
+        let alg = renaming(5).unwrap();
+        assert_eq!(alg.task(), TaskKind::Renaming { names: 9 });
+        for seed in 0..20 {
+            run_and_validate(&alg, &[0; 5], seed, Crashes::Random { seed, p: 0.02, max: 4 });
+        }
+    }
+
+    #[test]
+    fn trivial_solves_trivial() {
+        let alg = trivial(3).unwrap();
+        run_and_validate(&alg, &[1, 2, 3], 0, Crashes::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per process")]
+    fn instantiate_checks_input_arity() {
+        let alg = trivial(3).unwrap();
+        alg.instantiate(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout needs consensus number")]
+    fn layout_consensus_number_is_validated() {
+        let model = ModelParams::new(4, 1, 1).unwrap();
+        SourceAlgorithm::new(
+            "bad",
+            model,
+            TaskKind::Trivial,
+            XConsLayout::partition(4, 2),
+            Arc::new(|_p, i| Box::new(DecideInput::new(i))),
+        );
+    }
+
+    #[test]
+    fn debug_formatting_mentions_name() {
+        let alg = trivial(3).unwrap();
+        assert!(format!("{alg:?}").contains("trivial"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Decision tasks and source algorithms for the `ASM(n, t, x)` simulations.
+//!
+//! A *decision task* (paper Section 2.1) relates input vectors to output
+//! vectors; it is **colorless** when any process may adopt any other
+//! process's proposed/decided value (consensus and k-set agreement are
+//! colorless; renaming is colored). [`TaskKind`] enumerates the tasks used
+//! throughout this reproduction with executable validators.
+//!
+//! The paper's reductions consume an *algorithm* `A` solving a task in a
+//! *source model* `ASM(n, t, x)`. [`SourceAlgorithm`] bundles exactly that:
+//! the model `A` is designed for, the consensus-object layout it uses, a
+//! per-process program factory, and the task it solves — see
+//! [`algorithms`] for the catalogue:
+//!
+//! * [`algorithms::kset_read_write`] — write/snapshot/min, the classic
+//!   t-resilient `(t+1)`-set agreement in `ASM(n, t, 1)`;
+//! * [`algorithms::group_xcons`] — wait-free `⌈n/x⌉`-set agreement from
+//!   one consensus object per group of `x` processes;
+//! * [`algorithms::group_xcons_then_min`] — the two combined:
+//!   `min(⌈n/x⌉, t+1)`-set agreement, t-resilient, in `ASM(n, t, x)`;
+//! * [`algorithms::consensus_via_xcons`] — consensus when `n ≤ x`;
+//! * [`algorithms::renaming`] — snapshot-based wait-free `(2n−1)`-renaming
+//!   (a colored task, for the Section 5.5 extension);
+//! * [`algorithms::trivial`] — decide your input (class-n task).
+//!
+//! # Example
+//!
+//! ```
+//! use mpcn_runtime::{ModelWorld, RunConfig};
+//! use mpcn_runtime::runner::run_direct;
+//! use mpcn_tasks::algorithms;
+//!
+//! // 5 processes, 2 may crash: write/snapshot/min solves 3-set agreement.
+//! let alg = algorithms::kset_read_write(5, 2).unwrap();
+//! let inputs = [10, 20, 30, 40, 50];
+//! let programs = alg.instantiate(&inputs);
+//! let report = run_direct(RunConfig::new(5), programs, alg.layout().clone());
+//! alg.task().validate(&inputs, &report.outcomes).unwrap();
+//! ```
+
+pub mod algorithms;
+pub mod programs;
+pub mod task;
+
+pub use algorithms::SourceAlgorithm;
+pub use task::{TaskKind, Violation};

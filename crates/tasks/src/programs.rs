@@ -1,0 +1,352 @@
+//! Concrete [`SimProcess`] programs — the algorithms fed to the reductions.
+//!
+//! Every program is a deterministic state machine over the paper's three
+//! operations (`write`, `snapshot`, `x_cons_propose`), so each runs both
+//! directly ([`mpcn_runtime::runner::run_direct`]) and under any of the
+//! BG-style simulations of `mpcn-core`.
+
+use mpcn_runtime::program::{SimOp, SimProcess, SimResponse, SimStep};
+
+/// Decides its input immediately — the trivial (class-`n`) task.
+#[derive(Debug, Clone)]
+pub struct DecideInput {
+    input: u64,
+}
+
+impl DecideInput {
+    /// A process proposing (and deciding) `input`.
+    pub fn new(input: u64) -> Self {
+        DecideInput { input }
+    }
+}
+
+impl SimProcess for DecideInput {
+    fn begin(&mut self) -> SimStep {
+        SimStep::Decide(self.input)
+    }
+
+    fn on_response(&mut self, _resp: SimResponse) -> SimStep {
+        unreachable!("DecideInput never invokes an operation")
+    }
+}
+
+/// The classic t-resilient `(t+1)`-set agreement for `ASM(n, t, 1)`:
+/// write your input, snapshot until at least `quorum = n − t` inputs are
+/// visible, decide the minimum.
+///
+/// Correctness: at least `n − t` processes are correct and eventually
+/// write, so the quorum is reached (t-resilient termination); every decided
+/// value is a written input (validity); all views contain the first
+/// `quorum` writes, so the mins are drawn from at most `t + 1` values
+/// (agreement).
+#[derive(Debug, Clone)]
+pub struct WriteSnapMin {
+    input: u64,
+    quorum: usize,
+}
+
+impl WriteSnapMin {
+    /// A process proposing `input`, waiting for `quorum` visible inputs.
+    pub fn new(input: u64, quorum: usize) -> Self {
+        WriteSnapMin { input, quorum }
+    }
+}
+
+impl SimProcess for WriteSnapMin {
+    fn begin(&mut self) -> SimStep {
+        SimStep::Invoke(SimOp::Write(self.input))
+    }
+
+    fn on_response(&mut self, resp: SimResponse) -> SimStep {
+        match resp {
+            SimResponse::WriteAck => SimStep::Invoke(SimOp::Snapshot),
+            SimResponse::Snapshot(view) => {
+                let seen: Vec<u64> = view.into_iter().flatten().collect();
+                if seen.len() >= self.quorum {
+                    SimStep::Decide(seen.into_iter().min().expect("quorum >= 1"))
+                } else {
+                    SimStep::Invoke(SimOp::Snapshot)
+                }
+            }
+            SimResponse::XConsDecided(_) => {
+                unreachable!("WriteSnapMin uses no consensus objects")
+            }
+        }
+    }
+}
+
+/// Wait-free `⌈n/x⌉`-set agreement for `ASM(n, t, x)`: propose to your
+/// group's consensus-number-`x` object, decide its output.
+///
+/// Wait-free because x-consensus objects are wait-free; at most one
+/// distinct decision per group.
+#[derive(Debug, Clone)]
+pub struct GroupXCons {
+    input: u64,
+    obj: usize,
+}
+
+impl GroupXCons {
+    /// A process proposing `input` to consensus object `obj` (its group's).
+    pub fn new(input: u64, obj: usize) -> Self {
+        GroupXCons { input, obj }
+    }
+}
+
+impl SimProcess for GroupXCons {
+    fn begin(&mut self) -> SimStep {
+        SimStep::Invoke(SimOp::XConsPropose { obj: self.obj, value: self.input })
+    }
+
+    fn on_response(&mut self, resp: SimResponse) -> SimStep {
+        match resp {
+            SimResponse::XConsDecided(v) => SimStep::Decide(v),
+            _ => unreachable!("GroupXCons only proposes"),
+        }
+    }
+}
+
+/// t-resilient `min(⌈n/x⌉, t+1)`-set agreement for `ASM(n, t, x)`:
+/// group consensus first (collapsing each group of `x` to one value), then
+/// write/snapshot/min over the group outputs.
+///
+/// The canonical "uses both object types" source algorithm for the
+/// Section 3 simulation (experiment E3).
+#[derive(Debug, Clone)]
+pub struct GroupXConsThenMin {
+    input: u64,
+    obj: usize,
+    quorum: usize,
+    group_value: Option<u64>,
+}
+
+impl GroupXConsThenMin {
+    /// A process proposing `input` to object `obj`, then collecting
+    /// `quorum = n − t` group outputs.
+    pub fn new(input: u64, obj: usize, quorum: usize) -> Self {
+        GroupXConsThenMin { input, obj, quorum, group_value: None }
+    }
+}
+
+impl SimProcess for GroupXConsThenMin {
+    fn begin(&mut self) -> SimStep {
+        SimStep::Invoke(SimOp::XConsPropose { obj: self.obj, value: self.input })
+    }
+
+    fn on_response(&mut self, resp: SimResponse) -> SimStep {
+        match resp {
+            SimResponse::XConsDecided(v) => {
+                self.group_value = Some(v);
+                SimStep::Invoke(SimOp::Write(v))
+            }
+            SimResponse::WriteAck => SimStep::Invoke(SimOp::Snapshot),
+            SimResponse::Snapshot(view) => {
+                let seen: Vec<u64> = view.into_iter().flatten().collect();
+                if seen.len() >= self.quorum {
+                    SimStep::Decide(seen.into_iter().min().expect("quorum >= 1"))
+                } else {
+                    SimStep::Invoke(SimOp::Snapshot)
+                }
+            }
+        }
+    }
+}
+
+/// t-resilient consensus in `ASM(n, t, x)` for `t < x` (class 0): the
+/// first `x` processes ("leaders") share one consensus-number-`x` object;
+/// each leader funnels its input through it and publishes the outcome;
+/// everyone decides the first published value it sees.
+///
+/// Correct because `t < x` guarantees a correct leader (termination), the
+/// consensus object yields a single published value (agreement), and that
+/// value is a leader's input (validity). This is the algorithmic witness
+/// that `⌊t/x⌋ = 0` models are consensus-capable (Section 5.4, class 0).
+#[derive(Debug, Clone)]
+pub struct LeaderConsensus {
+    input: u64,
+    is_leader: bool,
+}
+
+impl LeaderConsensus {
+    /// A process proposing `input`; leaders are the ports of object 0.
+    pub fn new(input: u64, is_leader: bool) -> Self {
+        LeaderConsensus { input, is_leader }
+    }
+}
+
+impl SimProcess for LeaderConsensus {
+    fn begin(&mut self) -> SimStep {
+        if self.is_leader {
+            SimStep::Invoke(SimOp::XConsPropose { obj: 0, value: self.input })
+        } else {
+            SimStep::Invoke(SimOp::Snapshot)
+        }
+    }
+
+    fn on_response(&mut self, resp: SimResponse) -> SimStep {
+        match resp {
+            SimResponse::XConsDecided(v) => {
+                self.input = v; // remember the agreed value until the write lands
+                SimStep::Invoke(SimOp::Write(v))
+            }
+            SimResponse::WriteAck => SimStep::Decide(self.input),
+            SimResponse::Snapshot(view) => match view.into_iter().flatten().next() {
+                Some(v) => SimStep::Decide(v),
+                None => SimStep::Invoke(SimOp::Snapshot),
+            },
+        }
+    }
+}
+
+/// Snapshot-based wait-free `(2n−1)`-renaming (Attiya, Bar-Noy, Dolev,
+/// Peleg & Reischuk, JACM 1990, in its snapshot formulation) — a **colored**
+/// task for the Section 5.5 extension.
+///
+/// Each process repeatedly publishes a proposed name in its memory cell; on
+/// conflict with another proposer it re-proposes the `r`-th smallest free
+/// name, where `r` is the rank of its id among the participants it sees.
+/// Names fit in `1..=2n−1`: the rank is at most `n` and at most `n−1`
+/// names are excluded.
+#[derive(Debug, Clone)]
+pub struct Renaming {
+    pid: usize,
+    prop: u64,
+}
+
+impl Renaming {
+    /// The renaming program for process `pid`.
+    pub fn new(pid: usize) -> Self {
+        Renaming { pid, prop: 1 }
+    }
+}
+
+impl SimProcess for Renaming {
+    fn begin(&mut self) -> SimStep {
+        SimStep::Invoke(SimOp::Write(self.prop))
+    }
+
+    fn on_response(&mut self, resp: SimResponse) -> SimStep {
+        match resp {
+            SimResponse::WriteAck => SimStep::Invoke(SimOp::Snapshot),
+            SimResponse::Snapshot(view) => {
+                let conflict = view
+                    .iter()
+                    .enumerate()
+                    .any(|(j, v)| j != self.pid && *v == Some(self.prop));
+                if !conflict {
+                    return SimStep::Decide(self.prop);
+                }
+                // Rank (1-based) of our id among the participants we see.
+                let rank = view
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, v)| v.is_some() && *j <= self.pid)
+                    .count();
+                // r-th smallest positive name not proposed by anyone else.
+                let taken: Vec<u64> = view
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != self.pid)
+                    .filter_map(|(_, v)| *v)
+                    .collect();
+                let mut free_seen = 0usize;
+                let mut cand = 0u64;
+                while free_seen < rank {
+                    cand += 1;
+                    if !taken.contains(&cand) {
+                        free_seen += 1;
+                    }
+                }
+                self.prop = cand;
+                SimStep::Invoke(SimOp::Write(self.prop))
+            }
+            SimResponse::XConsDecided(_) => unreachable!("Renaming uses no consensus objects"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+    use mpcn_runtime::program::{BoxedProcess, XConsLayout};
+    use mpcn_runtime::runner::run_direct;
+    use mpcn_runtime::sched::{Crashes, Schedule};
+    use mpcn_runtime::RunConfig;
+
+    #[test]
+    fn decide_input_is_immediate() {
+        let mut p = DecideInput::new(9);
+        assert_eq!(p.begin(), SimStep::Decide(9));
+    }
+
+    #[test]
+    fn write_snap_min_state_machine() {
+        let mut p = WriteSnapMin::new(5, 2);
+        assert_eq!(p.begin(), SimStep::Invoke(SimOp::Write(5)));
+        assert_eq!(p.on_response(SimResponse::WriteAck), SimStep::Invoke(SimOp::Snapshot));
+        // Quorum not reached: retry.
+        assert_eq!(
+            p.on_response(SimResponse::Snapshot(vec![Some(5), None, None])),
+            SimStep::Invoke(SimOp::Snapshot)
+        );
+        // Quorum reached: decide min.
+        assert_eq!(
+            p.on_response(SimResponse::Snapshot(vec![Some(5), Some(3), None])),
+            SimStep::Decide(3)
+        );
+    }
+
+    #[test]
+    fn group_xcons_state_machine() {
+        let mut p = GroupXCons::new(7, 2);
+        assert_eq!(p.begin(), SimStep::Invoke(SimOp::XConsPropose { obj: 2, value: 7 }));
+        assert_eq!(p.on_response(SimResponse::XConsDecided(4)), SimStep::Decide(4));
+    }
+
+    #[test]
+    fn group_then_min_full_run() {
+        // n = 6, x = 2, t = 2: at most min(3, 3) = 3 distinct decisions.
+        let n = 6;
+        let layout = XConsLayout::partition(n, 2);
+        for seed in 0..20 {
+            let programs: Vec<BoxedProcess> = (0..n)
+                .map(|i| {
+                    Box::new(GroupXConsThenMin::new(100 + i as u64, i / 2, n - 2)) as BoxedProcess
+                })
+                .collect();
+            let cfg = RunConfig::new(n)
+                .schedule(Schedule::RandomSeed(seed))
+                .crashes(Crashes::Random { seed, p: 0.01, max: 2 });
+            let report = run_direct(cfg, programs, layout.clone());
+            assert!(report.all_correct_decided(), "t-resilient, seed {seed}");
+            let inputs: Vec<u64> = (0..n as u64).map(|i| 100 + i).collect();
+            TaskKind::KSet(3).validate(&inputs, &report.outcomes).unwrap();
+        }
+    }
+
+    #[test]
+    fn renaming_direct_run_is_wait_free_and_valid() {
+        for n in 2..=6usize {
+            for seed in 0..30 {
+                let programs: Vec<BoxedProcess> =
+                    (0..n).map(|i| Box::new(Renaming::new(i)) as BoxedProcess).collect();
+                let cfg = RunConfig::new(n)
+                    .schedule(Schedule::RandomSeed(seed))
+                    .crashes(Crashes::Random { seed: seed + 7, p: 0.02, max: n - 1 });
+                let report = run_direct(cfg, programs, XConsLayout::none());
+                assert!(report.all_correct_decided(), "wait-free, n {n} seed {seed}");
+                TaskKind::Renaming { names: 2 * n as u64 - 1 }
+                    .validate(&[], &report.outcomes)
+                    .unwrap_or_else(|v| panic!("n {n} seed {seed}: {v}"));
+            }
+        }
+    }
+
+    #[test]
+    fn renaming_sole_runner_takes_name_one() {
+        let programs: Vec<BoxedProcess> = vec![Box::new(Renaming::new(0))];
+        let report = run_direct(RunConfig::new(1), programs, XConsLayout::none());
+        assert_eq!(report.decided_values(), vec![1]);
+    }
+}

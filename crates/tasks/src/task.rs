@@ -1,0 +1,249 @@
+//! Task definitions and executable validators.
+
+use mpcn_runtime::model_world::Outcome;
+use std::collections::HashSet;
+use std::fmt;
+
+/// The decision tasks exercised by this reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Agreement on a single proposed value (1-set agreement). Colorless;
+    /// set consensus number 1 (universal).
+    Consensus,
+    /// At most `k` distinct proposed values decided (Chaudhuri). Colorless;
+    /// set consensus number `k`.
+    KSet(u32),
+    /// Distinct new names from `1..=names`. **Colored**: no two processes
+    /// may decide the same name.
+    Renaming {
+        /// Size of the new name space (`2n − 1` for the wait-free
+        /// algorithm of Attiya et al.).
+        names: u64,
+    },
+    /// Decide any proposed value, no agreement required (a trivial,
+    /// class-`n` task).
+    Trivial,
+}
+
+/// A violation of a task's specification, found by [`TaskKind::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A decided value was never proposed.
+    Validity {
+        /// The offending decided value.
+        decided: u64,
+    },
+    /// More distinct values decided than the task allows.
+    Agreement {
+        /// Number of distinct decisions observed.
+        distinct: usize,
+        /// Number allowed.
+        allowed: usize,
+    },
+    /// Two processes decided the same value in a colored task.
+    NameClash {
+        /// The duplicated value.
+        name: u64,
+    },
+    /// A decided name fell outside the allowed name space.
+    NameRange {
+        /// The offending name.
+        name: u64,
+        /// Upper bound of the name space.
+        names: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Validity { decided } => {
+                write!(f, "decided value {decided} was never proposed")
+            }
+            Violation::Agreement { distinct, allowed } => {
+                write!(f, "{distinct} distinct values decided, only {allowed} allowed")
+            }
+            Violation::NameClash { name } => write!(f, "name {name} decided twice"),
+            Violation::NameRange { name, names } => {
+                write!(f, "name {name} outside the name space 1..={names}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+impl TaskKind {
+    /// Short human-readable name.
+    pub fn name(&self) -> String {
+        match self {
+            TaskKind::Consensus => "consensus".into(),
+            TaskKind::KSet(k) => format!("{k}-set agreement"),
+            TaskKind::Renaming { names } => format!("renaming (1..={names})"),
+            TaskKind::Trivial => "trivial".into(),
+        }
+    }
+
+    /// Whether the task is colorless (paper Section 2.1): any process may
+    /// adopt any other process's decided value.
+    pub fn colorless(&self) -> bool {
+        !matches!(self, TaskKind::Renaming { .. })
+    }
+
+    /// The task's set consensus number, when defined (Section 5.4):
+    /// consensus is 1, k-set agreement is k.
+    pub fn set_consensus_number(&self) -> Option<u32> {
+        match self {
+            TaskKind::Consensus => Some(1),
+            TaskKind::KSet(k) => Some(*k),
+            _ => None,
+        }
+    }
+
+    /// Checks the decided values in `outcomes` against this task's relation
+    /// for the given `inputs` (the values proposed by the *simulated*
+    /// processes; for colorless tasks, outputs need not be aligned with
+    /// input positions).
+    ///
+    /// Crashed and undecided processes are ignored — a task only constrains
+    /// the values actually decided. Liveness ("every correct process
+    /// decides") is checked separately by the harness, which knows which
+    /// processes were correct.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] found.
+    pub fn validate(&self, inputs: &[u64], outcomes: &[Outcome]) -> Result<(), Violation> {
+        let decided: Vec<u64> = outcomes.iter().filter_map(Outcome::decided).collect();
+        match self {
+            TaskKind::Consensus => self.validate_kset(1, inputs, &decided),
+            TaskKind::KSet(k) => self.validate_kset(*k, inputs, &decided),
+            TaskKind::Trivial => {
+                for &d in &decided {
+                    if !inputs.contains(&d) {
+                        return Err(Violation::Validity { decided: d });
+                    }
+                }
+                Ok(())
+            }
+            TaskKind::Renaming { names } => {
+                let mut seen = HashSet::new();
+                for &d in &decided {
+                    if d == 0 || d > *names {
+                        return Err(Violation::NameRange { name: d, names: *names });
+                    }
+                    if !seen.insert(d) {
+                        return Err(Violation::NameClash { name: d });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn validate_kset(&self, k: u32, inputs: &[u64], decided: &[u64]) -> Result<(), Violation> {
+        for &d in decided {
+            if !inputs.contains(&d) {
+                return Err(Violation::Validity { decided: d });
+            }
+        }
+        let distinct: HashSet<u64> = decided.iter().copied().collect();
+        if distinct.len() > k as usize {
+            return Err(Violation::Agreement { distinct: distinct.len(), allowed: k as usize });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcomes(vals: &[Option<u64>]) -> Vec<Outcome> {
+        vals.iter()
+            .map(|v| v.map_or(Outcome::Crashed, Outcome::Decided))
+            .collect()
+    }
+
+    #[test]
+    fn consensus_accepts_uniform_proposed_value() {
+        let t = TaskKind::Consensus;
+        t.validate(&[5, 6, 7], &outcomes(&[Some(6), Some(6), None])).unwrap();
+    }
+
+    #[test]
+    fn consensus_rejects_two_values() {
+        let t = TaskKind::Consensus;
+        let err = t.validate(&[5, 6], &outcomes(&[Some(5), Some(6)])).unwrap_err();
+        assert_eq!(err, Violation::Agreement { distinct: 2, allowed: 1 });
+    }
+
+    #[test]
+    fn kset_counts_distinct_values() {
+        let t = TaskKind::KSet(2);
+        t.validate(&[1, 2, 3], &outcomes(&[Some(1), Some(2), Some(1)])).unwrap();
+        let err = t
+            .validate(&[1, 2, 3], &outcomes(&[Some(1), Some(2), Some(3)]))
+            .unwrap_err();
+        assert!(matches!(err, Violation::Agreement { distinct: 3, allowed: 2 }));
+    }
+
+    #[test]
+    fn validity_rejects_invented_values() {
+        let t = TaskKind::KSet(3);
+        let err = t.validate(&[1, 2], &outcomes(&[Some(9)])).unwrap_err();
+        assert_eq!(err, Violation::Validity { decided: 9 });
+    }
+
+    #[test]
+    fn renaming_requires_distinct_names_in_range() {
+        let t = TaskKind::Renaming { names: 5 };
+        t.validate(&[], &outcomes(&[Some(1), Some(5), None, Some(3)])).unwrap();
+        assert_eq!(
+            t.validate(&[], &outcomes(&[Some(2), Some(2)])).unwrap_err(),
+            Violation::NameClash { name: 2 }
+        );
+        assert_eq!(
+            t.validate(&[], &outcomes(&[Some(6)])).unwrap_err(),
+            Violation::NameRange { name: 6, names: 5 }
+        );
+        assert_eq!(
+            t.validate(&[], &outcomes(&[Some(0)])).unwrap_err(),
+            Violation::NameRange { name: 0, names: 5 }
+        );
+    }
+
+    #[test]
+    fn trivial_checks_validity_only() {
+        let t = TaskKind::Trivial;
+        t.validate(&[4, 5], &outcomes(&[Some(5), Some(5), Some(4)])).unwrap();
+        assert!(t.validate(&[4, 5], &outcomes(&[Some(6)])).is_err());
+    }
+
+    #[test]
+    fn colorless_classification() {
+        assert!(TaskKind::Consensus.colorless());
+        assert!(TaskKind::KSet(3).colorless());
+        assert!(TaskKind::Trivial.colorless());
+        assert!(!TaskKind::Renaming { names: 9 }.colorless());
+    }
+
+    #[test]
+    fn set_consensus_numbers() {
+        assert_eq!(TaskKind::Consensus.set_consensus_number(), Some(1));
+        assert_eq!(TaskKind::KSet(4).set_consensus_number(), Some(4));
+        assert_eq!(TaskKind::Trivial.set_consensus_number(), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TaskKind::KSet(2).to_string(), "2-set agreement");
+        assert_eq!(TaskKind::Renaming { names: 9 }.to_string(), "renaming (1..=9)");
+    }
+}

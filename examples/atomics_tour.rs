@@ -1,0 +1,96 @@
+//! A tour of the real-atomics substrate: the three consensus-hierarchy
+//! levels the paper's Section 1.1 builds on, live under real threads.
+//!
+//! Run with: `cargo run --release --example atomics_tour`
+
+use mpcn::runtime::atomics::{
+    CasConsensus, DoubleCollectSnapshot, TestAndSet, WaitFreeSnapshot,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    // Consensus number 1: registers / snapshots.
+    println!("— consensus number 1: wait-free atomic snapshot —");
+    let snap = Arc::new(WaitFreeSnapshot::new(4));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        for i in 0..3 {
+            let snap = Arc::clone(&snap);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    k += 1;
+                    snap.update(i, k);
+                }
+            });
+        }
+        let mut last = vec![0u64; 4];
+        for round in 0..5 {
+            let v = snap.scan();
+            assert!(v.iter().zip(&last).all(|(a, b)| a >= b), "scans are monotone");
+            println!("  scan {round}: {v:?} (always a consistent instant)");
+            last = v;
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // The ablation baseline: obstruction-free double collect.
+    println!("\n— the naive double-collect scan can FAIL under contention —");
+    let weak = Arc::new(DoubleCollectSnapshot::new(2));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let w = Arc::clone(&weak);
+        let st = Arc::clone(&stop);
+        s.spawn(move || {
+            let mut k = 0u64;
+            while !st.load(Ordering::Relaxed) {
+                k += 1;
+                w.update(0, k);
+            }
+        });
+        let mut fails = 0u32;
+        for _ in 0..1000 {
+            if weak.try_scan(3).is_none() {
+                fails += 1;
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        println!("  {fails}/1000 bounded scans failed under one writer");
+        println!("  (that is why Afek et al. embed scans in updates)");
+    });
+
+    // Consensus number 2: test&set.
+    println!("\n— consensus number 2: test&set, one winner among 8 threads —");
+    let tas = Arc::new(TestAndSet::new());
+    let winners: usize = std::thread::scope(|s| {
+        (0..8)
+            .map(|_| {
+                let t = Arc::clone(&tas);
+                s.spawn(move || usize::from(t.test_and_set()))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("thread"))
+            .sum()
+    });
+    println!("  winners: {winners}");
+
+    // Consensus number ∞: compare&swap.
+    println!("\n— consensus number ∞: CAS consensus among 8 threads —");
+    let cons = Arc::new(CasConsensus::new());
+    let decisions: Vec<u64> = std::thread::scope(|s| {
+        (0..8u64)
+            .map(|i| {
+                let c = Arc::clone(&cons);
+                s.spawn(move || c.propose(100 + i))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("thread"))
+            .collect()
+    });
+    println!("  all decided: {decisions:?}");
+    assert!(decisions.windows(2).all(|w| w[0] == w[1]));
+}

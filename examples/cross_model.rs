@@ -1,0 +1,63 @@
+//! The full Figure 7 round trip, plus a boundary demonstration.
+//!
+//! Executes each arrow of the paper's equivalence diagram on a concrete
+//! task, then shows what goes wrong when the soundness condition
+//! `⌊t/x⌋ ≥ ⌊t'/x'⌋` is violated: a targeted adversary stalls the run.
+//!
+//! Run with: `cargo run --example cross_model`
+
+use mpcn::core::equivalence::{boundary, round_trip};
+use mpcn::core::simulator::SimRun;
+use mpcn::model::ModelParams;
+use mpcn::runtime::Crashes;
+
+fn main() {
+    let inputs6 = [1u64, 2, 3, 4, 5, 6];
+    let inputs5 = [1u64, 2, 3, 4, 5];
+    let inputs3 = [1u64, 2, 3];
+
+    // Section 3: ASM(6, 4, 2) → ASM(6, 2, 1), with 2 simulator crashes.
+    let run = SimRun::seeded(11).crashes(Crashes::Random { seed: 1, p: 0.01, max: 2 });
+    let check = round_trip::section3(6, 4, 2, &run, &inputs6);
+    println!("Section 3  ASM(6,4,2) -> ASM(6,2,1): sound={} live={} valid={:?}",
+        check.sound, check.live, check.valid.is_ok());
+
+    // Section 4: ASM(5, 2, 1) → ASM(5, 4, 2), with 4 simulator crashes.
+    let run = SimRun::seeded(12).crashes(Crashes::Random { seed: 2, p: 0.01, max: 4 });
+    let check = round_trip::section4(5, 2, 4, 2, &run, &inputs5);
+    println!("Section 4  ASM(5,2,1) -> ASM(5,4,2): sound={} live={} valid={:?}",
+        check.sound, check.live, check.valid.is_ok());
+
+    // Section 5.2 (generalized BG): ASM(6, 4, 2) → ASM(3, 2, 1).
+    let check = round_trip::generalized_bg(6, 4, 2, &SimRun::seeded(13), &inputs3);
+    println!("Gen. BG    ASM(6,4,2) -> ASM(3,2,1): sound={} live={} valid={:?}",
+        check.sound, check.live, check.valid.is_ok());
+
+    // Section 5.3: same-class cross hop, both directions.
+    let m1 = ModelParams::new(6, 4, 2).expect("valid");
+    let m2 = ModelParams::new(6, 2, 1).expect("valid");
+    let fwd = round_trip::cross_model(m1, m2, &SimRun::seeded(14), &inputs6);
+    let back = round_trip::cross_model(m2, m1, &SimRun::seeded(15), &inputs6);
+    println!("Cross      {m1} <-> {m2}: fwd(live={}) back(live={})", fwd.live, back.live);
+
+    // ---------------------------------------------------------------
+    // The boundary: the same machinery with unsound parameters. The
+    // source tolerates t = 1 crash; the staggered adversary crashes 3
+    // simulators, each inside a different input agreement — 3 > 1
+    // simulated processes blocked, the simulation stalls.
+    // ---------------------------------------------------------------
+    println!("\nBoundary (necessity of t >= ⌊t'/x⌋):");
+    let stall = boundary::staggered_kset_run(5, 1, 3, 3, 99, 80_000);
+    println!(
+        "  unsound ASM(5,1,1) under 3 staggered crashes: sound={} timed_out={} undecided={:?}",
+        stall.sound,
+        stall.report.timed_out,
+        stall.report.undecided_pids()
+    );
+    let fine = boundary::staggered_kset_run(5, 2, 2, 2, 99, 800_000);
+    println!(
+        "  sound   ASM(5,2,1) under 2 staggered crashes: live={} decisions={:?}",
+        fine.live,
+        fine.report.decided_values()
+    );
+}

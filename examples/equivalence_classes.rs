@@ -1,0 +1,81 @@
+//! Regenerates the paper's Section 5.4 enumerations: the equivalence
+//! classes of `ASM(n, t', x)` models, the worked `t' = 8` example, the
+//! multiplicative-law ranges, and the induced task-solvability matrix.
+//!
+//! Run with: `cargo run --example equivalence_classes`
+
+use mpcn::model::equivalence::{class_grid, class_partition, multiplicative_range};
+use mpcn::model::hierarchy::solvability_matrix;
+use mpcn::model::{ModelParams, SetConsensusNumber};
+
+fn main() {
+    // ---------------------------------------------------------------
+    // The worked example of Section 5.4: t' = 8.
+    // ---------------------------------------------------------------
+    println!("Section 5.4 example: equivalence classes of ASM(n, 8, x)");
+    println!("---------------------------------------------------------");
+    for row in class_partition(8, 12) {
+        let canon = ModelParams::new(13, row.class, 1).expect("valid");
+        if row.x_min == row.x_max {
+            println!("  x = {:<9} ~ {canon}", row.x_min);
+        } else {
+            println!("  x in [{}, {}] ~ {canon}", row.x_min, row.x_max);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // The multiplicative law: ASM(n, t', x) ≃ ASM(n, t, 1) iff
+    // t·x ≤ t' ≤ t·x + (x−1).
+    // ---------------------------------------------------------------
+    println!("\nMultiplicative law: t' ranges equivalent to ASM(n, t, 1)");
+    println!("---------------------------------------------------------");
+    println!("  {:>5} {:>5}   range of t'", "t", "x");
+    for t in [1u32, 2, 3] {
+        for x in [2u32, 3, 4] {
+            let (lo, hi) = multiplicative_range(t, x);
+            println!("  {t:>5} {x:>5}   [{lo}, {hi}]");
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // The full class grid ⌊t/x⌋ — "increasing the consensus number can
+    // be useless": equal values along a row mean the stronger objects
+    // buy nothing.
+    // ---------------------------------------------------------------
+    println!("\nClass grid ⌊t/x⌋ (rows t = 0..=10, columns x = 1..=6)");
+    println!("------------------------------------------------------");
+    print!("  t\\x |");
+    for x in 1..=6 {
+        print!(" {x:>3}");
+    }
+    println!();
+    for (t, row) in class_grid(10, 6).into_iter().enumerate() {
+        print!("  {t:>3} |");
+        for c in row {
+            print!(" {c:>3}");
+        }
+        println!();
+    }
+
+    // ---------------------------------------------------------------
+    // Task hierarchy: T_k solvable in ASM(n, t, x) iff k > ⌊t/x⌋.
+    // ---------------------------------------------------------------
+    println!("\nSolvability: which set-consensus classes solve in which model class");
+    println!("--------------------------------------------------------------------");
+    for (class, solvable) in solvability_matrix(6) {
+        println!("  model class {class}: tasks with set consensus number {solvable:?}");
+    }
+
+    // Contribution #1 corollaries, spelled out.
+    println!("\nCorollaries (Contribution #1)");
+    println!("------------------------------");
+    let k = SetConsensusNumber(3);
+    println!(
+        "  T_3 at fixed x = 2: solvable up to t' = {}",
+        k.max_tolerable_t(2).expect("k > 0")
+    );
+    println!(
+        "  T_3 at fixed t' = 8: needs consensus number x >= {}",
+        k.min_sufficient_x(8).expect("k > 0")
+    );
+}

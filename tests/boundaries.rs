@@ -1,0 +1,87 @@
+//! Integration: the *necessity* side of the theorems, and the
+//! multiplicative power made visible.
+//!
+//! The headline demonstration: the **same two adversary crashes** stall a
+//! read/write target (`x' = 1`, each crash kills one safe-agreement
+//! object) but are harmless in a consensus-number-2 target (`x' = 2`,
+//! killing an x-safe-agreement object needs *both* of its owners) — the
+//! executable content of `⌊t'/x'⌋`.
+
+use mpcn::core::equivalence::{boundary, check_simulation};
+use mpcn::core::simulator::SimRun;
+use mpcn::model::ModelParams;
+use mpcn::runtime::Crashes;
+use mpcn::tasks::algorithms;
+
+fn inputs(n: u32) -> Vec<u64> {
+    (0..u64::from(n)).map(|i| 100 + i).collect()
+}
+
+#[test]
+fn multiplicative_power_two_crashes_x1_stalls_x2_survives() {
+    // Source: 2-set agreement tolerating t = 1 crash (ASM(5, 1, 1)).
+    let alg = algorithms::kset_read_write(5, 1).unwrap();
+
+    // Target A: ASM(5, 2, 1) — class ⌊2/1⌋ = 2 > 1: unsound. Two staggered
+    // crashes land inside the proposes of two *different* input
+    // agreements, blocking two simulated processes; the source only
+    // tolerates one, so the run stalls.
+    let target_rw = ModelParams::new(5, 2, 1).unwrap();
+    let plan_rw = Crashes::AtOwnStep(vec![(0, 1), (1, 4)]);
+    let run = SimRun::seeded(3).crashes(plan_rw).max_steps(80_000);
+    let check = check_simulation(&alg, target_rw, &inputs(5), &run);
+    assert!(!check.sound);
+    assert!(check.report.timed_out, "x' = 1 target must stall");
+    assert!(!check.live);
+
+    // Target B: ASM(5, 2, 2) — class ⌊2/2⌋ = 1 ≤ 1: sound. The same two
+    // crashes (offsets adapted to the x-safe-agreement propose) can kill
+    // at most one agreement object between them, which the source
+    // tolerates: the run completes and the task holds.
+    let target_x2 = ModelParams::new(5, 2, 2).unwrap();
+    let plan_x2 = Crashes::AtOwnStep(vec![(0, 1), (1, 2)]);
+    let run = SimRun::seeded(3).crashes(plan_x2).max_steps(2_000_000);
+    let check = check_simulation(&alg, target_x2, &inputs(5), &run);
+    assert!(check.sound);
+    assert!(check.holds(), "x' = 2 target must survive: {:?}", check.valid);
+}
+
+#[test]
+fn staggered_stalls_scale_with_the_class_gap() {
+    // Fix the source resilience t = 1 and grow the crash count: c ≤ 1
+    // completes, c ≥ 2 stalls.
+    for c in 0..=1u32 {
+        let check = boundary::staggered_kset_run(5, 1, c, 2, 11, 800_000);
+        assert!(check.holds(), "c = {c} within resilience must hold");
+    }
+    for c in 2..=3u32 {
+        let check = boundary::staggered_kset_run(5, 1, c, 3, 11, 80_000);
+        assert!(check.report.timed_out, "c = {c} beyond resilience must stall");
+    }
+}
+
+#[test]
+fn safety_is_never_violated_even_when_liveness_dies() {
+    // Unsound parameters may stall the run, but the decided values (if
+    // any) still satisfy the task relation — simulations fail safe.
+    for seed in 0..20 {
+        let alg = algorithms::kset_read_write(5, 1).unwrap();
+        let target = ModelParams::new(5, 3, 1).unwrap();
+        let run = SimRun::seeded(seed)
+            .crashes(Crashes::Random { seed, p: 0.05, max: 3 })
+            .max_steps(60_000);
+        let check = check_simulation(&alg, target, &inputs(5), &run);
+        assert!(check.valid.is_ok(), "safety must hold, seed {seed}: {:?}", check.valid);
+    }
+}
+
+#[test]
+fn crashes_beyond_target_bound_are_the_adversarys_problem_not_ours() {
+    // Sanity: with zero crashes even an "unsound" parameter pair runs fine
+    // — unsoundness only means the adversary *can* break liveness.
+    let alg = algorithms::kset_read_write(5, 1).unwrap();
+    let target = ModelParams::new(5, 3, 1).unwrap();
+    let check = check_simulation(&alg, target, &inputs(5), &SimRun::seeded(4));
+    assert!(!check.sound);
+    assert!(check.holds());
+}

@@ -1,0 +1,137 @@
+//! Integration: the main theorem, executed.
+//!
+//! `ASM(n1, t1, x1) ≃ ASM(n2, t2, x2)` for colorless decision tasks iff
+//! `⌊t1/x1⌋ = ⌊t2/x2⌋`. We sweep parameter grids and check that the
+//! algebraic predicate (mpcn-model) and the executable simulation
+//! (mpcn-core) tell the same story.
+
+use mpcn::core::equivalence::{check_simulation, round_trip};
+use mpcn::core::simulator::SimRun;
+use mpcn::model::{equivalence, ModelParams};
+use mpcn::runtime::Crashes;
+use mpcn::tasks::algorithms;
+
+fn inputs(n: u32) -> Vec<u64> {
+    (0..u64::from(n)).map(|i| 100 + i).collect()
+}
+
+#[test]
+fn sound_hops_hold_across_a_parameter_grid() {
+    // Sources ASM(n, t', x) and read/write targets ASM(n, ⌊t'/x⌋, 1):
+    // every sound hop must be live and valid under random crashes.
+    for (n, t_prime, x) in [(4u32, 2u32, 2u32), (5, 3, 3), (6, 4, 2), (6, 3, 3), (6, 5, 2)] {
+        let t = t_prime / x;
+        for seed in 0..5 {
+            let run = SimRun::seeded(seed)
+                .crashes(Crashes::Random { seed: seed + 50, p: 0.01, max: t as usize });
+            let check = round_trip::section3(n, t_prime, x, &run, &inputs(n));
+            assert!(check.sound, "n={n} t'={t_prime} x={x}");
+            assert!(
+                check.holds(),
+                "section3 n={n} t'={t_prime} x={x} seed={seed}: live={} valid={:?}",
+                check.live,
+                check.valid
+            );
+        }
+    }
+}
+
+#[test]
+fn section4_holds_across_a_parameter_grid() {
+    // Read/write sources ASM(n, t, 1) lifted into ASM(n, t', x') targets
+    // with ⌊t'/x'⌋ ≤ t, under up to t' random crashes.
+    for (n, t, t_prime, x_prime) in [
+        (4u32, 1u32, 2u32, 2u32),
+        (5, 2, 4, 2),
+        (6, 2, 4, 2),
+        (6, 1, 3, 3),
+        (6, 2, 5, 2),
+    ] {
+        for seed in 0..5 {
+            let run = SimRun::seeded(seed).crashes(Crashes::Random {
+                seed: seed + 90,
+                p: 0.01,
+                max: t_prime as usize,
+            });
+            let check = round_trip::section4(n, t, t_prime, x_prime, &run, &inputs(n));
+            assert!(check.sound, "n={n} t={t} t'={t_prime} x'={x_prime}");
+            assert!(
+                check.holds(),
+                "section4 n={n} t={t} t'={t_prime} x'={x_prime} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn equivalence_iff_equal_classes_on_the_algebraic_side() {
+    // Exhaustive algebraic check on a small universe; the executable side
+    // is sampled in the other tests (it is the expensive direction).
+    for n1 in 2..7u32 {
+        for t1 in 0..n1 {
+            for x1 in 1..=n1 {
+                for n2 in 2..7u32 {
+                    for t2 in 0..n2 {
+                        for x2 in 1..=n2 {
+                            let a = ModelParams::new(n1, t1, x1).unwrap();
+                            let b = ModelParams::new(n2, t2, x2).unwrap();
+                            assert_eq!(
+                                equivalence::equivalent(a, b),
+                                t1 / x1 == t2 / x2,
+                                "{a} vs {b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn same_class_hops_work_in_both_directions() {
+    // ASM(6,4,2) and ASM(6,2,1) are both class 2: algorithms travel both
+    // ways. ASM(6,5,2) is also class 2 (the multiplicative range of
+    // (t=2, x=2) is [4, 5]).
+    let class2: Vec<ModelParams> = vec![
+        ModelParams::new(6, 4, 2).unwrap(),
+        ModelParams::new(6, 5, 2).unwrap(),
+        ModelParams::new(6, 2, 1).unwrap(),
+    ];
+    for &src in &class2 {
+        for &tgt in &class2 {
+            let alg = algorithms::group_xcons_then_min(src.n(), src.t(), src.x()).unwrap();
+            let check =
+                check_simulation(&alg, tgt, &inputs(tgt.n()), &SimRun::seeded(77));
+            assert!(check.sound, "{src} -> {tgt}");
+            assert!(check.holds(), "{src} -> {tgt}: {:?}", check.valid);
+        }
+    }
+}
+
+#[test]
+fn generalized_bg_collapses_n_to_t_plus_1() {
+    // ASM(n, t', x) ≃ ASM(t+1, t, 1) with t = ⌊t'/x⌋ (Section 5.2).
+    for (n, t_prime, x) in [(5u32, 2u32, 2u32), (6, 4, 2), (7, 3, 3)] {
+        let t = t_prime / x;
+        for seed in 0..5 {
+            let check =
+                round_trip::generalized_bg(n, t_prime, x, &SimRun::seeded(seed), &inputs(t + 1));
+            assert!(check.sound);
+            assert!(check.holds(), "n={n} t'={t_prime} x={x} seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn upgrade_uselessness_is_executable() {
+    // ASM(6, 4, 3) and ASM(6, 4, 4) are the same class (⌊4/3⌋ = ⌊4/4⌋ = 1):
+    // the same source algorithm succeeds in both targets.
+    let alg = algorithms::kset_read_write(6, 1).unwrap();
+    for x_prime in [3u32, 4] {
+        let tgt = ModelParams::new(6, 4, x_prime).unwrap();
+        let check = check_simulation(&alg, tgt, &inputs(6), &SimRun::seeded(5));
+        assert!(check.sound);
+        assert!(check.holds(), "x'={x_prime}");
+    }
+}

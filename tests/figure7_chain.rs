@@ -1,0 +1,83 @@
+//! The Figure 7 chain, executed hop by hop.
+//!
+//! The paper's transitivity argument routes any two same-class models
+//! through the canonical wait-free representative:
+//!
+//! ```text
+//! ASM(n1, t1, x1) → ASM(n1, t, 1) → ASM(t+1, t, 1) → ASM(n2, t, 1) → ASM(n2, t2, x2)
+//! ```
+//!
+//! Our general simulator covers any single hop; this test walks an actual
+//! multi-hop chain for class 2, materializing the intermediate artifact of
+//! each hop as "a solved task in that model" (which is exactly what a
+//! simulation produces) and feeding the canonical algorithm of that model
+//! to the next hop.
+
+use mpcn::core::equivalence::check_simulation;
+use mpcn::core::simulator::SimRun;
+use mpcn::model::equivalence::EquivalenceClass;
+use mpcn::model::ModelParams;
+use mpcn::runtime::Crashes;
+use mpcn::tasks::algorithms;
+
+fn inputs(n: u32) -> Vec<u64> {
+    (0..u64::from(n)).map(|i| 100 + i).collect()
+}
+
+#[test]
+fn class2_chain_m1_to_canonical_to_m2() {
+    let m1 = ModelParams::new(6, 4, 2).unwrap(); // class 2, uses x = 2 objects
+    let m2 = ModelParams::new(6, 5, 2).unwrap(); // class 2 (range [4,5] of t=2,x=2)
+    let canonical = EquivalenceClass::of(m1).canonical_wait_free();
+    assert_eq!((canonical.n(), canonical.t(), canonical.x()), (3, 2, 1));
+
+    // Hop 1: the M1 algorithm (3-set agreement, t1-resilient, consensus
+    // objects) delivered by the canonical model's 3 wait-free simulators.
+    let alg_m1 = algorithms::group_xcons_then_min(m1.n(), m1.t(), m1.x()).unwrap();
+    let run = SimRun::seeded(21).crashes(Crashes::Random { seed: 1, p: 0.02, max: 2 });
+    let hop1 = check_simulation(&alg_m1, canonical, &inputs(canonical.n()), &run);
+    assert!(hop1.sound && hop1.holds(), "hop 1: {:?}", hop1.valid);
+
+    // The task solved in ASM(3,2,1) is 3-set agreement; the canonical
+    // model's own algorithm for it is write/snap/min with t = 2 — the
+    // artifact the next hop consumes.
+    let alg_canonical = algorithms::kset_read_write(canonical.n(), canonical.t()).unwrap();
+    assert_eq!(alg_canonical.task(), alg_m1.task(), "same task travels the chain");
+
+    // Hop 2: the canonical algorithm delivered in M2 under its full crash
+    // budget (5 of 6 simulators may crash — wait-free in disguise).
+    let run = SimRun::seeded(22).crashes(Crashes::Random { seed: 2, p: 0.02, max: 5 });
+    let hop2 = check_simulation(&alg_canonical, m2, &inputs(m2.n()), &run);
+    assert!(hop2.sound && hop2.holds(), "hop 2: {:?}", hop2.valid);
+}
+
+#[test]
+fn chain_is_cycle_back_to_m1() {
+    // Close the cycle: from M2's class the canonical algorithm also runs
+    // back in M1, so the equivalence is genuinely two-directional.
+    let m1 = ModelParams::new(6, 4, 2).unwrap();
+    let canonical = EquivalenceClass::of(m1).canonical_wait_free();
+    let alg_canonical = algorithms::kset_read_write(canonical.n(), canonical.t()).unwrap();
+    let run = SimRun::seeded(23).crashes(Crashes::Random { seed: 3, p: 0.02, max: 4 });
+    let back = check_simulation(&alg_canonical, m1, &inputs(m1.n()), &run);
+    assert!(back.sound && back.holds(), "cycle closure: {:?}", back.valid);
+}
+
+#[test]
+fn different_class_chain_is_one_directional() {
+    // Class 2 → class 4 works (downhill in power is fine: ⌊t/x⌋ ≥ ⌊t'/x'⌋
+    // means the *source* tolerates more); class 4 → class 2 is unsound.
+    let strong = ModelParams::new(6, 2, 1).unwrap(); // class 2
+    let weak = ModelParams::new(6, 4, 1).unwrap(); // class 4
+    let alg_weak = algorithms::kset_read_write(6, 4).unwrap(); // tolerates 4
+    let alg_strong = algorithms::kset_read_write(6, 2).unwrap(); // tolerates 2
+
+    let down = check_simulation(&alg_weak, strong, &inputs(6), &SimRun::seeded(31));
+    assert!(down.sound, "a 4-resilient algorithm survives a class-2 target");
+    assert!(down.holds());
+
+    let up = check_simulation(&alg_strong, weak, &inputs(6), &SimRun::seeded(32));
+    assert!(!up.sound, "a 2-resilient algorithm cannot be promised a class-4 target");
+    // (Without crashes it may still complete — unsoundness is about the
+    // adversary's power, demonstrated in tests/boundaries.rs.)
+}

@@ -1,0 +1,195 @@
+//! One test per *named claim* of the paper — the executable table of
+//! contents. Each test states the claim, then checks it algebraically
+//! (mpcn-model) and/or executes it (mpcn-core).
+
+use mpcn::core::equivalence::{check_simulation, round_trip};
+use mpcn::core::simulator::{SimRun, SimulationSpec};
+use mpcn::model::equivalence::{class_partition, equivalent, multiplicative_range, ClassRow};
+use mpcn::model::{ModelParams, SetConsensusNumber};
+use mpcn::runtime::Crashes;
+use mpcn::tasks::algorithms;
+
+fn inputs(n: u32) -> Vec<u64> {
+    (0..u64::from(n)).map(|i| 100 + i).collect()
+}
+
+/// Abstract (Contribution #1): "the system models ASM(n1,t1,x1) and
+/// ASM(n2,t2,x2) have the same computational power for colorless decision
+/// tasks if and only if ⌊t1/x1⌋ = ⌊t2/x2⌋."
+#[test]
+fn claim_main_theorem_iff() {
+    // Algebraic side: exhaustive on a small universe.
+    for t1 in 0..8u32 {
+        for x1 in 1..8u32 {
+            for t2 in 0..8u32 {
+                for x2 in 1..8u32 {
+                    let a = ModelParams::new(9, t1, x1).unwrap();
+                    let b = ModelParams::new(9, t2, x2).unwrap();
+                    assert_eq!(equivalent(a, b), t1 / x1 == t2 / x2);
+                }
+            }
+        }
+    }
+    // Executable side (sampled): a same-class pair works in both
+    // directions; checked at scale in tests/equivalence_theorem.rs.
+    let a = ModelParams::new(6, 4, 2).unwrap();
+    let b = ModelParams::new(6, 2, 1).unwrap();
+    assert!(round_trip::cross_model(a, b, &SimRun::seeded(1), &inputs(6)).holds());
+    assert!(round_trip::cross_model(b, a, &SimRun::seeded(2), &inputs(6)).holds());
+}
+
+/// Abstract: "consensus numbers have a multiplicative power with respect
+/// to failures, namely ASM(n, t', x) and ASM(n, t, 1) are equivalent for
+/// colorless decision tasks iff (t×x) ≤ t' ≤ (t×x) + (x−1)."
+#[test]
+fn claim_multiplicative_power() {
+    for t in 0..10u32 {
+        for x in 1..8u32 {
+            let (lo, hi) = multiplicative_range(t, x);
+            assert_eq!((lo, hi), (t * x, t * x + x - 1));
+            for tp in lo..=hi {
+                if tp < 30 {
+                    let a = ModelParams::new(31, tp, x).unwrap();
+                    let b = ModelParams::new(31, t, 1).unwrap();
+                    assert!(equivalent(a, b), "t'={tp} x={x} t={t}");
+                }
+            }
+            // Just outside the range: not equivalent.
+            if lo > 0 {
+                let a = ModelParams::new(100, lo - 1, x).unwrap();
+                let b = ModelParams::new(100, t, 1).unwrap();
+                assert!(!equivalent(a, b));
+            }
+        }
+    }
+}
+
+/// Section 1.2: "ASM(n, n−1, n−1) and ASM(n, 1, 1): (im)possibility
+/// results are the same ... and more generally in any system model
+/// ASM(n, t, t)."
+#[test]
+fn claim_wait_free_with_n_minus_1_objects_equals_one_resilient() {
+    for n in 3..10u32 {
+        let wait_free = ModelParams::new(n, n - 1, n - 1).unwrap();
+        let one_resilient = ModelParams::new(n, 1, 1).unwrap();
+        assert!(equivalent(wait_free, one_resilient));
+        for t in 1..n {
+            assert!(equivalent(
+                ModelParams::new(n, t, t).unwrap(),
+                one_resilient
+            ));
+        }
+    }
+}
+
+/// Section 1.2: "∀ t' < t, the model ASM(n, t', t) and the failure-free
+/// read/write model ASM(n, 0, 1) are equivalent."
+#[test]
+fn claim_sub_threshold_faults_are_free() {
+    for t in 2..9u32 {
+        for tp in 0..t {
+            assert!(equivalent(
+                ModelParams::new(10, tp, t).unwrap(),
+                ModelParams::new(10, 0, 1).unwrap()
+            ));
+        }
+    }
+    // Executable: consensus (a class-0 task) runs in ASM(6, 2, 3) because
+    // t' = 2 < x = 3.
+    let alg = algorithms::consensus_leader_x(6, 2, 3).unwrap();
+    let target = alg.model();
+    let spec = SimulationSpec::new(alg.clone(), target).unwrap();
+    assert_eq!(spec.target().class(), 0);
+}
+
+/// Contribution #1: "Tk can be solved in any system ASM(n, t', x) such
+/// that ⌊t'/x⌋ ≤ k−1, i.e., t' ≤ k·x − 1 if x is fixed, or x ≥ (t'+1)/k
+/// if t' is fixed."
+#[test]
+fn claim_task_solvability_bounds() {
+    for k in 1..8u32 {
+        let task = SetConsensusNumber(k);
+        for x in 1..6u32 {
+            let max_t = task.max_tolerable_t(x).unwrap();
+            assert_eq!(max_t, k * x - 1);
+            let n = max_t + 2;
+            assert!(task.solvable_in(ModelParams::new(n, max_t, x).unwrap()));
+            assert!(!task.solvable_in(ModelParams::new(n + 1, max_t + 1, x).unwrap()));
+        }
+        for tp in 0..20u32 {
+            let min_x = task.min_sufficient_x(tp).unwrap();
+            assert_eq!(min_x, (tp + 1).div_ceil(k));
+        }
+    }
+}
+
+/// Section 5.2: "when t = ⌊t'/x⌋, any algorithm that solves a colorless
+/// decision task in ASM(n, t', x) can be used to solve it in
+/// ASM(t+1, t, 1), and vice-versa."
+#[test]
+fn claim_generalized_bg() {
+    // Forward: executable (Section 3 simulation into t+1 simulators).
+    let check = round_trip::generalized_bg(6, 5, 2, &SimRun::seeded(9), &inputs(3));
+    assert!(check.sound && check.holds());
+    // "Vice-versa": ASM(t+1, t, 1) algorithm lifted into ASM(n, t', x).
+    let alg = algorithms::kset_read_write(3, 2).unwrap(); // for ASM(3,2,1)
+    let target = ModelParams::new(6, 5, 2).unwrap(); // class ⌊5/2⌋ = 2
+    let check = check_simulation(&alg, target, &inputs(6), &SimRun::seeded(10));
+    assert!(check.sound && check.holds());
+}
+
+/// Section 5.4 worked example: the five equivalence groups of t' = 8.
+#[test]
+fn claim_section_5_4_example() {
+    assert_eq!(
+        class_partition(8, 12),
+        vec![
+            ClassRow { x_min: 1, x_max: 1, class: 8 },
+            ClassRow { x_min: 2, x_max: 2, class: 4 },
+            ClassRow { x_min: 3, x_max: 4, class: 2 },
+            ClassRow { x_min: 5, x_max: 8, class: 1 },
+            ClassRow { x_min: 9, x_max: 12, class: 0 },
+        ]
+    );
+}
+
+/// Section 3.3 (Lemma 1 shadow): "if τ simulators crash, they can entail
+/// the crash of τ × x simulated processes" — the blocked bound, and the
+/// run is still correct when the source tolerates it.
+#[test]
+fn claim_blocked_bound_tolerated() {
+    // Source ASM(6, 4, 2) tolerates t = 4; target ASM(6, 2, 1): 2 crashed
+    // simulators can block up to 2 × 2 = 4 simulated processes — exactly
+    // the tolerance. Runs must still hold.
+    let alg = algorithms::group_xcons_then_min(6, 4, 2).unwrap();
+    let target = ModelParams::new(6, 2, 1).unwrap();
+    let spec = SimulationSpec::new(alg.clone(), target).unwrap();
+    assert_eq!(spec.blocked_bound(), 4);
+    assert!(spec.is_sound());
+    for seed in 0..5 {
+        let run = SimRun::seeded(seed).crashes(Crashes::Random { seed, p: 0.02, max: 2 });
+        let check = check_simulation(&alg, target, &inputs(6), &run);
+        assert!(check.holds(), "seed {seed}");
+    }
+}
+
+/// Section 4.2: the x-safe-agreement termination property — "if at most
+/// (x−1) processes crash while executing x_sa_propose, then any correct
+/// simulator that invokes x_sa_decide returns" — lifted to whole
+/// simulations: ⌊t'/x'⌋ = 0 targets tolerate t' crashes with zero blocked
+/// simulated processes.
+#[test]
+fn claim_class_zero_targets_never_block() {
+    // Target ASM(6, 2, 3): class 0 — even a 0-resilient source survives
+    // 2 simulator crashes.
+    let alg = algorithms::kset_read_write(6, 0).unwrap(); // consensus, t = 0!
+    let target = ModelParams::new(6, 2, 3).unwrap();
+    let spec = SimulationSpec::new(alg.clone(), target).unwrap();
+    assert_eq!(spec.blocked_bound(), 0);
+    assert!(spec.is_sound());
+    for seed in 0..5 {
+        let run = SimRun::seeded(seed).crashes(Crashes::Random { seed, p: 0.05, max: 2 });
+        let check = check_simulation(&alg, target, &inputs(6), &run);
+        assert!(check.holds(), "consensus despite crashes, seed {seed}: {:?}", check.valid);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based integration tests: safety and liveness of the general
+//! simulation over randomized parameters, schedules, and crash patterns.
+
+use proptest::prelude::*;
+
+use mpcn::core::colored::{run_colored, ColoredSpec};
+use mpcn::core::equivalence::check_simulation;
+use mpcn::core::simulator::SimRun;
+use mpcn::model::ModelParams;
+use mpcn::runtime::Crashes;
+use mpcn::tasks::{algorithms, TaskKind};
+
+fn inputs(n: u32) -> Vec<u64> {
+    (0..u64::from(n)).map(|i| 100 + i).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Section 3 shape: any sound (n, t', x) with random crashes ≤ ⌊t'/x⌋
+    /// is live and valid.
+    #[test]
+    fn section3_sound_runs_hold(
+        n in 4u32..7,
+        x in 1u32..4,
+        seed in 0u64..10_000,
+    ) {
+        let t_prime = (n - 2).min(x * 2); // keep class small for speed
+        prop_assume!(t_prime >= 1 && x <= n);
+        let t = t_prime / x;
+        let alg = algorithms::group_xcons_then_min(n, t_prime, x).unwrap();
+        let target = ModelParams::new(n, t, 1).unwrap();
+        let run = SimRun::seeded(seed)
+            .crashes(Crashes::Random { seed: seed ^ 0xABC, p: 0.01, max: t as usize });
+        let check = check_simulation(&alg, target, &inputs(n), &run);
+        prop_assert!(check.sound);
+        prop_assert!(check.holds(), "live={} valid={:?}", check.live, check.valid);
+    }
+
+    /// Section 4 shape: lifting the read/write k-set algorithm into any
+    /// sound (t', x') target with random crashes ≤ t'.
+    #[test]
+    fn section4_sound_runs_hold(
+        n in 4u32..6,
+        x_prime in 2u32..4,
+        extra in 0u32..2,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(x_prime <= n);
+        let t = 1 + extra; // source resilience
+        prop_assume!(t < n);
+        // Largest sound t': t·x' + (x'−1), capped by n−1.
+        let t_prime = (t * x_prime + x_prime - 1).min(n - 1);
+        let alg = algorithms::kset_read_write(n, t).unwrap();
+        let target = ModelParams::new(n, t_prime, x_prime).unwrap();
+        let run = SimRun::seeded(seed)
+            .crashes(Crashes::Random { seed: seed ^ 0xDEF, p: 0.01, max: t_prime as usize });
+        let check = check_simulation(&alg, target, &inputs(n), &run);
+        prop_assert!(check.sound);
+        prop_assert!(check.holds(), "live={} valid={:?}", check.live, check.valid);
+    }
+
+    /// Colorless adoption: every simulator decision equals some simulated
+    /// process's decision, and every simulated proposal is some
+    /// simulator's input — checked indirectly through task validity with
+    /// fully distinct inputs.
+    #[test]
+    fn decided_values_are_simulator_inputs(
+        seed in 0u64..10_000,
+    ) {
+        let alg = algorithms::kset_read_write(5, 2).unwrap();
+        let target = ModelParams::new(4, 2, 2).unwrap();
+        let ins = inputs(4);
+        let check = check_simulation(&alg, target, &ins, &SimRun::seeded(seed));
+        prop_assert!(check.holds());
+        for v in check.report.decided_values() {
+            prop_assert!(ins.contains(&v), "decided {v} is not a simulator input");
+        }
+    }
+
+    /// Colored renaming: distinct names, in range, across random schedules
+    /// and crashes.
+    #[test]
+    fn colored_renaming_names_stay_distinct(
+        seed in 0u64..10_000,
+        crashes in 0usize..3,
+    ) {
+        let alg = algorithms::renaming(8).unwrap();
+        let target = ModelParams::new(4, 3, 2).unwrap();
+        let spec = ColoredSpec::new(alg, target).unwrap();
+        let run = SimRun::seeded(seed)
+            .crashes(Crashes::Random { seed: seed ^ 0x777, p: 0.02, max: crashes });
+        let report = run_colored(&spec, &[0, 0, 0, 0], &run);
+        prop_assert!(report.all_correct_decided(), "colored liveness");
+        let res = TaskKind::Renaming { names: 15 }.validate(&[], &report.outcomes);
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+}
+
+/// Determinism across the full stack: identical configuration ⇒ identical
+/// outcomes and step counts (not a proptest: two fixed probes).
+#[test]
+fn full_stack_determinism() {
+    let alg = algorithms::group_xcons_then_min(6, 4, 2).unwrap();
+    let target = ModelParams::new(6, 2, 1).unwrap();
+    for seed in [1u64, 99] {
+        let run = SimRun::seeded(seed)
+            .crashes(Crashes::Random { seed: seed + 1, p: 0.02, max: 2 });
+        let a = check_simulation(&alg, target, &inputs(6), &run);
+        let b = check_simulation(&alg, target, &inputs(6), &run);
+        assert_eq!(a.report.outcomes, b.report.outcomes, "seed {seed}");
+        assert_eq!(a.report.steps, b.report.steps, "seed {seed}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration: the simulation on real threads, and moderately larger
+//! parameter scales than the per-crate unit tests use.
+
+use mpcn::core::equivalence::check_simulation;
+use mpcn::core::simulator::{SimRun, SimulationSpec};
+use mpcn::core::threaded::run_colorless_threaded;
+use mpcn::model::ModelParams;
+use mpcn::runtime::model_world::Outcome;
+use mpcn::runtime::Crashes;
+use mpcn::tasks::{algorithms, TaskKind};
+
+fn inputs(n: u32) -> Vec<u64> {
+    (0..u64::from(n)).map(|i| 100 + i).collect()
+}
+
+#[test]
+fn threaded_simulation_agrees_across_algorithm_catalogue() {
+    // Every colorless source algorithm survives real-thread execution of
+    // its canonical simulation (safety under OS interleavings).
+    let cases: Vec<(mpcn::tasks::SourceAlgorithm, ModelParams)> = vec![
+        (algorithms::kset_read_write(5, 2).unwrap(), ModelParams::new(3, 2, 1).unwrap()),
+        (algorithms::group_xcons(6, 2).unwrap(), ModelParams::new(4, 2, 2).unwrap()),
+        (algorithms::group_xcons_then_min(6, 4, 2).unwrap(), ModelParams::new(6, 2, 1).unwrap()),
+        (algorithms::consensus_leader_x(5, 1, 2).unwrap(), ModelParams::new(5, 0, 1).unwrap()),
+        (algorithms::trivial(4).unwrap(), ModelParams::new(3, 2, 2).unwrap()),
+    ];
+    for (alg, target) in cases {
+        let spec = SimulationSpec::new(alg.clone(), target).unwrap();
+        assert!(spec.is_sound(), "{} -> {target}", alg.name());
+        let ins = inputs(target.n());
+        for round in 0..10 {
+            let decisions = run_colorless_threaded(&spec, &ins);
+            let outcomes: Vec<Outcome> =
+                decisions.iter().map(|&v| Outcome::Decided(v)).collect();
+            alg.task()
+                .validate(&ins, &outcomes)
+                .unwrap_or_else(|v| panic!("{} round {round}: {v}", alg.name()));
+        }
+    }
+}
+
+#[test]
+fn larger_scale_section3_and_4() {
+    // n = 8 simulated processes — bigger than the unit-test scales.
+    let ins = inputs(8);
+
+    // Section 3: ASM(8, 6, 3) → ASM(8, 2, 1), 2 crashes.
+    let alg = algorithms::group_xcons_then_min(8, 6, 3).unwrap();
+    let target = ModelParams::new(8, 2, 1).unwrap();
+    let run = SimRun::seeded(1).crashes(Crashes::Random { seed: 1, p: 0.01, max: 2 });
+    let check = check_simulation(&alg, target, &ins, &run);
+    assert!(check.sound && check.holds(), "{:?}", check.valid);
+
+    // Section 4: ASM(8, 2, 1) → ASM(8, 7, 3) (class ⌊7/3⌋ = 2), 7 crashes
+    // allowed.
+    let alg = algorithms::kset_read_write(8, 2).unwrap();
+    let target = ModelParams::new(8, 7, 3).unwrap();
+    let run = SimRun::seeded(2).crashes(Crashes::Random { seed: 2, p: 0.005, max: 7 });
+    let check = check_simulation(&alg, target, &ins, &run);
+    assert!(check.sound && check.holds(), "{:?}", check.valid);
+}
+
+#[test]
+fn asymmetric_process_counts_both_ways() {
+    // More simulators than simulated processes and vice versa.
+    let alg = algorithms::kset_read_write(3, 1).unwrap();
+    let wide_target = ModelParams::new(8, 2, 2).unwrap(); // 8 simulators, 3 simulated
+    let check = check_simulation(&alg, wide_target, &inputs(8), &SimRun::seeded(3));
+    assert!(check.sound && check.holds());
+
+    let alg = algorithms::kset_read_write(8, 2).unwrap();
+    let narrow_target = ModelParams::new(3, 2, 1).unwrap(); // 3 simulators, 8 simulated
+    let check = check_simulation(&alg, narrow_target, &inputs(3), &SimRun::seeded(4));
+    assert!(check.sound && check.holds());
+}
+
+#[test]
+fn consensus_task_travels_between_class_zero_models() {
+    // Consensus (k = 1!) is preserved by the simulation between class-0
+    // models: source ASM(4, 0, 1) (0-resilient FloodMin) into targets
+    // where x' > t'.
+    let alg = algorithms::kset_read_write(4, 0).unwrap();
+    assert_eq!(alg.task(), TaskKind::KSet(1), "k = t + 1 = 1, i.e. consensus");
+    for (t_prime, x_prime) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4)] {
+        let target = ModelParams::new(5, t_prime, x_prime).unwrap();
+        assert_eq!(target.class(), 0);
+        let run = SimRun::seeded(6).crashes(Crashes::Random {
+            seed: 6,
+            p: 0.02,
+            max: t_prime as usize,
+        });
+        let check = check_simulation(&alg, target, &inputs(5), &run);
+        assert!(check.sound);
+        assert!(check.holds(), "t'={t_prime} x'={x_prime}: {:?}", check.valid);
+    }
+}
