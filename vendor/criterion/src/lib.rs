@@ -1,0 +1,341 @@
+//! Offline API-subset shim for `criterion` 0.5 (see `vendor/README.md`).
+//!
+//! Implements the surface the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (with `sample_size` / `warm_up_time` /
+//! `measurement_time` knobs), [`BenchmarkId`], and
+//! [`Bencher::iter`] / [`Bencher::iter_with_setup`], plus the
+//! [`criterion_group!`] / [`criterion_main!`] macros for
+//! `harness = false` bench targets.
+//!
+//! Measurement model: per benchmark, a short warm-up estimates the cost of
+//! one iteration, then `sample_size` samples of a batch sized to fill
+//! `measurement_time` are timed; the mean and min ns/iter are printed as
+//! one line. There are no saved baselines, statistics, or HTML reports.
+//! Passing `--quick` (or running under `--test`, as `cargo test` does for
+//! bench targets) runs each benchmark exactly once for smoke coverage.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark label: either a plain name or `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Labels a benchmark by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId { label: s.clone() }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    quick: bool,
+    /// Positional CLI args, as upstream: run only benchmarks whose full
+    /// label contains one of these substrings.
+    filters: Vec<String>,
+}
+
+impl Settings {
+    fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(800),
+            quick,
+            filters,
+        }
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| label.contains(f.as_str()))
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { settings: Settings::from_args() }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.settings, &id.into().label, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings.clone(), _parent: self }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and timing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&self.settings, &label, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&self.settings, &label, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (upstream flushes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing callback handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `iters` calls of `f`; each per-call `setup` runs outside the
+    /// timed region (the clock starts after `setup` returns and stops
+    /// after `f` returns, summing only the `f` segments).
+    pub fn iter_with_setup<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut f: impl FnMut(I) -> R,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(f(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, label: &str, mut f: F) {
+    if !settings.matches(label) {
+        return;
+    }
+    if settings.quick {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("bench {label:<56} ok (quick)");
+        return;
+    }
+    // Warm-up: grow the batch until it fills the warm-up window, which
+    // also estimates per-iteration cost.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= settings.warm_up_time || iters >= 1 << 24 {
+            break b.elapsed.as_nanos().max(1) / u128::from(iters);
+        }
+        iters = iters.saturating_mul(4);
+    };
+    let budget_ns = settings.measurement_time.as_nanos() / settings.sample_size as u128;
+    let batch = (budget_ns / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+    let mut mean_sum = 0u128;
+    let mut best = u128::MAX;
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
+        f(&mut b);
+        let ns_per_iter = b.elapsed.as_nanos() / u128::from(batch);
+        mean_sum += ns_per_iter;
+        best = best.min(ns_per_iter);
+    }
+    let mean = mean_sum / settings.sample_size as u128;
+    println!("bench {label:<56} mean {mean:>10} ns/iter   min {best:>10} ns/iter");
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Settings {
+        Settings {
+            sample_size: 2,
+            warm_up_time: Duration::from_micros(50),
+            measurement_time: Duration::from_micros(200),
+            quick: false,
+            filters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn name_filters_select_by_substring() {
+        let mut s = quick();
+        assert!(s.matches("anything/at_all"));
+        s.filters = vec!["snapshot".to_string(), "cas_".to_string()];
+        assert!(s.matches("atomics/snapshot_uncontended/scan/4"));
+        assert!(s.matches("atomics/tas_and_cas/cas_consensus_fresh"));
+        assert!(!s.matches("fig1/contended_round/2"));
+        // A filtered-out benchmark's closure must never run.
+        let mut ran = false;
+        run_one(&s, "fig1/contended_round/2", |_| ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn bencher_counts_every_iteration() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 17, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn iter_with_setup_threads_inputs() {
+        let mut sum = 0u64;
+        let mut next = 0u64;
+        let mut b = Bencher { iters: 5, elapsed: Duration::ZERO };
+        b.iter_with_setup(
+            || {
+                next += 1;
+                next
+            },
+            |v| sum += v,
+        );
+        assert_eq!(sum, 1 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn run_one_terminates() {
+        run_one(&quick(), "shim/self_test", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn group_and_ids_compose() {
+        let mut c = Criterion { settings: quick() };
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_micros(10))
+            .measurement_time(Duration::from_micros(50));
+        g.bench_function(BenchmarkId::from_parameter(4), |b| b.iter(|| black_box(1)));
+        g.bench_with_input(BenchmarkId::new("param", 8), &8u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,305 @@
+//! Epoch-based memory reclamation, API-compatible with `crossbeam-epoch`
+//! for the subset this workspace uses.
+//!
+//! The reclamation protocol is deliberately simple — a global lock-guarded
+//! pin registry instead of crossbeam's lock-free thread-local scheme — but
+//! its safety argument is the real one:
+//!
+//! * A global epoch counter is bumped (`fetch_add`) by every retirement
+//!   ([`Guard::defer_destroy`]), *after* the pointer has been unlinked from
+//!   its [`Atomic`]; the retired garbage is tagged with the pre-bump value.
+//! * [`pin`] records the epoch observed at pin time. Any guard that could
+//!   still hold a [`Shared`] reference to a retired pointer must have
+//!   pinned before the retirement's bump, so its recorded epoch is `<=`
+//!   the garbage tag.
+//! * Garbage with tag `e` is therefore freed once every live pin's
+//!   recorded epoch is `> e` (checked when a guard unpins).
+//!
+//! A guard pinned after the bump cannot obtain the pointer at all: the
+//! bump happens after the unlink, so the pointer is no longer reachable
+//! from any `Atomic` by then.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{LazyLock, Mutex};
+
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// A destructor for one retired allocation, runnable on any thread.
+struct Garbage {
+    tag: u64,
+    free: Box<dyn FnOnce() + Send>,
+}
+
+#[derive(Default)]
+struct Registry {
+    next_pin: u64,
+    /// pin id -> epoch observed at pin time.
+    pins: HashMap<u64, u64>,
+    garbage: Vec<Garbage>,
+}
+
+static REGISTRY: LazyLock<Mutex<Registry>> = LazyLock::new(|| Mutex::new(Registry::default()));
+
+/// A pinned participant. While a `Guard` lives, no allocation retired
+/// after it was pinned is reclaimed.
+pub struct Guard {
+    /// `None` for the [`unprotected`] guard.
+    pin_id: Option<u64>,
+}
+
+/// Pins the current scope, returning a guard that keeps retired garbage
+/// alive until dropped.
+pub fn pin() -> Guard {
+    let mut reg = REGISTRY.lock().unwrap();
+    let id = reg.next_pin;
+    reg.next_pin += 1;
+    let epoch = EPOCH.load(Ordering::SeqCst);
+    reg.pins.insert(id, epoch);
+    Guard { pin_id: Some(id) }
+}
+
+/// Returns a dummy guard for contexts with provably exclusive access
+/// (e.g. `Drop` of the owning structure).
+///
+/// # Safety
+///
+/// The caller must guarantee no concurrent accessor of the data structures
+/// touched through this guard; deferred destructions run immediately.
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard { pin_id: None };
+    &UNPROTECTED
+}
+
+impl Guard {
+    /// Schedules the allocation behind `shared` for destruction once no
+    /// pinned guard can still reference it.
+    ///
+    /// # Safety
+    ///
+    /// `shared` must be non-null, already unlinked from every [`Atomic`]
+    /// (no new reader can acquire it), and not retired twice.
+    pub unsafe fn defer_destroy<T: Send + 'static>(&self, shared: Shared<'_, T>) {
+        let addr = shared.ptr as usize;
+        debug_assert!(addr != 0, "defer_destroy of null");
+        let free = Box::new(move || drop(unsafe { Box::from_raw(addr as *mut T) }));
+        if self.pin_id.is_none() {
+            // Unprotected: the caller vouches for exclusivity.
+            free();
+            return;
+        }
+        let tag = EPOCH.fetch_add(1, Ordering::SeqCst);
+        REGISTRY.lock().unwrap().garbage.push(Garbage { tag, free });
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let Some(id) = self.pin_id else { return };
+        let ripe = {
+            let mut reg = REGISTRY.lock().unwrap();
+            reg.pins.remove(&id);
+            let min_live = reg.pins.values().copied().min().unwrap_or(u64::MAX);
+            let mut ripe = Vec::new();
+            reg.garbage.retain_mut(|g| {
+                if g.tag < min_live {
+                    ripe.push(std::mem::replace(&mut g.free, Box::new(|| ())));
+                    false
+                } else {
+                    true
+                }
+            });
+            ripe
+        };
+        // Run destructors outside the registry lock.
+        for free in ripe {
+            free();
+        }
+    }
+}
+
+/// An atomic pointer to a heap allocation, read through a [`Guard`].
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    /// Allocates `value` and points at it.
+    pub fn new(value: T) -> Self {
+        Atomic { ptr: AtomicPtr::new(Box::into_raw(Box::new(value))) }
+    }
+
+    /// The null pointer.
+    pub fn null() -> Self {
+        Atomic { ptr: AtomicPtr::new(std::ptr::null_mut()) }
+    }
+
+    /// Loads the current pointer; the result borrows the guard's pin.
+    pub fn load<'g>(&self, order: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared { ptr: self.ptr.load(order), _pin: PhantomData }
+    }
+
+    /// Stores `new`, returning the previous pointer.
+    pub fn swap<'g>(&self, new: Owned<T>, order: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        let raw = Box::into_raw(new.boxed);
+        Shared { ptr: self.ptr.swap(raw, order), _pin: PhantomData }
+    }
+}
+
+impl<T> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Atomic({:p})", self.ptr.load(Ordering::Relaxed))
+    }
+}
+
+/// An owned heap allocation not yet published to an [`Atomic`].
+pub struct Owned<T> {
+    boxed: Box<T>,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value`.
+    pub fn new(value: T) -> Self {
+        Owned { boxed: Box::new(value) }
+    }
+
+    /// Consumes the owned value.
+    pub fn into_box(self) -> Box<T> {
+        self.boxed
+    }
+}
+
+/// A pointer loaded under a guard; valid for the guard's lifetime `'g`.
+pub struct Shared<'g, T> {
+    ptr: *mut T,
+    _pin: PhantomData<&'g Guard>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// Whether the pointer is null.
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// Dereferences for the guard's lifetime.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and not yet reclaimed; the guard that
+    /// produced it must still pin the epoch (guaranteed by `'g`), and the
+    /// pointee must not be mutated concurrently.
+    pub unsafe fn deref(&self) -> &'g T {
+        unsafe { &*self.ptr }
+    }
+
+    /// Reclaims ownership of the allocation.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null, unlinked, and unreachable by any
+    /// other thread (exclusive access).
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        Owned { boxed: unsafe { Box::from_raw(self.ptr) } }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    /// The tests below assert on the shared globals (DROPS, the epoch
+    /// registry), so they must not interleave with each other under the
+    /// default parallel test runner.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    struct CountsDrops(#[allow(dead_code)] u64);
+
+    impl Drop for CountsDrops {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn swap_and_defer_reclaims_after_unpin() {
+        let _serial = serial();
+        let a = Atomic::new(CountsDrops(1));
+        let before = DROPS.load(Ordering::SeqCst);
+        {
+            let guard = pin();
+            let old = a.swap(Owned::new(CountsDrops(2)), Ordering::AcqRel, &guard);
+            unsafe { guard.defer_destroy(old) };
+            // Still pinned: the old record must not be freed yet.
+            assert_eq!(DROPS.load(Ordering::SeqCst), before);
+        }
+        // All guards dropped: a fresh pin/unpin cycle collects everything.
+        drop(pin());
+        assert!(DROPS.load(Ordering::SeqCst) > before);
+        // Final cleanup of the current value.
+        let guard = unsafe { unprotected() };
+        let cur = a.load(Ordering::Relaxed, guard);
+        drop(unsafe { cur.into_owned() });
+    }
+
+    #[test]
+    fn concurrent_swap_readers_never_see_freed_memory() {
+        let _serial = serial();
+        let a = Arc::new(Atomic::new(7u64));
+        thread::scope(|sc| {
+            let aw = Arc::clone(&a);
+            sc.spawn(move || {
+                for k in 0..5_000u64 {
+                    let guard = pin();
+                    let old = aw.swap(Owned::new(k), Ordering::AcqRel, &guard);
+                    unsafe { guard.defer_destroy(old) };
+                }
+            });
+            for _ in 0..2 {
+                let ar = Arc::clone(&a);
+                sc.spawn(move || {
+                    for _ in 0..5_000 {
+                        let guard = pin();
+                        let s = ar.load(Ordering::Acquire, &guard);
+                        let v = *unsafe { s.deref() };
+                        assert!(v == 7 || v < 5_000);
+                    }
+                });
+            }
+        });
+        let guard = unsafe { unprotected() };
+        let cur = a.load(Ordering::Relaxed, guard);
+        drop(unsafe { cur.into_owned() });
+    }
+
+    #[test]
+    fn unprotected_defer_runs_immediately() {
+        let _serial = serial();
+        let before = DROPS.load(Ordering::SeqCst);
+        let a = Atomic::new(CountsDrops(9));
+        let guard = unsafe { unprotected() };
+        let cur = a.load(Ordering::Relaxed, guard);
+        unsafe { guard.defer_destroy(cur) };
+        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! Offline API-subset shim for `crossbeam` 0.8 (see `vendor/README.md`).
+//!
+//! Only the [`epoch`] module is provided, with real (if simple) deferred
+//! reclamation semantics.
+
+pub mod epoch;

@@ -1,0 +1,193 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of type `Value` from a [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Derives a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Discards generated values failing `pred` by regenerating (bounded
+    /// retries; panics if the predicate is pathologically tight).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { source: self, whence, pred }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Copy, Debug)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter retry budget exhausted: {}", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer range strategies sample through the rand shim's `SampleRange`
+// (the [`TestRng`] implements `rand::RngCore`), so there is exactly one
+// uniform-integer sampler in the vendor tree.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_from(self.clone(), rng)
+            }
+        }
+        impl Strategy for ::std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample_from(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_combinators_stay_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..500 {
+            let v = (2u32..20).generate(&mut rng);
+            assert!((2..20).contains(&v));
+            let (a, b) = (0u32..5, 1u32..=3).generate(&mut rng);
+            assert!(a < 5 && (1..=3).contains(&b));
+            let m = (0u64..10).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(m % 2 == 0 && m < 20);
+            let f = (1u32..4)
+                .prop_flat_map(|n| (0..n, 1..=n))
+                .generate(&mut rng);
+            assert!(f.0 < 4 && f.1 >= 1);
+            assert_eq!(Just(7).generate(&mut rng), 7);
+            let odd = (0u32..100)
+                .prop_filter("odd", |v| v % 2 == 1)
+                .generate(&mut rng);
+            assert_eq!(odd % 2, 1);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_cross_zero_without_overflow() {
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..500 {
+            let v = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&v));
+            let w = (-100i64..-50).generate(&mut rng);
+            assert!((-100..-50).contains(&w));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let draw = |case| {
+            let mut rng = TestRng::for_case(case);
+            (0..50u64)
+                .map(|_| (0u64..1_000_000).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+}

@@ -1,0 +1,82 @@
+//! Test-execution support: configuration, the per-case RNG, and the error
+//! type threaded by the `prop_assert*!` macros.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// How many cases each property runs (upstream's main knob).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs: skip the case.
+    Reject(&'static str),
+}
+
+/// Deterministic per-case randomness: case `i` of every property sees the
+/// same stream on every run and machine (there is no failure-persistence
+/// file; reproduction is by construction).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for case number `case`.
+    pub fn for_case(case: u32) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ (u64::from(case) << 17)),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_with_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(24).cases, 24);
+    }
+
+    #[test]
+    fn distinct_cases_get_distinct_streams() {
+        let mut a = TestRng::for_case(0);
+        let mut b = TestRng::for_case(1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

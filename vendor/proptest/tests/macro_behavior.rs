@@ -1,0 +1,61 @@
+//! End-to-end behavior of the `proptest!` macro: cases actually run,
+//! failures actually fail, and rejection handling is not vacuous.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use proptest::prelude::*;
+
+static CASES_SEEN: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn runs_the_configured_number_of_cases(v in 0u32..1000) {
+        CASES_SEEN.fetch_add(1, Ordering::SeqCst);
+        prop_assert!(v < 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn prop_assert_failure_panics(v in 0u32..10) {
+        prop_assert!(v > 100, "deliberately impossible, got {}", v);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn prop_assert_eq_failure_panics(v in 1u32..10) {
+        prop_assert_eq!(v, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "every generated case was rejected")]
+    fn all_rejected_is_loud(v in 0u32..10) {
+        prop_assume!(v > 100);
+    }
+
+    #[test]
+    fn rejection_skips_but_other_cases_run(v in 0u32..10) {
+        prop_assume!(v % 2 == 0);
+        prop_assert_eq!(v % 2, 0);
+    }
+
+    #[test]
+    fn multiple_args_and_trailing_comma(
+        a in 0u32..5,
+        b in 10u64..20,
+    ) {
+        prop_assert!(a < 5 && (10..20).contains(&b));
+    }
+}
+
+#[test]
+fn configured_case_count_was_honored() {
+    // Runs after (or before) the proptest above in the same process; the
+    // count check is therefore >= 0 or == 40 depending on order, so force
+    // the ordering by invoking the case-counting property directly here.
+    runs_the_configured_number_of_cases();
+    let seen = CASES_SEEN.load(Ordering::SeqCst);
+    assert!(seen >= 40, "expected at least 40 cases, saw {seen}");
+    assert_eq!(seen % 40, 0, "cases per invocation must be exactly 40");
+}
