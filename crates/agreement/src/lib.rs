@@ -43,6 +43,7 @@
 //! assert_eq!(ag.try_decide::<u64, _>(&envs[0]), Some(41));
 //! ```
 
+pub mod fixtures;
 pub mod safe;
 pub mod tas_cons;
 pub mod xcompete;

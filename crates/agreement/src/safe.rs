@@ -71,10 +71,7 @@ impl SafeAgreement {
             return None;
         }
         // (05) res ← value of min { k | sm[k].level = 2 }
-        sm.into_iter()
-            .flatten()
-            .find(|(_, lvl)| *lvl == STABLE)
-            .map(|(v, _)| v)
+        sm.into_iter().flatten().find(|(_, lvl)| *lvl == STABLE).map(|(v, _)| v)
     }
 
     /// Blocking `sa_decide` (spins on [`Self::try_decide`]).

@@ -52,8 +52,7 @@ mod tests {
     fn compete_bodies(n: usize, x: u32) -> Vec<Body> {
         (0..n)
             .map(|_| {
-                Box::new(move |env: Env<ModelWorld>| u64::from(x_compete(&env, KIND, 0, x)))
-                    as Body
+                Box::new(move |env: Env<ModelWorld>| u64::from(x_compete(&env, KIND, 0, x))) as Body
             })
             .collect()
     }

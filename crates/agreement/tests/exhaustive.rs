@@ -8,64 +8,15 @@
 //! completely. Return-value encoding: `0` = the final poll returned `None`,
 //! `v + 1` = it returned `Some(v)`.
 
-use mpcn_agreement::safe::SafeAgreement;
-use mpcn_agreement::xcompete::x_compete;
-use mpcn_agreement::xsafe::XSafeAgreement;
-use mpcn_runtime::explore::{explore, ExploreLimits, ExploreOutcome};
-use mpcn_runtime::model_world::{Body, ModelWorld, RunReport};
+use mpcn_agreement::fixtures::{
+    check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies,
+};
+use mpcn_runtime::explore::{explore, ExploreLimits, ExploreReport, Explorer};
 use mpcn_runtime::sched::Crashes;
-use mpcn_runtime::Env;
 
-const BASE: u32 = 500;
-
-/// Propose `100 + pid`, then poll `polls` times; return the last poll,
-/// encoded (0 = None, v+1 = Some(v)).
-fn safe_bodies(n: usize, polls: usize) -> Vec<Body> {
-    (0..n)
-        .map(|i| {
-            Box::new(move |env: Env<ModelWorld>| {
-                let sa = SafeAgreement::new(BASE, 0, n);
-                sa.propose(&env, 100 + i as u64);
-                let mut last = None;
-                for _ in 0..polls {
-                    last = sa.try_decide::<u64, _>(&env);
-                }
-                last.map_or(0, |v| v + 1)
-            }) as Body
-        })
-        .collect()
-}
-
-/// Checks agreement + validity over the encoded decisions; optionally
-/// requires that `must_decide` non-crashed processes obtained `Some`.
-fn check_agreement(report: &RunReport, n: usize, must_decide: bool) -> Result<(), String> {
-    let decided: Vec<u64> = report
-        .decided_values()
-        .into_iter()
-        .filter(|&v| v > 0)
-        .map(|v| v - 1)
-        .collect();
-    for &v in &decided {
-        if !(100..100 + n as u64).contains(&v) {
-            return Err(format!("validity violated: decided {v}"));
-        }
-    }
-    if decided.windows(2).any(|w| w[0] != w[1]) {
-        return Err(format!("agreement violated: {decided:?}"));
-    }
-    if must_decide {
-        // In a complete crash-free run the chronologically last poll runs
-        // after every propose completed, so at least one process decides.
-        if decided.is_empty() && !report.timed_out {
-            return Err("termination violated: nobody decided".to_string());
-        }
-    }
-    Ok(())
-}
-
-fn assert_complete(out: &ExploreOutcome) {
+fn assert_complete(out: &ExploreReport) {
     out.assert_no_violation();
-    assert!(out.complete, "exploration must exhaust the schedule tree ({} runs)", out.runs);
+    assert!(out.complete, "exploration must exhaust the schedule tree ({} runs)", out.runs());
 }
 
 #[test]
@@ -74,25 +25,27 @@ fn safe_agreement_two_processes_every_schedule() {
         2,
         Crashes::None,
         ExploreLimits::default(),
-        || safe_bodies(2, 2),
+        || fig1_bodies(2, 2),
         |r| check_agreement(r, 2, true),
     );
     assert_complete(&out);
-    assert!(out.runs >= 70, "non-trivial tree explored ({} runs)", out.runs);
+    assert!(out.runs() >= 70, "non-trivial tree explored ({} runs)", out.runs());
 }
 
 #[test]
 fn safe_agreement_three_processes_every_schedule() {
-    // 3 proposers, 1 poll each: full safety sweep (larger tree).
-    let out = explore(
-        3,
-        Crashes::None,
-        ExploreLimits { max_runs: 2_000_000, max_steps: 1_000 },
-        || safe_bodies(3, 1),
-        |r| check_agreement(r, 3, true),
-    );
+    // 3 proposers, 1 poll each: full safety sweep (larger tree). Runs
+    // with both reductions on — the pruned-vs-unpruned agreement on this
+    // very configuration is asserted in `explore_sweeps.rs`.
+    let out = Explorer::new(3)
+        .limits(ExploreLimits { max_runs: 2_000_000, max_steps: 1_000, ..Default::default() })
+        .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, true));
     assert_complete(&out);
-    assert!(out.runs >= 5_000, "non-trivial tree explored ({} runs)", out.runs);
+    assert!(
+        out.stats.states_visited >= 5_000,
+        "non-trivial tree explored ({} states)",
+        out.stats.states_visited
+    );
 }
 
 #[test]
@@ -110,7 +63,7 @@ fn safe_agreement_every_single_crash_placement_is_safe() {
                 2,
                 Crashes::AtOwnStep(vec![(victim, crash_step)]),
                 ExploreLimits::default(),
-                || safe_bodies(2, 3),
+                || fig1_bodies(2, 3),
                 |r| check_agreement(r, 2, false),
             );
             assert_complete(&out);
@@ -133,7 +86,7 @@ fn safe_agreement_blocked_window_with_forced_prefix() {
         2,
         Crashes::AtOwnStep(vec![(0, 1)]),
         ExploreLimits::default(),
-        || safe_bodies(2, 3),
+        || fig1_bodies(2, 3),
         |r| {
             check_agreement(r, 2, false)?;
             // If the survivor's decisions all happened after the victim
@@ -160,26 +113,9 @@ fn x_compete_never_exceeds_x_winners_any_schedule() {
         let out = explore(
             3,
             Crashes::None,
-            ExploreLimits { max_runs: 500_000, max_steps: 1_000 },
-            || {
-                (0..3)
-                    .map(|_| {
-                        Box::new(move |env: Env<ModelWorld>| {
-                            u64::from(x_compete(&env, BASE + 50, 0, x))
-                        }) as Body
-                    })
-                    .collect()
-            },
-            move |r| {
-                let winners: u64 = r.decided_values().iter().sum();
-                if winners > u64::from(x) {
-                    return Err(format!("{winners} winners for x = {x}"));
-                }
-                if winners < u64::from(x.min(3)) && !r.timed_out {
-                    return Err(format!("only {winners} winners though 3 invoked"));
-                }
-                Ok(())
-            },
+            ExploreLimits { max_runs: 500_000, max_steps: 1_000, ..Default::default() },
+            || fig5_bodies(3, x),
+            move |r| check_winners(r, 3, x),
         );
         assert_complete(&out);
     }
@@ -192,22 +128,8 @@ fn x_safe_agreement_two_owners_every_schedule() {
     let out = explore(
         n,
         Crashes::None,
-        ExploreLimits { max_runs: 1_000_000, max_steps: 1_000 },
-        || {
-            (0..n)
-                .map(|i| {
-                    Box::new(move |env: Env<ModelWorld>| {
-                        let ag = XSafeAgreement::new(BASE + 60, 0, n, x);
-                        ag.propose(&env, 100 + i as u64);
-                        let mut last = None;
-                        for _ in 0..2 {
-                            last = ag.try_decide::<u64, _>(&env);
-                        }
-                        last.map_or(0, |v| v + 1)
-                    }) as Body
-                })
-                .collect()
-        },
+        ExploreLimits { max_runs: 1_000_000, max_steps: 1_000, ..Default::default() },
+        || fig6_bodies(n, x, 2),
         |r| check_agreement(r, n, true),
     );
     assert_complete(&out);
@@ -225,22 +147,8 @@ fn x_safe_agreement_survives_every_single_crash_placement() {
             let out = explore(
                 n,
                 Crashes::AtOwnStep(vec![(victim, crash_step)]),
-                ExploreLimits { max_runs: 1_000_000, max_steps: 1_000 },
-                || {
-                    (0..n)
-                        .map(|i| {
-                            Box::new(move |env: Env<ModelWorld>| {
-                                let ag = XSafeAgreement::new(BASE + 70, 0, n, x);
-                                ag.propose(&env, 100 + i as u64);
-                                let mut last = None;
-                                for _ in 0..3 {
-                                    last = ag.try_decide::<u64, _>(&env);
-                                }
-                                last.map_or(0, |v| v + 1)
-                            }) as Body
-                        })
-                        .collect()
-                },
+                ExploreLimits { max_runs: 1_000_000, max_steps: 1_000, ..Default::default() },
+                || fig6_bodies(n, x, 3),
                 |r| {
                     check_agreement(r, n, false)?;
                     let survivor = 1 - victim;

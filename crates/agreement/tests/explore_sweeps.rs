@@ -1,0 +1,182 @@
+//! Bounded-depth model-checking sweeps of the paper's object types
+//! (ISSUE 2 / ROADMAP "scripted-schedule exploration coverage"):
+//!
+//! * Figure 1 safe agreement, `n = 3..5` — exhaustive at `n = 3`
+//!   (pruned DFS visits strictly fewer states than the unpruned
+//!   reference, finds zero violations, and agrees with it), bounded-depth
+//!   at `n = 4, 5`;
+//! * Figure 5 `x_compete`, `n = 3..5` — exhaustive at `n = 3, 4`,
+//!   bounded-depth at `n = 5`;
+//! * Figure 6 x-safe agreement, `n = 3..5` — exhaustive at `n = 3`,
+//!   bounded-depth at `n = 4, 5`.
+//!
+//! The deterministic state-count lines these sweeps produce are also
+//! printed by `crates/bench/benches/explore_sweep.rs` and diffed by the
+//! CI determinism gate; the baselines are recorded in ROADMAP.md.
+
+use mpcn_agreement::fixtures::{
+    check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies,
+};
+use mpcn_runtime::explore::{explore, ExploreLimits, Explorer, Reduction};
+use mpcn_runtime::model_world::RunReport;
+use mpcn_runtime::sched::Crashes;
+
+/// The acceptance sweep: the Figure 1 object at `n = 3`, exhaustively.
+/// Pruned DFS must complete, find nothing, and visit strictly fewer
+/// states (and run strictly fewer schedules) than the unpruned
+/// reference over the same tree.
+#[test]
+fn fig1_n3_pruned_sweep_beats_unpruned_reference() {
+    let limits = ExploreLimits { max_runs: 2_000_000, max_steps: 1_000, ..Default::default() };
+    let pruned =
+        Explorer::new(3).limits(limits).run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, true));
+    pruned.assert_no_violation();
+    assert!(pruned.complete, "pruned sweep must exhaust the tree ({} runs)", pruned.runs());
+    assert!(pruned.stats.states_pruned > 0, "prefix pruning must fire at n = 3");
+
+    let unpruned =
+        explore(3, Crashes::None, limits, || fig1_bodies(3, 1), |r| check_agreement(r, 3, true));
+    unpruned.assert_no_violation();
+    assert!(unpruned.complete);
+
+    assert!(
+        pruned.stats.states_visited < unpruned.stats.states_visited,
+        "pruning must visit strictly fewer states ({} !< {})",
+        pruned.stats.states_visited,
+        unpruned.stats.states_visited
+    );
+    assert!(
+        pruned.runs() < unpruned.runs(),
+        "pruning must execute strictly fewer schedules ({} !< {})",
+        pruned.runs(),
+        unpruned.runs()
+    );
+}
+
+/// Bounded-depth Figure 1 sweeps at `n = 4, 5`: every scheduling
+/// alternative within the first `max_depth` picks is covered; no safety
+/// violation anywhere.
+#[test]
+fn fig1_n4_n5_bounded_depth_sweeps() {
+    for (n, max_depth) in [(4usize, 7), (5usize, 5)] {
+        let out = Explorer::new(n)
+            .limits(ExploreLimits { max_runs: 60_000, max_steps: 1_000, max_depth })
+            .run(|| fig1_bodies(n, 1), |r| check_agreement(r, n, true));
+        out.assert_no_violation();
+        assert!(!out.complete, "a depth-bounded sweep is not a full proof (n = {n})");
+        assert!(out.stats.depth_limited_runs > 0, "the bound must actually bind (n = {n})");
+        assert!(out.runs() < 60_000, "run budget must not be the binding limit (n = {n})");
+    }
+}
+
+/// Figure 5 sweeps: exhaustive at `n = 3, 4`; depth bounded at `n = 5`.
+#[test]
+fn fig5_x_compete_sweeps_n3_to_n5() {
+    for (n, x) in [(3usize, 2u32), (4, 2)] {
+        let out = Explorer::new(n)
+            .limits(ExploreLimits { max_runs: 500_000, max_steps: 1_000, ..Default::default() })
+            .run(|| fig5_bodies(n, x), move |r| check_winners(r, n, x));
+        out.assert_no_violation();
+        assert!(out.complete, "n = {n} x = {x} must exhaust ({} runs)", out.runs());
+    }
+    let out = Explorer::new(5)
+        .limits(ExploreLimits { max_runs: 40_000, max_steps: 1_000, max_depth: 7 })
+        .run(|| fig5_bodies(5, 2), |r| check_winners(r, 5, 2));
+    out.assert_no_violation();
+    assert!(out.stats.depth_limited_runs > 0);
+}
+
+/// Figure 6 sweeps: exhaustive at `n = 3`; depth bounded at `n = 4, 5`.
+#[test]
+fn fig6_x_safe_agreement_sweeps_n3_to_n5() {
+    let out = Explorer::new(3)
+        .limits(ExploreLimits { max_runs: 1_000_000, max_steps: 2_000, ..Default::default() })
+        .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, true));
+    out.assert_no_violation();
+    assert!(out.complete, "n = 3 x = 2 must exhaust ({} runs)", out.runs());
+
+    for (n, max_depth) in [(4usize, 7), (5, 5)] {
+        let out = Explorer::new(n)
+            .limits(ExploreLimits { max_runs: 60_000, max_steps: 2_000, max_depth })
+            .run(|| fig6_bodies(n, 2, 1), |r| check_agreement(r, n, true));
+        out.assert_no_violation();
+        assert!(out.stats.depth_limited_runs > 0, "the bound must bind (n = {n})");
+    }
+}
+
+/// Crash plans compose with pruning: every placement of one crash during
+/// the Figure 1 proposes at `n = 3`, each swept exhaustively with
+/// reductions on (safety only — liveness is schedule dependent).
+#[test]
+fn fig1_n3_single_crash_placements_pruned() {
+    for victim in 0..3usize {
+        for crash_step in 0..3u64 {
+            let out = Explorer::new(3)
+                .crashes(Crashes::AtOwnStep(vec![(victim, crash_step)]))
+                .limits(ExploreLimits {
+                    max_runs: 2_000_000,
+                    max_steps: 1_000,
+                    ..Default::default()
+                })
+                .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false));
+            out.assert_no_violation();
+            assert!(out.complete, "victim {victim} at step {crash_step} must exhaust");
+        }
+    }
+}
+
+/// A broken invariant on the real Figure 1 object produces a violation
+/// whose emitted schedule replays deterministically as a unit test
+/// would: the counterexample loop promised by the explorer.
+#[test]
+fn fig1_violation_schedule_replays_deterministically() {
+    // Deliberately false: "process 2's proposal never stabilizes first".
+    let broken =
+        |r: &RunReport| match r.outcomes.iter().filter_map(|o| o.decided()).find(|&v| v > 0) {
+            Some(v) if v - 1 == 102 => Err("p2 stabilized first".to_string()),
+            _ => Ok(()),
+        };
+    let out = Explorer::new(3)
+        .limits(ExploreLimits { max_runs: 2_000_000, max_steps: 1_000, ..Default::default() })
+        .run(|| fig1_bodies(3, 1), broken);
+    let v = out.violation().expect("the explorer must find a p2-first schedule");
+    // Replay: the violating interleaving re-runs deterministically.
+    let replayed =
+        mpcn_runtime::explore::replay(3, Crashes::None, 1_000, || fig1_bodies(3, 1), &v.choices);
+    assert!(broken(&replayed).is_err(), "replay must reproduce: {}", v.repro_snippet());
+    // And twice more, to pin determinism of the replay itself.
+    let again =
+        mpcn_runtime::explore::replay(3, Crashes::None, 1_000, || fig1_bodies(3, 1), &v.choices);
+    assert_eq!(replayed.outcomes, again.outcomes);
+}
+
+/// The reduced and reference explorations agree on the full violation
+/// *set* (message multiset collapsed to a set) for an outcome-only
+/// checker, not just on existence — checked on the smallest tree where
+/// both reductions fire.
+#[test]
+fn fig1_n2_violation_sets_match_between_reduced_and_reference() {
+    let broken = |r: &RunReport| {
+        let decided: Vec<u64> =
+            r.decided_values().into_iter().filter(|&v| v > 0).map(|v| v - 1).collect();
+        match decided.first() {
+            Some(&v) => Err(format!("decided {v}")),
+            None => Ok(()),
+        }
+    };
+    let collect = |reduction: Reduction| {
+        let out = Explorer::new(2)
+            .reduction(reduction)
+            .collect_all(true)
+            .limits(ExploreLimits { max_runs: 200_000, max_steps: 1_000, ..Default::default() })
+            .run(|| fig1_bodies(2, 1), broken);
+        let mut msgs: Vec<String> = out.violations.iter().map(|v| v.message.clone()).collect();
+        msgs.sort();
+        msgs.dedup();
+        msgs
+    };
+    let reduced = collect(Reduction::full());
+    let reference = collect(Reduction::none());
+    assert_eq!(reduced, reference, "reductions must preserve the violation set");
+    assert!(!reference.is_empty(), "the broken checker must actually fire");
+}

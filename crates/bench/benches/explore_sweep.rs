@@ -1,0 +1,98 @@
+//! E10 — bounded model-checking sweeps (`runtime::explore`).
+//!
+//! Two kinds of output:
+//!
+//! * **Deterministic state-count lines on stderr** — one
+//!   `explore: <label> runs=… visited=… pruned=…` line per catalogued
+//!   sweep, identical across runs, machines, and optimization levels.
+//!   The CI determinism gate runs the benches twice and diffs exactly
+//!   these lines; the baselines are recorded in ROADMAP.md.
+//! * **Wall time** of two small pruned sweeps (relative measure only —
+//!   the model world's scheduler handshakes dominate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpcn_agreement::fixtures::{
+    check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies,
+};
+use mpcn_runtime::explore::{ExploreLimits, ExploreReport, Explorer, Reduction};
+use mpcn_runtime::sched::Crashes;
+use std::hint::black_box;
+
+fn limits(max_runs: u64, max_depth: usize) -> ExploreLimits {
+    ExploreLimits { max_runs, max_steps: 2_000, max_depth }
+}
+
+/// The catalogued sweeps. Every report's summary line must be identical
+/// on every invocation — no timing, no randomness, no pointers.
+fn catalogue() -> Vec<(&'static str, ExploreReport)> {
+    vec![
+        (
+            "fig1 n=3 pruned",
+            Explorer::new(3)
+                .limits(limits(2_000_000, usize::MAX))
+                .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
+        ),
+        (
+            "fig1 n=3 unpruned",
+            Explorer::new(3)
+                .limits(limits(2_000_000, usize::MAX))
+                .reduction(Reduction::none())
+                .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
+        ),
+        (
+            "fig1 n=3 crash(0@1) pruned",
+            Explorer::new(3)
+                .crashes(Crashes::AtOwnStep(vec![(0, 1)]))
+                .limits(limits(2_000_000, usize::MAX))
+                .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
+        ),
+        (
+            "fig1 n=4 depth<=7 pruned",
+            Explorer::new(4)
+                .limits(limits(60_000, 7))
+                .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
+        ),
+        (
+            "fig5 n=4 x=2 pruned",
+            Explorer::new(4)
+                .limits(limits(500_000, usize::MAX))
+                .run(|| fig5_bodies(4, 2), |r| check_winners(r, 4, 2)),
+        ),
+        (
+            "fig6 n=3 x=2 pruned",
+            Explorer::new(3)
+                .limits(limits(1_000_000, usize::MAX))
+                .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, false)),
+        ),
+    ]
+}
+
+fn sweeps(c: &mut Criterion) {
+    for (label, report) in catalogue() {
+        report.assert_no_violation();
+        eprintln!("{}", report.summary_line(label));
+    }
+
+    let mut g = c.benchmark_group("explore");
+    g.sample_size(10);
+    g.bench_function("fig5_n3_x2_pruned_sweep", |b| {
+        b.iter(|| {
+            let out = Explorer::new(3)
+                .limits(limits(500_000, usize::MAX))
+                .run(|| fig5_bodies(3, 2), |r| check_winners(r, 3, 2));
+            black_box(out.stats.states_visited)
+        })
+    });
+    g.bench_function("fig1_n2_pruned_sweep", |b| {
+        b.iter(|| {
+            let out = Explorer::new(2)
+                .limits(limits(500_000, usize::MAX))
+                .run(|| fig1_bodies(2, 1), |r| check_agreement(r, 2, false));
+            black_box(out.stats.states_visited)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sweeps);
+criterion_main!(benches);

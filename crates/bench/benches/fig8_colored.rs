@@ -29,8 +29,7 @@ fn colored_renaming(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                let report =
-                    run_colored(&spec, &inputs(n_tgt as usize), &SimRun::seeded(seed));
+                let report = run_colored(&spec, &inputs(n_tgt as usize), &SimRun::seeded(seed));
                 assert!(report.all_correct_decided());
                 black_box(report.steps)
             });
@@ -53,8 +52,7 @@ fn colorless_baseline(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                let report =
-                    run_colorless(&spec, &inputs(n_tgt as usize), &SimRun::seeded(seed));
+                let report = run_colorless(&spec, &inputs(n_tgt as usize), &SimRun::seeded(seed));
                 assert!(report.all_correct_decided());
                 black_box(report.steps)
             });

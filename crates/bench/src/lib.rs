@@ -38,10 +38,7 @@ pub fn inputs(n: usize) -> Vec<u64> {
 /// sound parameter choices).
 pub fn run_and_count(alg: &SourceAlgorithm, target: ModelParams, seed: u64) -> (u64, usize) {
     let spec = SimulationSpec::new(alg.clone(), target).expect("valid spec");
-    let run = SimRun {
-        schedule: Schedule::RandomSeed(seed),
-        ..SimRun::default()
-    };
+    let run = SimRun { schedule: Schedule::RandomSeed(seed), ..SimRun::default() };
     let report = run_colorless(&spec, &inputs(target.n() as usize), &run);
     assert!(report.all_correct_decided(), "benchmarked runs must be live");
     (report.steps, report.decided_values().len())

@@ -75,25 +75,18 @@ impl ColoredSpec {
     /// # Errors
     ///
     /// See [`ColoredSpecError`].
-    pub fn new(
-        algorithm: SourceAlgorithm,
-        target: ModelParams,
-    ) -> Result<Self, ColoredSpecError> {
+    pub fn new(algorithm: SourceAlgorithm, target: ModelParams) -> Result<Self, ColoredSpecError> {
         if target.x() <= 1 {
             return Err(ColoredSpecError::TargetNeedsTestAndSet);
         }
-        let inner =
-            SimulationSpec::new(algorithm, target).map_err(ColoredSpecError::Spec)?;
+        let inner = SimulationSpec::new(algorithm, target).map_err(ColoredSpecError::Spec)?;
         if !inner.is_sound() {
             return Err(ColoredSpecError::Unsound);
         }
         let src = inner.algorithm().model();
         let needed = target.n().max(target.n() - target.t() + src.t());
         if src.n() < needed {
-            return Err(ColoredSpecError::TooFewSimulatedProcesses {
-                needed,
-                have: src.n(),
-            });
+            return Err(ColoredSpecError::TooFewSimulatedProcesses { needed, have: src.n() });
         }
         Ok(ColoredSpec { inner })
     }

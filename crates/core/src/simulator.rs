@@ -125,11 +125,8 @@ impl SimulationSpec {
     /// agreement object; a dead snapshot-agreement blocks 1 simulated
     /// process, a dead consensus-object agreement blocks its ≤ `x` ports.
     pub fn blocked_bound(&self) -> u32 {
-        let per_object = if self.algorithm.layout().is_empty() {
-            1
-        } else {
-            self.algorithm.model().x()
-        };
+        let per_object =
+            if self.algorithm.layout().is_empty() { 1 } else { self.algorithm.model().x() };
         per_object * self.target.class()
     }
 
@@ -210,11 +207,7 @@ pub(crate) fn run_simulation(
     colored: bool,
 ) -> RunReport {
     let n_targets = spec.target.n() as usize;
-    assert_eq!(
-        inputs.len(),
-        n_targets,
-        "one input per simulator (target process) required"
-    );
+    assert_eq!(inputs.len(), n_targets, "one input per simulator (target process) required");
     let cfg = RunConfig::new(n_targets)
         .schedule(run.schedule.clone())
         .crashes(run.crashes.clone())
@@ -377,10 +370,8 @@ impl<W: World> Simulator<W> {
                 match ag.try_decide::<MemArray, W>(&self.env) {
                     None => return, // still unstable; try again later
                     Some(input) => {
-                        let view = input
-                            .iter()
-                            .map(|&(v, sn)| (sn > 0).then_some(v))
-                            .collect::<Vec<_>>();
+                        let view =
+                            input.iter().map(|&(v, sn)| (sn > 0).then_some(v)).collect::<Vec<_>>();
                         self.program(j).on_response(SimResponse::Snapshot(view))
                     }
                 }
@@ -430,8 +421,7 @@ impl<W: World> Simulator<W> {
                 SimStep::Invoke(SimOp::Snapshot) => {
                     // Figure 3 lines 01-05: snapshot MEM, build the input
                     // from the most advanced simulator per process, propose.
-                    let smi =
-                        self.env.snap_scan::<MemArray>(self.mem_key(), self.n_simulators);
+                    let smi = self.env.snap_scan::<MemArray>(self.mem_key(), self.n_simulators);
                     let input = self.build_input(&smi);
                     self.snap_sn[j] += 1;
                     let snapsn = self.snap_sn[j];
@@ -510,10 +500,7 @@ mod tests {
     fn agreement_kind_follows_target_x() {
         let alg = algorithms::kset_read_write(4, 1).unwrap();
         assert_eq!(spec(alg.clone(), 4, 1, 1).agreement_kind(), AgreementKind::Safe);
-        assert_eq!(
-            spec(alg, 4, 3, 3).agreement_kind(),
-            AgreementKind::XSafe { x: 3 }
-        );
+        assert_eq!(spec(alg, 4, 3, 3).agreement_kind(), AgreementKind::XSafe { x: 3 });
     }
 
     #[test]

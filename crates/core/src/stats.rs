@@ -45,12 +45,7 @@ pub struct GridCell {
 /// # Panics
 ///
 /// Panics on invalid parameters (`t_max ≥ n` or `x_max > n`).
-pub fn kset_solvability_grid(
-    n: u32,
-    t_max: u32,
-    x_max: u32,
-    seeds_per_cell: u32,
-) -> Vec<GridCell> {
+pub fn kset_solvability_grid(n: u32, t_max: u32, x_max: u32, seeds_per_cell: u32) -> Vec<GridCell> {
     assert!(t_max < n && x_max <= n, "grid out of the model's range");
     let inputs: Vec<u64> = (0..u64::from(n)).map(|i| 100 + i).collect();
     let mut cells = Vec::new();
@@ -127,10 +122,7 @@ pub fn render_grid(cells: &[GridCell]) -> String {
     for t in 1..=t_max {
         out.push_str(&format!("  {t:>4} |"));
         for x in 1..=x_max {
-            let cell = cells
-                .iter()
-                .find(|c| c.t_prime == t && c.x == x)
-                .expect("rectangular grid");
+            let cell = cells.iter().find(|c| c.t_prime == t && c.x == x).expect("rectangular grid");
             out.push_str(&format!(" {:>3}{}", cell.k, if cell.ok { '✓' } else { '✗' }));
         }
         out.push('\n');

@@ -11,7 +11,7 @@
 use mpcn_runtime::thread_world::ThreadWorld;
 use mpcn_runtime::world::Env;
 
-use crate::simulator::{Simulator, SimulationSpec};
+use crate::simulator::{SimulationSpec, Simulator};
 
 /// Runs the colorless simulation on real threads: one OS thread per
 /// simulator over a shared [`ThreadWorld`]. Returns the simulators'
@@ -45,10 +45,7 @@ pub fn run_colorless_threaded(spec: &SimulationSpec, inputs: &[u64]) -> Vec<u64>
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulator thread must not panic"))
-            .collect()
+        handles.into_iter().map(|h| h.join().expect("simulator thread must not panic")).collect()
     })
 }
 
@@ -56,8 +53,8 @@ pub fn run_colorless_threaded(spec: &SimulationSpec, inputs: &[u64]) -> Vec<u64>
 mod tests {
     use super::*;
     use mpcn_model::ModelParams;
-    use mpcn_tasks::{algorithms, TaskKind};
     use mpcn_runtime::model_world::Outcome;
+    use mpcn_tasks::{algorithms, TaskKind};
 
     #[test]
     fn threaded_bg_simulation_is_safe() {

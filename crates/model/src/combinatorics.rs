@@ -31,10 +31,7 @@ pub fn binomial(n: u64, k: u64) -> u64 {
     for i in 0..k {
         // Multiply first, then divide: (acc * (n - i)) is always divisible
         // by (i + 1) because acc already holds C(n, i).
-        acc = acc
-            .checked_mul(n - i)
-            .expect("binomial coefficient overflows u64")
-            / (i + 1);
+        acc = acc.checked_mul(n - i).expect("binomial coefficient overflows u64") / (i + 1);
     }
     acc
 }
@@ -53,11 +50,7 @@ pub fn binomial(n: u64, k: u64) -> u64 {
 /// ]);
 /// ```
 pub fn subsets(n: u32, k: u32) -> Subsets {
-    let current = if k <= n {
-        Some((0..k).collect())
-    } else {
-        None
-    };
+    let current = if k <= n { Some((0..k).collect()) } else { None };
     Subsets { n, k, current }
 }
 
@@ -120,10 +113,7 @@ pub fn subset_rank(n: u32, set: &[u32]) -> u64 {
     let mut rank: u64 = 0;
     let mut prev: i64 = -1;
     for (i, &e) in set.iter().enumerate() {
-        assert!(
-            (e as i64) > prev && e < n,
-            "subset must be strictly increasing with elements < n"
-        );
+        assert!((e as i64) > prev && e < n, "subset must be strictly increasing with elements < n");
         // Count subsets whose element at position i is smaller than e while
         // positions 0..i match.
         for c in (prev + 1) as u32..e {
@@ -147,10 +137,7 @@ pub fn subset_rank(n: u32, set: &[u32]) -> u64 {
 /// assert_eq!(subset_unrank(4, 2, 5), vec![2, 3]);
 /// ```
 pub fn subset_unrank(n: u32, k: u32, mut rank: u64) -> Vec<u32> {
-    assert!(
-        rank < binomial(n as u64, k as u64),
-        "rank {rank} out of range for C({n}, {k})"
-    );
+    assert!(rank < binomial(n as u64, k as u64), "rank {rank} out of range for C({n}, {k})");
     let mut out = Vec::with_capacity(k as usize);
     let mut c = 0u32; // next candidate element
     for i in 0..k {
@@ -299,8 +286,7 @@ mod tests {
     fn first_superset_is_first_in_scan_order() {
         for n in 2..8u32 {
             for k in 1..=n {
-                let owner_sets: Vec<Vec<u32>> =
-                    (1..=k).flat_map(|j| subsets(n, j)).collect();
+                let owner_sets: Vec<Vec<u32>> = (1..=k).flat_map(|j| subsets(n, j)).collect();
                 for owners in owner_sets {
                     let got = first_superset_rank(n, k, &owners).unwrap();
                     let expect = subsets(n, k)

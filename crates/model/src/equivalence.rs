@@ -131,9 +131,7 @@ pub fn class_partition(t_prime: u32, x_max: u32) -> Vec<ClassRow> {
 /// (row-major in `t`). Used by the Table-5.4 bench and example to print the
 /// full landscape of model equivalences.
 pub fn class_grid(t_max: u32, x_max: u32) -> Vec<Vec<u32>> {
-    (0..=t_max)
-        .map(|t| (1..=x_max).map(|x| t / x).collect())
-        .collect()
+    (0..=t_max).map(|t| (1..=x_max).map(|x| t / x).collect()).collect()
 }
 
 /// The paper's Section 5.4 closing inequality: `ASM(n, t', x) ≃ ASM(n, t, 1)`
@@ -252,11 +250,7 @@ mod tests {
         for t in 0..12u32 {
             for x in 1..12u32 {
                 for tp in 0..100u32 {
-                    assert_eq!(
-                        in_class_by_ratio(tp, x, t),
-                        tp / x == t,
-                        "t'={tp} x={x} t={t}"
-                    );
+                    assert_eq!(in_class_by_ratio(tp, x, t), tp / x == t, "t'={tp} x={x} t={t}");
                 }
             }
         }

@@ -102,9 +102,7 @@ impl TaskClass {
 /// solvable in that class. This is the model-side of the paper's hierarchy:
 /// the solvable set grows strictly as the class decreases.
 pub fn solvability_matrix(n: u32) -> Vec<(u32, Vec<u32>)> {
-    let mut classes: Vec<u32> = (0..n)
-        .flat_map(|t| (1..=n).map(move |x| t / x))
-        .collect();
+    let mut classes: Vec<u32> = (0..n).flat_map(|t| (1..=n).map(move |x| t / x)).collect();
     classes.sort_unstable();
     classes.dedup();
     classes

@@ -219,28 +219,16 @@ mod tests {
 
     #[test]
     fn new_validates_fault_bound() {
-        assert_eq!(
-            ModelParams::new(3, 3, 1),
-            Err(ParamError::TooManyFaults { t: 3, n: 3 })
-        );
-        assert_eq!(
-            ModelParams::new(3, 7, 1),
-            Err(ParamError::TooManyFaults { t: 7, n: 3 })
-        );
+        assert_eq!(ModelParams::new(3, 3, 1), Err(ParamError::TooManyFaults { t: 3, n: 3 }));
+        assert_eq!(ModelParams::new(3, 7, 1), Err(ParamError::TooManyFaults { t: 7, n: 3 }));
         assert!(ModelParams::new(3, 2, 1).is_ok());
         assert!(ModelParams::new(3, 0, 1).is_ok(), "failure-free model is allowed");
     }
 
     #[test]
     fn new_validates_consensus_number() {
-        assert_eq!(
-            ModelParams::new(3, 1, 0),
-            Err(ParamError::BadConsensusNumber { x: 0, n: 3 })
-        );
-        assert_eq!(
-            ModelParams::new(3, 1, 4),
-            Err(ParamError::BadConsensusNumber { x: 4, n: 3 })
-        );
+        assert_eq!(ModelParams::new(3, 1, 0), Err(ParamError::BadConsensusNumber { x: 0, n: 3 }));
+        assert_eq!(ModelParams::new(3, 1, 4), Err(ParamError::BadConsensusNumber { x: 4, n: 3 }));
         assert!(ModelParams::new(3, 1, 3).is_ok());
     }
 

@@ -75,9 +75,7 @@ impl WaitFreeSnapshot {
         let zero_view = Arc::new(vec![0u64; n]);
         WaitFreeSnapshot {
             cells: (0..n)
-                .map(|_| {
-                    Atomic::new(Record { seq: 0, data: 0, view: Arc::clone(&zero_view) })
-                })
+                .map(|_| Atomic::new(Record { seq: 0, data: 0, view: Arc::clone(&zero_view) }))
                 .collect(),
         }
     }
@@ -323,10 +321,7 @@ impl CasConsensus {
     /// Panics if `v == u64::MAX` (reserved sentinel).
     pub fn propose(&self, v: u64) -> u64 {
         assert_ne!(v, EMPTY, "u64::MAX is reserved");
-        match self
-            .slot
-            .compare_exchange(EMPTY, v, Ordering::AcqRel, Ordering::Acquire)
-        {
+        match self.slot.compare_exchange(EMPTY, v, Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => v,
             Err(winner) => winner,
         }

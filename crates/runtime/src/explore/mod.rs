@@ -1,0 +1,692 @@
+//! Bounded model checking of model-world programs: exhaustive schedule
+//! enumeration with visited-state pruning and a commuting-reads
+//! reduction — loom-style, but over the model world's virtual processes.
+//!
+//! # Enumeration (odometer DFS)
+//!
+//! A model-world run is fully determined by its *choice vector*: at the
+//! `i`-th scheduling decision the scheduler picks `alive[c_i % alive.len()]`
+//! ([`Schedule::Indexed`]). Because process bodies are deterministic, the
+//! branch degree at each decision (`alive.len()`) is a function of the
+//! prefix of choices — so the space of schedules forms a finitely-branching
+//! tree that can be enumerated without state snapshots: run, read off the
+//! recorded branch degrees, increment the deepest incrementable choice
+//! ("odometer" DFS), re-run.
+//!
+//! # Prefix pruning ([`Reduction::prune_visited`])
+//!
+//! Re-running shared prefixes is cheap; the exponential cost is sibling
+//! *subtrees* that converge to the same global state (e.g. two writes to
+//! different snapshot cells in either order). The model world fingerprints
+//! the global state after every pick ([`RunConfig::record_state_hashes`]):
+//! shared-memory contents plus, per process, its liveness flags, result,
+//! and the rolling hash of its *observation history* (every operation's
+//! key and returned value). A deterministic closure's control state is
+//! exactly a function of the values its operations returned, so
+//!
+//! > equal fingerprint ⇒ equal memory and equal per-process control
+//! > states ⇒ identical behavior under identical schedule suffixes.
+//!
+//! The explorer therefore keeps a visited-fingerprint set; when a freshly
+//! executed pick lands in an already-visited state, every *other*
+//! extension of that prefix is skipped (the first extension was just run,
+//! and the state's full subtree was or will be covered from its first
+//! occurrence). No reachable final state is lost, so a checker that reads
+//! only run outcomes (decided values, crash/undecided status) sees the
+//! same violation set with pruning on or off — property-tested in
+//! `tests/proptests.rs`. Path statistics (`steps`, `ops_by_kind`,
+//! `trace`) are *not* part of the state and may differ between the
+//! retained representative and a pruned schedule.
+//!
+//! # Commuting reads ([`Reduction::sleep_reads`])
+//!
+//! Two adjacent picks that both execute *pure reads* (`reg_read`,
+//! `snap_scan`) commute: neither changes memory, so both orders reach the
+//! same state. In the spirit of sleep sets, the explorer keeps only the
+//! canonical (pid-ascending) order of each such adjacent pair and skips
+//! the transposed sibling subtree — before running it when the pair is
+//! visible in recorded prefix metadata ([`RunConfig::record_decisions`]),
+//! or right after otherwise. Pruning alone would also converge one pick
+//! later; the reduction avoids executing those runs at all. Crash plans
+//! are honored: a pick that would deliver a crash is never treated as a
+//! read, and the reduction is disabled under [`Crashes::Random`] (whose
+//! RNG state is not a function of the reached state — that policy is for
+//! sampling, not exhaustive exploration, and disables visited-state
+//! pruning too).
+//!
+//! # Crashes and bounds
+//!
+//! Crash plans compose orthogonally: [`Crashes::AtOwnStep`] is expressed
+//! per victim's own step count, which is schedule independent, so
+//! exhausting `(victim, step)` pairs × schedules covers every placement
+//! of a crash in every interleaving. [`ExploreLimits::max_depth`] bounds
+//! *sibling enumeration* depth for bounded-depth sweeps of larger
+//! configurations: runs still execute to completion, but scheduling
+//! alternatives are only explored in the first `max_depth` picks (the
+//! report is then marked incomplete).
+//!
+//! Use **bounded** process bodies (no unbounded busy-wait loops): a
+//! spinning process makes the schedule tree infinite. The agreement
+//! protocols are verified with propose sequences plus a fixed number of
+//! polls — safety (agreement, validity) is exhaustively checked on every
+//! interleaving of the proposes.
+
+pub mod report;
+
+pub use report::{ExploreReport, ExploreStats, Violation};
+
+use std::collections::HashSet;
+
+use crate::model_world::{Body, Decision, ModelWorld, RunConfig, RunReport};
+use crate::sched::{Crashes, Schedule};
+use crate::world::Pid;
+
+/// Bounds for an exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreLimits {
+    /// Maximum number of runs before giving up (incomplete exploration).
+    pub max_runs: u64,
+    /// Step budget per run (guards against accidental unbounded bodies).
+    pub max_steps: u64,
+    /// Sibling-enumeration depth bound (in picks): scheduling
+    /// alternatives are only explored in the first `max_depth` decisions
+    /// of a run. `usize::MAX` (the default) means unbounded.
+    pub max_depth: usize,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits { max_runs: 100_000, max_steps: 10_000, max_depth: usize::MAX }
+    }
+}
+
+impl ExploreLimits {
+    /// Default limits with sibling enumeration bounded to `max_depth`
+    /// picks (for bounded-depth sweeps of larger configurations).
+    pub fn depth_bounded(max_depth: usize) -> Self {
+        ExploreLimits { max_depth, ..ExploreLimits::default() }
+    }
+}
+
+/// Which search-space reductions the explorer applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reduction {
+    /// Skip subtrees rooted at an already-visited global state.
+    pub prune_visited: bool,
+    /// Keep only the canonical order of adjacent commuting pure reads.
+    pub sleep_reads: bool,
+}
+
+impl Reduction {
+    /// Both reductions (the default).
+    pub fn full() -> Self {
+        Reduction { prune_visited: true, sleep_reads: true }
+    }
+
+    /// Plain exhaustive enumeration — the reference the reductions are
+    /// validated against.
+    pub fn none() -> Self {
+        Reduction { prune_visited: false, sleep_reads: false }
+    }
+}
+
+impl Default for Reduction {
+    fn default() -> Self {
+        Reduction::full()
+    }
+}
+
+/// A configured bounded model checker for `n`-process model-world
+/// programs.
+///
+/// ```
+/// use mpcn_runtime::explore::Explorer;
+/// use mpcn_runtime::model_world::{Body, ModelWorld};
+/// use mpcn_runtime::world::{Env, ObjKey};
+///
+/// // Two processes race on a test&set object; exactly one wins, on
+/// // every interleaving.
+/// let key = ObjKey::new(900, 0, 0);
+/// let report = Explorer::new(2).run(
+///     || {
+///         (0..2)
+///             .map(|_| Box::new(move |env: Env<ModelWorld>| u64::from(env.tas(key))) as Body)
+///             .collect()
+///     },
+///     |r| {
+///         let wins: u64 = r.decided_values().iter().sum();
+///         (wins == 1).then_some(()).ok_or_else(|| format!("{wins} winners"))
+///     },
+/// );
+/// assert!(report.complete);
+/// report.assert_no_violation();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    n: usize,
+    crashes: Crashes,
+    limits: ExploreLimits,
+    reduction: Reduction,
+    collect_all: bool,
+}
+
+impl Explorer {
+    /// An explorer for `n`-process programs with no crashes, default
+    /// limits, and both reductions enabled.
+    pub fn new(n: usize) -> Self {
+        Explorer {
+            n,
+            crashes: Crashes::None,
+            limits: ExploreLimits::default(),
+            reduction: Reduction::default(),
+            collect_all: false,
+        }
+    }
+
+    /// Sets the crash adversary, exhausted alongside the schedules.
+    ///
+    /// [`Crashes::Random`] disables both reductions: its RNG state is a
+    /// function of the pick history, not of the reached state, so neither
+    /// pruning argument applies (and random crashes are a sampling
+    /// policy, not an exhaustive one).
+    pub fn crashes(mut self, c: Crashes) -> Self {
+        self.crashes = c;
+        self
+    }
+
+    /// Sets the exploration bounds.
+    pub fn limits(mut self, l: ExploreLimits) -> Self {
+        self.limits = l;
+        self
+    }
+
+    /// Sets the search-space reductions.
+    pub fn reduction(mut self, r: Reduction) -> Self {
+        self.reduction = r;
+        self
+    }
+
+    /// Keep exploring after a violation and collect all of them, instead
+    /// of stopping at the first (the default).
+    pub fn collect_all(mut self, yes: bool) -> Self {
+        self.collect_all = yes;
+        self
+    }
+
+    /// Explores every schedule of the processes produced by `make_bodies`
+    /// (re-invoked per run — bodies must be deterministic), running
+    /// `check` on every completed run.
+    ///
+    /// With [`Reduction::prune_visited`] on, `check` must depend only on
+    /// run *outcomes* (decided values, crash/undecided status) for the
+    /// violation set to be preserved — path statistics differ between a
+    /// pruned schedule and its retained representative.
+    pub fn run<F, C>(&self, make_bodies: F, check: C) -> ExploreReport
+    where
+        F: Fn() -> Vec<Body>,
+        C: Fn(&RunReport) -> Result<(), String>,
+    {
+        let reducible = !matches!(self.crashes, Crashes::Random { .. });
+        let prune = self.reduction.prune_visited && reducible;
+        let sleep = self.reduction.sleep_reads && reducible;
+
+        let mut stats = ExploreStats::new(self.n);
+        let mut violations: Vec<Violation> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut complete = true;
+        let mut choices: Vec<usize> = Vec::new();
+        let mut fresh_from = 0usize;
+        // Metadata of the last *executed* run (assigned before first use —
+        // every exploration executes at least one run). A candidate differs
+        // from it only at its deepest position, so records for shallower
+        // decisions stay valid (they are functions of the shared prefix).
+        let mut last_branching: Vec<usize>;
+        let mut last_decisions: Vec<Decision>;
+
+        'explore: loop {
+            if stats.runs >= self.limits.max_runs {
+                complete = false;
+                break;
+            }
+            let cfg = RunConfig::new(self.n)
+                .schedule(Schedule::Indexed { choices: choices.clone() })
+                .crashes(self.crashes.clone())
+                .max_steps(self.limits.max_steps)
+                .record_branching(true)
+                .record_state_hashes(prune)
+                .record_decisions(sleep);
+            let run = ModelWorld::run(cfg, make_bodies());
+            stats.runs += 1;
+            let branching = run.branching.clone().expect("branching recording was requested");
+            let depth = branching.len();
+            stats.max_depth = stats.max_depth.max(depth);
+
+            // Effective sibling-enumeration depth for this run: the depth
+            // bound, then the shallowest reduction cut.
+            let mut eff = depth;
+            if depth > self.limits.max_depth {
+                eff = self.limits.max_depth;
+                stats.depth_limited_runs += 1;
+                complete = false;
+            }
+            if prune {
+                let hashes = run.state_hashes.as_ref().expect("state hashes were requested");
+                debug_assert_eq!(hashes.len(), depth, "one fingerprint per pick");
+                for (d, &hash) in hashes.iter().enumerate().take(depth.min(eff)).skip(fresh_from) {
+                    if visited.insert(hash) {
+                        stats.states_visited += 1;
+                    } else {
+                        stats.states_pruned += 1;
+                        eff = d + 1;
+                        break;
+                    }
+                }
+            } else {
+                // Every fresh pick reaches a node no other schedule
+                // prefix reaches (no merging without hashing).
+                stats.states_visited += (depth.min(eff) - fresh_from) as u64;
+            }
+            if sleep {
+                let decisions = run.decisions.as_ref().expect("decisions were requested");
+                for d in fresh_from.max(1)..depth.min(eff) {
+                    if non_canonical_read_pair(&decisions[d - 1], &decisions[d]) {
+                        stats.sleep_skips += 1;
+                        eff = eff.min(d + 1);
+                        break;
+                    }
+                }
+            }
+            for &degree in branching.iter().take(depth.min(eff)).skip(fresh_from) {
+                stats.branching_histogram[degree] += 1;
+            }
+
+            if let Err(message) = check(&run) {
+                let mut repro = choices.clone();
+                repro.resize(depth, 0);
+                violations.push(Violation { choices: repro, message });
+                if !self.collect_all {
+                    complete = false;
+                    break;
+                }
+            }
+
+            // Odometer: make the enumerable prefix explicit, then advance
+            // the deepest position with siblings left; pre-skip candidates
+            // the commuting-reads rule proves redundant.
+            choices.resize(depth.min(eff), 0);
+            last_branching = branching;
+            last_decisions = run.decisions.clone().unwrap_or_default();
+            loop {
+                let mut advanced = None;
+                for i in (0..choices.len()).rev() {
+                    if choices[i] + 1 < last_branching[i] {
+                        choices[i] += 1;
+                        choices.truncate(i + 1);
+                        advanced = Some(i);
+                        break;
+                    }
+                }
+                let Some(i) = advanced else {
+                    break 'explore;
+                };
+                fresh_from = i;
+                if sleep && self.candidate_is_sleep_skippable(i, choices[i], &last_decisions) {
+                    stats.sleep_skips += 1;
+                    continue;
+                }
+                continue 'explore;
+            }
+        }
+
+        ExploreReport { stats, complete: complete && violations.is_empty(), violations }
+    }
+
+    /// Decides — *before running it* — whether the candidate that picks
+    /// alive-index `v` at decision `i` starts a redundant transposed
+    /// read pair with the (unchanged) pick at decision `i − 1`.
+    ///
+    /// `decisions` comes from the last executed run; the candidate shares
+    /// its choice prefix below `i`, so records up to `i − 1` describe the
+    /// candidate exactly, and record `i`'s alive/reads sets (functions of
+    /// the prefix) do too — only its pick differs.
+    fn candidate_is_sleep_skippable(&self, i: usize, v: usize, decisions: &[Decision]) -> bool {
+        if i == 0 || i >= decisions.len() {
+            return false;
+        }
+        let prev = &decisions[i - 1];
+        if !prev.picked_a_read() {
+            return false;
+        }
+        let cur = &decisions[i];
+        let p = cur.nth_alive(v);
+        if p >= prev.picked || !cur.is_pending_read(p) || !prev.is_pending_read(p) {
+            return false;
+        }
+        // The candidate pick only executes p's read if the crash plan does
+        // not fire first (p's own-step count is prefix determined).
+        let own = decisions[..i].iter().filter(|d| d.picked == p && !d.crash).count() as u64;
+        !self.crash_fires(p, own)
+    }
+
+    /// Whether the (stateless) crash plan crashes `pid` at its `own`-th
+    /// step. [`Crashes::Random`] never reaches here — it disables the
+    /// reductions.
+    fn crash_fires(&self, pid: Pid, own: u64) -> bool {
+        match &self.crashes {
+            Crashes::None => false,
+            Crashes::AtOwnStep(plan) => plan.iter().any(|&(p, s)| p == pid && s == own),
+            Crashes::Random { .. } => unreachable!("reductions are disabled under random crashes"),
+        }
+    }
+}
+
+/// `true` if decisions `d − 1, d` executed two pure reads in
+/// descending-pid order — the transposition of a canonical pair whose
+/// subtree reaches the identical state.
+fn non_canonical_read_pair(prev: &Decision, cur: &Decision) -> bool {
+    prev.picked_a_read()
+        && cur.picked_a_read()
+        && cur.picked < prev.picked
+        && prev.is_pending_read(cur.picked)
+}
+
+/// Exhaustively explores every schedule with **no reductions** — the
+/// reference enumeration. Stops at the first violation or when
+/// `limits.max_runs` is hit.
+///
+/// Shorthand for [`Explorer::run`] with [`Reduction::none`]; use the
+/// builder for pruning, bounded-depth sweeps, or violation collection.
+pub fn explore<F, C>(
+    n: usize,
+    crashes: Crashes,
+    limits: ExploreLimits,
+    make_bodies: F,
+    check: C,
+) -> ExploreReport
+where
+    F: Fn() -> Vec<Body>,
+    C: Fn(&RunReport) -> Result<(), String>,
+{
+    Explorer::new(n)
+        .crashes(crashes)
+        .limits(limits)
+        .reduction(Reduction::none())
+        .run(make_bodies, check)
+}
+
+/// Replays one choice vector under the same configuration an exploration
+/// used — the deterministic reproduction of a [`Violation`].
+pub fn replay<F>(
+    n: usize,
+    crashes: Crashes,
+    max_steps: u64,
+    make_bodies: F,
+    choices: &[usize],
+) -> RunReport
+where
+    F: Fn() -> Vec<Body>,
+{
+    let cfg = RunConfig::new(n)
+        .schedule(Schedule::Indexed { choices: choices.to_vec() })
+        .crashes(crashes)
+        .max_steps(max_steps);
+    ModelWorld::run(cfg, make_bodies())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{Env, ObjKey};
+
+    const REG: ObjKey = ObjKey::new(60, 0, 0);
+    const TAS: ObjKey = ObjKey::new(61, 0, 0);
+
+    fn tas_bodies() -> Vec<Body> {
+        (0..2)
+            .map(|_| Box::new(move |env: Env<ModelWorld>| u64::from(env.tas(TAS))) as Body)
+            .collect()
+    }
+
+    fn one_winner(report: &RunReport) -> Result<(), String> {
+        let wins: u64 = report.decided_values().iter().sum();
+        (wins == 1).then_some(()).ok_or_else(|| format!("{wins} winners"))
+    }
+
+    #[test]
+    fn explores_all_interleavings_of_two_single_step_processes() {
+        // Two processes, one step each: exactly 2 schedules (AB, BA).
+        let out = explore(2, Crashes::None, ExploreLimits::default(), tas_bodies, one_winner);
+        assert!(out.complete);
+        assert!(out.violations.is_empty());
+        assert_eq!(out.runs(), 2);
+        assert_eq!(out.stats.max_depth, 2);
+    }
+
+    #[test]
+    fn finds_a_violation_and_reports_the_schedule() {
+        // A deliberately broken invariant: "process 1 always wins the
+        // test&set" fails exactly on schedules where 0 runs first.
+        let out =
+            explore(2, Crashes::None, ExploreLimits::default(), tas_bodies, |report| match report
+                .outcomes[1]
+                .decided()
+            {
+                Some(1) => Ok(()),
+                other => Err(format!("p1 got {other:?}")),
+            });
+        let v = out.violation().expect("violation must be found");
+        assert!(!out.complete);
+        // Replay the emitted schedule: it reproduces the violation
+        // deterministically.
+        let report = replay(2, Crashes::None, 10_000, tas_bodies, &v.choices);
+        assert_eq!(report.outcomes[1].decided(), Some(0));
+        assert!(v.repro_snippet().starts_with("Schedule::Indexed"));
+    }
+
+    #[test]
+    fn schedule_count_matches_interleaving_combinatorics() {
+        // Two processes with 2 steps each: C(4,2) = 6 interleavings.
+        let bodies = || {
+            (0..2)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        env.reg_write(ObjKey::new(62, i, 0), 1u64);
+                        env.reg_write(ObjKey::new(62, i, 1), 2u64);
+                        i
+                    }) as Body
+                })
+                .collect()
+        };
+        let out = explore(2, Crashes::None, ExploreLimits::default(), bodies, |_r| Ok(()));
+        assert!(out.complete);
+        assert_eq!(out.runs(), 6);
+        // Every fresh decision is a distinct tree node; the histogram is
+        // the node-degree census (degrees 1 and 2 only for n = 2).
+        assert_eq!(out.stats.branching_histogram[0], 0);
+        assert_eq!(out.stats.decisions(), out.stats.states_visited);
+    }
+
+    #[test]
+    fn three_processes_one_step_each_gives_six_orders() {
+        let bodies = || {
+            (0..3)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        env.reg_write(REG.with_b(i), 1u64);
+                        i
+                    }) as Body
+                })
+                .collect()
+        };
+        let out = explore(3, Crashes::None, ExploreLimits::default(), bodies, |_r| Ok(()));
+        assert!(out.complete);
+        assert_eq!(out.runs(), 6, "3! orders");
+    }
+
+    #[test]
+    fn run_limit_reports_incomplete() {
+        let out = explore(
+            2,
+            Crashes::None,
+            ExploreLimits { max_runs: 3, max_steps: 100, max_depth: usize::MAX },
+            || {
+                (0..2)
+                    .map(|i| {
+                        Box::new(move |env: Env<ModelWorld>| {
+                            for b in 0..3 {
+                                env.reg_write(ObjKey::new(63, i, b), b);
+                            }
+                            i
+                        }) as Body
+                    })
+                    .collect()
+            },
+            |_r| Ok(()),
+        );
+        assert!(!out.complete);
+        assert_eq!(out.runs(), 3);
+    }
+
+    #[test]
+    fn crash_plans_compose_with_exploration() {
+        // Crash p0 before its only step, in every schedule: p1 must then
+        // always win the test&set.
+        let out = explore(
+            2,
+            Crashes::AtOwnStep(vec![(0, 0)]),
+            ExploreLimits::default(),
+            tas_bodies,
+            |report| match report.outcomes[1].decided() {
+                Some(1) => Ok(()),
+                other => Err(format!("p1 got {other:?}")),
+            },
+        );
+        assert!(out.complete, "exploration finishes");
+        out.assert_no_violation();
+    }
+
+    /// Two writers to different registers: the orders converge to the
+    /// same state, so pruning halves the leaf count.
+    #[test]
+    fn pruning_merges_commuting_writes() {
+        let bodies = || {
+            (0..2)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        env.reg_write(REG.with_b(10 + i), i);
+                        env.reg_write(REG.with_b(20 + i), i);
+                        i
+                    }) as Body
+                })
+                .collect()
+        };
+        let unpruned = explore(2, Crashes::None, ExploreLimits::default(), bodies, |_r| Ok(()));
+        let pruned = Explorer::new(2)
+            .reduction(Reduction { prune_visited: true, sleep_reads: false })
+            .run(bodies, |_r| Ok(()));
+        assert!(unpruned.complete && pruned.complete);
+        assert_eq!(unpruned.runs(), 6);
+        assert!(pruned.runs() < unpruned.runs(), "{} !< {}", pruned.runs(), unpruned.runs());
+        assert!(pruned.stats.states_visited < unpruned.stats.states_visited);
+        assert!(pruned.stats.states_pruned > 0);
+    }
+
+    /// Readers followed by private writes: each transposed adjacent read
+    /// pair either cuts its subtree or is skipped before running, so the
+    /// reduction executes strictly fewer schedules than plain DFS.
+    #[test]
+    fn sleep_reduction_cuts_transposed_read_pairs() {
+        let bodies = || {
+            (0..2)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        let seen = env.reg_read::<u64>(REG).map_or(0, |v| v);
+                        env.reg_write(REG.with_b(30 + i), seen);
+                        i
+                    }) as Body
+                })
+                .collect()
+        };
+        let unpruned = explore(2, Crashes::None, ExploreLimits::default(), bodies, |_r| Ok(()));
+        let sleep = Explorer::new(2)
+            .reduction(Reduction { prune_visited: false, sleep_reads: true })
+            .run(bodies, |_r| Ok(()));
+        assert_eq!(unpruned.runs(), 6, "C(4,2) interleavings");
+        assert!(sleep.complete);
+        assert!(sleep.runs() < unpruned.runs(), "{} !< {}", sleep.runs(), unpruned.runs());
+        assert!(sleep.stats.sleep_skips > 0);
+    }
+
+    /// Reductions must preserve the violation set of outcome-only
+    /// checkers (here: existence plus the message).
+    #[test]
+    fn reductions_preserve_violations() {
+        let check = |report: &RunReport| match report.outcomes[1].decided() {
+            Some(1) => Ok(()),
+            other => Err(format!("p1 got {other:?}")),
+        };
+        let unpruned = explore(2, Crashes::None, ExploreLimits::default(), tas_bodies, check);
+        let reduced = Explorer::new(2).run(tas_bodies, check);
+        let (u, r) = (unpruned.violation().unwrap(), reduced.violation().unwrap());
+        assert_eq!(u.message, r.message);
+        // Both replay to the same outcome.
+        let ru = replay(2, Crashes::None, 100, tas_bodies, &u.choices);
+        let rr = replay(2, Crashes::None, 100, tas_bodies, &r.choices);
+        assert_eq!(ru.outcomes[1], rr.outcomes[1]);
+    }
+
+    /// A depth bound truncates sibling enumeration, not execution, and
+    /// marks the exploration incomplete.
+    #[test]
+    fn depth_bound_truncates_enumeration() {
+        let bodies = || {
+            (0..2)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        for b in 0..4 {
+                            env.reg_write(ObjKey::new(64, i, b), b);
+                        }
+                        i
+                    }) as Body
+                })
+                .collect()
+        };
+        let full = explore(2, Crashes::None, ExploreLimits::default(), bodies, |_r| Ok(()));
+        let bounded = Explorer::new(2)
+            .reduction(Reduction::none())
+            .limits(ExploreLimits::depth_bounded(2))
+            .run(bodies, |_r| Ok(()));
+        assert!(full.complete);
+        assert!(!bounded.complete);
+        assert!(bounded.stats.depth_limited_runs > 0);
+        assert!(bounded.runs() < full.runs());
+        assert_eq!(bounded.stats.max_depth, 8, "runs still execute to completion");
+    }
+
+    #[test]
+    fn collect_all_gathers_every_violating_schedule() {
+        // "p1 always wins": fails on every schedule where p0 steps first —
+        // unpruned, that is half of the 2 leaf schedules.
+        let out = Explorer::new(2).reduction(Reduction::none()).collect_all(true).run(
+            tas_bodies,
+            |report| match report.outcomes[1].decided() {
+                Some(1) => Ok(()),
+                other => Err(format!("p1 got {other:?}")),
+            },
+        );
+        assert!(!out.complete, "violations make a run incomplete as a proof");
+        assert_eq!(out.runs(), 2, "collect_all keeps enumerating");
+        assert_eq!(out.violations.len(), 1);
+    }
+
+    #[test]
+    fn random_crashes_disable_reductions() {
+        let out = Explorer::new(2)
+            .crashes(Crashes::Random { seed: 1, p: 0.0, max: 0 })
+            .run(tas_bodies, one_winner);
+        assert!(out.complete);
+        assert_eq!(out.stats.states_pruned, 0);
+        assert_eq!(out.stats.sleep_skips, 0);
+        assert_eq!(out.runs(), 2, "behaves as plain enumeration");
+    }
+}

@@ -1,0 +1,187 @@
+//! Exploration results: statistics, violations, and replay helpers.
+//!
+//! Everything in this module is **deterministic**: the same program,
+//! limits, and reduction settings produce byte-identical
+//! [`ExploreStats::summary`] strings on every run, machine, and
+//! optimization level — the property the CI determinism gate diffs.
+
+use crate::sched::Schedule;
+
+/// Coverage and reduction statistics of one exploration.
+///
+/// "States" are schedule-tree nodes keyed by their global-state
+/// fingerprint (see [`crate::model_world::RunReport::state_hashes`]).
+/// Without pruning every freshly executed pick counts as a distinct
+/// state, so the pruned/unpruned `states_visited` values are directly
+/// comparable: their difference is the work the reductions avoided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Number of schedules executed.
+    pub runs: u64,
+    /// Distinct states visited (tree nodes executed and retained).
+    pub states_visited: u64,
+    /// Fresh picks that reached an already-visited state (each cuts the
+    /// subtree below it).
+    pub states_pruned: u64,
+    /// Subtrees skipped by the commuting-reads (sleep-set-style)
+    /// reduction, before or after executing a representative.
+    pub sleep_skips: u64,
+    /// Deepest schedule (in picks) seen.
+    pub max_depth: usize,
+    /// Runs whose schedule ran past [`super::ExploreLimits::max_depth`]
+    /// (sibling enumeration was truncated there).
+    pub depth_limited_runs: u64,
+    /// `branching_histogram[d]` counts retained fresh decisions that had
+    /// exactly `d` schedulable processes (index `0 ..= n`).
+    pub branching_histogram: Vec<u64>,
+}
+
+impl ExploreStats {
+    pub(super) fn new(n: usize) -> Self {
+        ExploreStats {
+            runs: 0,
+            states_visited: 0,
+            states_pruned: 0,
+            sleep_skips: 0,
+            max_depth: 0,
+            depth_limited_runs: 0,
+            branching_histogram: vec![0; n + 1],
+        }
+    }
+
+    /// Total retained fresh decisions (sum of the branching histogram).
+    pub fn decisions(&self) -> u64 {
+        self.branching_histogram.iter().sum()
+    }
+
+    /// One deterministic `key=value` line (no timing, no pointers), fit
+    /// for golden files and the CI determinism gate.
+    pub fn summary(&self) -> String {
+        let hist =
+            self.branching_histogram.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        format!(
+            "runs={} visited={} pruned={} sleep={} max_depth={} depth_limited={} branching=[{}]",
+            self.runs,
+            self.states_visited,
+            self.states_pruned,
+            self.sleep_skips,
+            self.max_depth,
+            self.depth_limited_runs,
+            hist
+        )
+    }
+}
+
+/// A safety violation found by the explorer, together with the exact
+/// schedule prefix that reproduces it deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The choice vector of the violating run: replay it with
+    /// [`Violation::schedule`] under the same `n`, crash plan, and bodies.
+    pub choices: Vec<usize>,
+    /// The checker's message.
+    pub message: String,
+}
+
+impl Violation {
+    /// The schedule that re-runs the violating interleaving.
+    pub fn schedule(&self) -> Schedule {
+        Schedule::Indexed { choices: self.choices.clone() }
+    }
+
+    /// A copy-pasteable reproduction expression for a unit test.
+    pub fn repro_snippet(&self) -> String {
+        format!("Schedule::Indexed {{ choices: vec!{:?} }}", self.choices)
+    }
+}
+
+/// Result of an exploration ([`super::Explorer::run`]).
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Coverage and reduction statistics.
+    pub stats: ExploreStats,
+    /// `true` iff the schedule tree was exhausted within every limit: no
+    /// run budget exhaustion, no depth truncation, no early stop at a
+    /// violation. With reductions enabled, "exhausted" means every
+    /// reachable state was covered by a retained representative.
+    pub complete: bool,
+    /// Violations found, in discovery order (at most one unless
+    /// [`super::Explorer::collect_all`] was set).
+    pub violations: Vec<Violation>,
+}
+
+impl ExploreReport {
+    /// Number of schedules executed.
+    pub fn runs(&self) -> u64 {
+        self.stats.runs
+    }
+
+    /// The first violation found, if any.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+
+    /// Panics with a reproduction recipe if a violation was found.
+    ///
+    /// # Panics
+    ///
+    /// If any violation was recorded.
+    pub fn assert_no_violation(&self) {
+        if let Some(v) = self.violations.first() {
+            panic!(
+                "exploration found a violating schedule: {}\n  reproduce with {}",
+                v.message,
+                v.repro_snippet()
+            );
+        }
+    }
+
+    /// One deterministic summary line: `label: <stats> complete=<..>
+    /// violations=<count>` — the format the step-count benches print to
+    /// stderr and CI diffs across two runs.
+    pub fn summary_line(&self, label: &str) -> String {
+        format!(
+            "explore: {label} {} complete={} violations={}",
+            self.stats.summary(),
+            self.complete,
+            self.violations.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_is_stable_and_complete() {
+        let mut stats = ExploreStats::new(2);
+        stats.runs = 6;
+        stats.states_visited = 12;
+        stats.max_depth = 4;
+        stats.branching_histogram = vec![0, 4, 8];
+        assert_eq!(
+            stats.summary(),
+            "runs=6 visited=12 pruned=0 sleep=0 max_depth=4 depth_limited=0 branching=[0,4,8]"
+        );
+        assert_eq!(stats.decisions(), 12);
+    }
+
+    #[test]
+    fn violation_repro_snippet_quotes_choices() {
+        let v = Violation { choices: vec![1, 0, 2], message: "two winners".into() };
+        assert_eq!(v.repro_snippet(), "Schedule::Indexed { choices: vec![1, 0, 2] }");
+        assert_eq!(v.schedule(), Schedule::Indexed { choices: vec![1, 0, 2] });
+    }
+
+    #[test]
+    #[should_panic(expected = "reproduce with Schedule::Indexed")]
+    fn assert_no_violation_panics_with_recipe() {
+        let report = ExploreReport {
+            stats: ExploreStats::new(2),
+            complete: false,
+            violations: vec![Violation { choices: vec![0], message: "boom".into() }],
+        };
+        report.assert_no_violation();
+    }
+}

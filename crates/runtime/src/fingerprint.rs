@@ -1,0 +1,104 @@
+//! Deterministic 64-bit fingerprints for model-checking state hashing.
+//!
+//! The exhaustive explorer ([`crate::explore`]) prunes schedule subtrees
+//! whose root *global state* was already visited. That requires hashing
+//! shared-memory contents and per-process observation histories in a way
+//! that is stable across runs, processes, and `HashMap` iteration orders —
+//! the standard library's `RandomState` is per-process seeded and therefore
+//! useless here. [`Fnv1a`] is a plain FNV-1a 64-bit [`std::hash::Hasher`]
+//! with fixed parameters: the same value always hashes to the same word, so
+//! explorer statistics (states visited/pruned) are exactly reproducible —
+//! the property the CI determinism gate checks.
+//!
+//! Collisions merge distinct states and could in principle hide a
+//! violating schedule; with a 64-bit digest and state spaces in the
+//! millions the collision probability is ≈ `k²/2⁶⁵`, negligible next to
+//! the model-level abstractions the explorer already makes.
+
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a offset basis (64-bit).
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A fixed-parameter FNV-1a 64-bit hasher: deterministic across runs,
+/// processes, and platforms (multi-byte writes are folded little-endian).
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(OFFSET)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.write(&n.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// Fingerprints one hashable value.
+pub fn fp_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = Fnv1a::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Extends a rolling fingerprint with the next word (order sensitive:
+/// `mix(mix(s, a), b) ≠ mix(mix(s, b), a)` in general).
+pub fn mix(state: u64, word: u64) -> u64 {
+    let mut h = Fnv1a(state);
+    h.write_u64(word);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let v = (42u64, "state", vec![1u8, 2, 3]);
+        assert_eq!(fp_of(&v), fp_of(&v));
+    }
+
+    #[test]
+    fn distinguishes_close_values() {
+        assert_ne!(fp_of(&0u64), fp_of(&1u64));
+        assert_ne!(fp_of(&Some(0u64)), fp_of(&None::<u64>));
+        assert_ne!(fp_of(&(1u64, 2u64)), fp_of(&(2u64, 1u64)));
+    }
+
+    #[test]
+    fn mix_is_order_sensitive() {
+        let s = fp_of(&0u8);
+        assert_ne!(mix(mix(s, 1), 2), mix(mix(s, 2), 1));
+        assert_eq!(mix(mix(s, 1), 2), mix(mix(s, 1), 2));
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c — pins the algorithm so a
+        // refactor cannot silently change every recorded baseline.
+        let mut h = Fnv1a::default();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

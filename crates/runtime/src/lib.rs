@@ -50,6 +50,7 @@
 
 pub mod atomics;
 pub mod explore;
+pub mod fingerprint;
 pub mod model_world;
 pub mod program;
 pub mod runner;
@@ -57,7 +58,8 @@ pub mod sched;
 pub mod thread_world;
 pub mod world;
 
-pub use model_world::{ModelWorld, Outcome, RunConfig, RunReport};
+pub use explore::{ExploreLimits, ExploreReport, ExploreStats, Explorer, Reduction, Violation};
+pub use model_world::{Decision, ModelWorld, Outcome, RunConfig, RunReport};
 pub use program::{SimOp, SimProcess, SimResponse, SimStep, XConsLayout};
 pub use sched::{Crashes, Schedule};
 pub use world::{Env, ObjKey, Pid, World};

@@ -29,8 +29,10 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::fingerprint::{fp_of, mix, Fnv1a};
 use crate::sched::{CrashState, Crashes, Schedule, ScheduleState};
 use crate::world::{Env, MemVal, ObjKey, Pid, Stored, World};
+use std::hash::Hasher;
 
 /// Panic payload used to unwind a crashed virtual process.
 struct CrashSignal;
@@ -77,6 +79,59 @@ impl Outcome {
     }
 }
 
+/// One scheduling decision of a run, as recorded under
+/// [`RunConfig::record_decisions`]: who was schedulable, which of them were
+/// parked before a *pure read* (a `reg_read` or `snap_scan`, operations
+/// that cannot change shared memory), who was picked, and whether the pick
+/// delivered an adversary crash instead of a step.
+///
+/// The exhaustive explorer's sleep-set-style reduction uses these records
+/// to recognize adjacent read–read transpositions ([`crate::explore`]).
+/// Process sets are bitmasks (bit `p` = process `p`), so decision
+/// recording requires `n ≤ 64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Bitmask of processes alive (schedulable) at this decision.
+    pub alive: u64,
+    /// Bitmask of alive processes whose pending operation is a pure read.
+    pub reads: u64,
+    /// The process picked.
+    pub picked: Pid,
+    /// `true` if the pick delivered an adversary crash instead of a step.
+    pub crash: bool,
+}
+
+impl Decision {
+    /// The pid of the `idx`-th alive process (alive pids in increasing
+    /// order — the order [`crate::sched::Schedule::Indexed`] indexes into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not smaller than the number of alive processes.
+    pub fn nth_alive(&self, idx: usize) -> Pid {
+        let mut seen = 0;
+        for p in 0..64 {
+            if self.alive & (1 << p) != 0 {
+                if seen == idx {
+                    return p;
+                }
+                seen += 1;
+            }
+        }
+        panic!("alive-set index {idx} out of range (alive mask {:#x})", self.alive);
+    }
+
+    /// `true` if `pid` was parked before a pure read at this decision.
+    pub fn is_pending_read(&self, pid: Pid) -> bool {
+        self.reads & (1 << pid) != 0
+    }
+
+    /// `true` if the pick completed a pure read as a shared-memory step.
+    pub fn picked_a_read(&self) -> bool {
+        !self.crash && self.is_pending_read(self.picked)
+    }
+}
+
 /// Result of a [`ModelWorld::run`].
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -96,6 +151,18 @@ pub struct RunReport {
     /// enumerate sibling schedules; its length counts *picks* (including
     /// crash deliveries and withdrawn grants), not completed steps.
     pub branching: Option<Vec<usize>>,
+    /// The global-state fingerprint after each pick, if requested via
+    /// [`RunConfig::record_state_hashes`]; entry `i` identifies the state
+    /// reached by the schedule prefix of `i + 1` picks (shared memory +
+    /// per-process observation history + liveness flags + results), and
+    /// the vector is index-aligned with [`RunReport::branching`]. Equal
+    /// fingerprints mean equal futures under equal schedule suffixes —
+    /// the prefix-pruning invariant of [`crate::explore`].
+    pub state_hashes: Option<Vec<u64>>,
+    /// Every scheduling decision in order, if requested via
+    /// [`RunConfig::record_decisions`] (index-aligned with
+    /// [`RunReport::branching`]).
+    pub decisions: Option<Vec<Decision>>,
     /// Completed shared-memory operations per object-kind namespace —
     /// the cost breakdown of a run (e.g. how many steps went to the BG
     /// simulation's input agreements vs. snapshot agreements vs. `MEM`).
@@ -121,17 +188,12 @@ impl RunReport {
 
     /// Completed operations on object kind `kind` (0 if none).
     pub fn ops_on_kind(&self, kind: u32) -> u64 {
-        self.ops_by_kind
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .map_or(0, |(_, c)| *c)
+        self.ops_by_kind.iter().find(|(k, _)| *k == kind).map_or(0, |(_, c)| *c)
     }
 
     /// `true` iff every non-crashed process decided.
     pub fn all_correct_decided(&self) -> bool {
-        self.outcomes
-            .iter()
-            .all(|o| !matches!(o, Outcome::Undecided))
+        self.outcomes.iter().all(|o| !matches!(o, Outcome::Undecided))
     }
 
     /// Number of distinct decided values.
@@ -143,12 +205,7 @@ impl RunReport {
     }
 
     fn pids_with(&self, f: impl Fn(&Outcome) -> bool) -> Vec<Pid> {
-        self.outcomes
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| f(o))
-            .map(|(p, _)| p)
-            .collect()
+        self.outcomes.iter().enumerate().filter(|(_, o)| f(o)).map(|(p, _)| p).collect()
     }
 }
 
@@ -161,6 +218,8 @@ pub struct RunConfig {
     max_steps: u64,
     record_trace: bool,
     record_branching: bool,
+    record_state_hashes: bool,
+    record_decisions: bool,
 }
 
 impl RunConfig {
@@ -174,6 +233,8 @@ impl RunConfig {
             max_steps: 2_000_000,
             record_trace: false,
             record_branching: false,
+            record_state_hashes: false,
+            record_decisions: false,
         }
     }
 
@@ -208,6 +269,21 @@ impl RunConfig {
         self
     }
 
+    /// Records a global-state fingerprint after every pick (for the
+    /// explorer's visited-state pruning). Enables the per-operation
+    /// fingerprint bookkeeping, so leave it off for plain runs.
+    pub fn record_state_hashes(mut self, yes: bool) -> Self {
+        self.record_state_hashes = yes;
+        self
+    }
+
+    /// Records every scheduling decision ([`Decision`]) — alive set,
+    /// pending pure reads, pick, crash flag. Requires `n ≤ 64`.
+    pub fn record_decisions(mut self, yes: bool) -> Self {
+        self.record_decisions = yes;
+        self
+    }
+
     /// Number of processes.
     pub fn n(&self) -> usize {
         self.n
@@ -217,12 +293,58 @@ impl RunConfig {
 /// A process body: runs with an [`Env`] handle and returns its decision.
 pub type Body = Box<dyn FnOnce(Env<ModelWorld>) -> u64 + Send>;
 
+/// A stored value together with its fingerprint (0 when fingerprint
+/// tracking is off — see [`State::track`]).
+#[derive(Debug, Clone)]
+struct Cell {
+    val: Stored,
+    fp: u64,
+}
+
+impl Cell {
+    fn new<T: MemVal>(val: T, track: bool) -> Self {
+        let fp = if track { fp_of(&val) } else { 0 };
+        Cell { val: Arc::new(val), fp }
+    }
+}
+
 #[derive(Debug)]
 enum Object {
-    Register(Option<Stored>),
-    Snapshot(Vec<Option<Stored>>),
+    Register(Option<Cell>),
+    Snapshot(Vec<Option<Cell>>),
     Tas(bool),
-    XCons { ports: Vec<Pid>, decided: Option<Stored> },
+    XCons { ports: Vec<Pid>, decided: Option<Cell> },
+}
+
+impl Object {
+    /// Content fingerprint (independent of `HashMap` iteration order when
+    /// XOR-combined per key by [`State::fingerprint`]).
+    fn fp(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        match self {
+            Object::Register(slot) => {
+                h.write_u64(1);
+                h.write_u64(slot.as_ref().map_or(u64::MAX, |c| c.fp));
+            }
+            Object::Snapshot(cells) => {
+                h.write_u64(2);
+                for c in cells {
+                    h.write_u64(c.as_ref().map_or(u64::MAX, |c| c.fp));
+                }
+            }
+            Object::Tas(taken) => {
+                h.write_u64(3);
+                h.write_u64(u64::from(*taken));
+            }
+            // `ports` is static per key (checked on every access) and so
+            // carries no state.
+            Object::XCons { decided, .. } => {
+                h.write_u64(4);
+                h.write_u64(decided.as_ref().map_or(u64::MAX, |c| c.fp));
+            }
+        }
+        h.finish()
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -251,9 +373,85 @@ struct State {
     op_counts: HashMap<u32, u64>,
     own_steps: Vec<u64>,
     trace: Vec<Pid>,
+    /// Per-process rolling fingerprint of the operation/observation
+    /// history: every shared-memory operation folds (op tag, key, result
+    /// fingerprint) into its caller's entry. Because process bodies are
+    /// deterministic closures whose control state is exactly a function of
+    /// the values their operations returned, two runs in which every
+    /// process has the same observation fingerprint (and memory agrees)
+    /// are in behaviorally identical global states.
+    obs_fp: Vec<u64>,
+    /// `pending_read[p]`: process `p` is parked before a pure read (a
+    /// `reg_read` or `snap_scan`); valid while `waiting[p]`.
+    pending_read: Vec<bool>,
+    /// Fingerprint bookkeeping enabled (set by
+    /// [`RunConfig::record_state_hashes`]); off for plain runs so the
+    /// per-operation hashing costs nothing.
+    track: bool,
     /// Free mode: no scheduler; every op proceeds immediately (used for
     /// direct unit tests of object semantics).
     free: bool,
+}
+
+/// Operation tags folded into [`State::obs_fp`].
+const OP_REG_WRITE: u64 = 1;
+const OP_REG_READ: u64 = 2;
+const OP_SNAP_WRITE: u64 = 3;
+const OP_SNAP_SCAN: u64 = 4;
+const OP_TAS: u64 = 5;
+const OP_XCONS: u64 = 6;
+
+impl State {
+    /// Folds one completed operation of `pid` into its observation
+    /// fingerprint (only called when [`State::track`] is set).
+    fn observe(&mut self, pid: Pid, op: u64, key: ObjKey, result_fp: u64) {
+        let mut h = Fnv1a::default();
+        h.write_u64(op);
+        h.write_u64(u64::from(key.kind));
+        h.write_u64(key.a);
+        h.write_u64(key.b);
+        h.write_u64(result_fp);
+        self.obs_fp[pid] = mix(self.obs_fp[pid], h.finish());
+    }
+
+    /// Fingerprint of the current global state: shared memory (order
+    /// independent across the object map), plus every process's
+    /// observation history, liveness flags, and result.
+    ///
+    /// Two equal fingerprints identify states with identical futures under
+    /// identical schedule suffixes — see [`crate::explore`] for the
+    /// pruning argument. Deliberately excluded: step counters, traces, and
+    /// `op_counts` (path statistics, not state).
+    ///
+    /// The memory walk is recomputed per call rather than maintained
+    /// incrementally: model-checking runs hold a handful of objects (the
+    /// Figure 1/5/6 sweeps create 1–10), so the XOR walk is a few dozen
+    /// hash folds per pick. Revisit (ROADMAP "Explorer scale-up") if
+    /// sweeps over object-heavy programs appear.
+    fn fingerprint(&self) -> u64 {
+        let mut mem = 0u64;
+        for (key, obj) in &self.objects {
+            let mut h = Fnv1a::default();
+            h.write_u64(u64::from(key.kind));
+            h.write_u64(key.a);
+            h.write_u64(key.b);
+            h.write_u64(obj.fp());
+            mem ^= h.finish();
+        }
+        let mut h = Fnv1a::default();
+        h.write_u64(mem);
+        for p in 0..self.obs_fp.len() {
+            h.write_u64(self.obs_fp[p]);
+            h.write_u64(
+                u64::from(self.finished[p])
+                    | u64::from(self.crashed[p]) << 1
+                    | u64::from(self.adversary_crash[p]) << 2
+                    | u64::from(self.results[p].is_some()) << 3,
+            );
+            h.write_u64(self.results[p].unwrap_or(0));
+        }
+        h.finish()
+    }
 }
 
 struct Inner {
@@ -283,7 +481,7 @@ impl std::fmt::Debug for ModelWorld {
 }
 
 impl ModelWorld {
-    fn new(n: usize, free: bool) -> Self {
+    fn new(n: usize, free: bool, track: bool) -> Self {
         let st = State {
             permits: vec![Permit::Idle; n],
             op_done: false,
@@ -297,6 +495,9 @@ impl ModelWorld {
             op_counts: HashMap::new(),
             own_steps: vec![0; n],
             trace: Vec::new(),
+            obs_fp: vec![0; n],
+            pending_read: vec![false; n],
+            track,
             free,
         };
         ModelWorld {
@@ -314,7 +515,7 @@ impl ModelWorld {
     /// use would be linearizable (each op still runs under the world lock)
     /// but not deterministic.
     pub fn new_free(n: usize) -> Self {
-        ModelWorld::new(n, true)
+        ModelWorld::new(n, true, false)
     }
 
     /// Runs `bodies` (one per process) to completion under `cfg`.
@@ -330,9 +531,14 @@ impl ModelWorld {
     /// in an algorithm under test).
     pub fn run(cfg: RunConfig, bodies: Vec<Body>) -> RunReport {
         assert_eq!(bodies.len(), cfg.n(), "one body per process required");
+        assert!(
+            !cfg.record_decisions || cfg.n() <= 64,
+            "decision recording uses 64-bit process masks (n = {})",
+            cfg.n()
+        );
         install_crash_hook();
         let n = cfg.n();
-        let world = ModelWorld::new(n, false);
+        let world = ModelWorld::new(n, false, cfg.record_state_hashes);
         let mut sched = ScheduleState::new(cfg.schedule.clone());
         let mut crash = CrashState::new(cfg.crashes.clone());
 
@@ -349,32 +555,43 @@ impl ModelWorld {
             .collect();
 
         let mut steps: u64 = 0;
+        let mut picks: usize = 0;
         let mut timed_out = false;
         let mut branching: Vec<usize> = Vec::new();
+        let mut state_hashes: Vec<u64> = Vec::new();
+        let mut decisions: Vec<Decision> = Vec::new();
         loop {
-            let alive: Vec<Pid> = {
+            let (alive, reads_mask): (Vec<Pid>, u64) = {
                 // Wait until every process is settled (parked at its gate,
                 // finished, or crashed): the alive set is then a pure
                 // function of the schedule prefix, so runs are replayable.
                 let mut st = world.inner.st.lock();
                 loop {
-                    let settled = (0..n)
-                        .all(|p| st.waiting[p] || st.finished[p] || st.crashed[p]);
+                    let settled = (0..n).all(|p| st.waiting[p] || st.finished[p] || st.crashed[p]);
                     if settled {
                         break;
                     }
-                    if world
-                        .inner
-                        .sched_cv
-                        .wait_for(&mut st, STEP_GRANT_TIMEOUT)
-                        .timed_out()
-                    {
+                    if world.inner.sched_cv.wait_for(&mut st, STEP_GRANT_TIMEOUT).timed_out() {
                         panic!(
                             "a virtual process did not settle within {STEP_GRANT_TIMEOUT:?} (runaway local loop?)"
                         );
                     }
                 }
-                (0..n).filter(|&p| !st.finished[p] && !st.crashed[p]).collect()
+                // The state reached by the previous pick, now that its
+                // effects are settled.
+                if cfg.record_state_hashes && picks > state_hashes.len() {
+                    state_hashes.push(st.fingerprint());
+                }
+                let alive: Vec<Pid> =
+                    (0..n).filter(|&p| !st.finished[p] && !st.crashed[p]).collect();
+                // Only built under decision recording, which asserts
+                // n ≤ 64 — the shift would overflow for larger worlds.
+                let reads_mask = if cfg.record_decisions {
+                    alive.iter().filter(|&&p| st.pending_read[p]).fold(0u64, |m, &p| m | 1 << p)
+                } else {
+                    0
+                };
+                (alive, reads_mask)
             };
             if alive.is_empty() {
                 break;
@@ -390,8 +607,19 @@ impl ModelWorld {
                 branching.push(alive.len());
             }
             let pid = sched.pick(&alive);
+            picks += 1;
             let own = { world.inner.st.lock().own_steps[pid] };
-            if crash.should_crash(pid, own) {
+            let crashes_now = crash.should_crash(pid, own);
+            if cfg.record_decisions {
+                let alive_mask = alive.iter().fold(0u64, |m, &p| m | 1 << p);
+                decisions.push(Decision {
+                    alive: alive_mask,
+                    reads: reads_mask,
+                    picked: pid,
+                    crash: crashes_now,
+                });
+            }
+            if crashes_now {
                 world.inner.st.lock().adversary_crash[pid] = true;
                 world.deliver_crash(pid);
             } else if world.grant(pid, cfg.record_trace) {
@@ -419,15 +647,21 @@ impl ModelWorld {
                 }
             })
             .collect();
-        let mut ops_by_kind: Vec<(u32, u64)> =
-            st.op_counts.iter().map(|(&k, &c)| (k, c)).collect();
+        let mut ops_by_kind: Vec<(u32, u64)> = st.op_counts.iter().map(|(&k, &c)| (k, c)).collect();
         ops_by_kind.sort_unstable();
+        debug_assert!(
+            !cfg.record_state_hashes || timed_out || state_hashes.len() == picks,
+            "one state fingerprint per pick ({} hashes, {picks} picks)",
+            state_hashes.len()
+        );
         RunReport {
             outcomes,
             steps,
             timed_out,
             trace: cfg.record_trace.then(|| std::mem::take(&mut st.trace)),
             branching: cfg.record_branching.then_some(branching),
+            state_hashes: cfg.record_state_hashes.then_some(state_hashes),
+            decisions: cfg.record_decisions.then_some(decisions),
             ops_by_kind,
         }
     }
@@ -474,12 +708,7 @@ impl ModelWorld {
                 st.permits[pid] = Permit::Idle;
                 return false;
             }
-            if self
-                .inner
-                .sched_cv
-                .wait_for(&mut st, STEP_GRANT_TIMEOUT)
-                .timed_out()
-            {
+            if self.inner.sched_cv.wait_for(&mut st, STEP_GRANT_TIMEOUT).timed_out() {
                 panic!("virtual process {pid} did not take its granted step within {STEP_GRANT_TIMEOUT:?} (runaway local loop?)");
             }
         }
@@ -491,23 +720,24 @@ impl ModelWorld {
         st.permits[pid] = Permit::Crash;
         self.inner.proc_cvs[pid].notify_one();
         while !st.crashed[pid] && !st.finished[pid] {
-            if self
-                .inner
-                .sched_cv
-                .wait_for(&mut st, STEP_GRANT_TIMEOUT)
-                .timed_out()
-            {
-                panic!("virtual process {pid} did not acknowledge crash within {STEP_GRANT_TIMEOUT:?}");
+            if self.inner.sched_cv.wait_for(&mut st, STEP_GRANT_TIMEOUT).timed_out() {
+                panic!(
+                    "virtual process {pid} did not acknowledge crash within {STEP_GRANT_TIMEOUT:?}"
+                );
             }
         }
     }
 
     /// Performs one gated shared-memory step: waits for the scheduler's
-    /// grant, runs `op` on the object map, signals completion, and accounts
-    /// the operation to its object-kind namespace.
-    fn step<R>(&self, pid: Pid, kind: u32, op: impl FnOnce(&mut HashMap<ObjKey, Object>) -> R) -> R {
+    /// grant, runs `op` on the state (object map + fingerprint
+    /// bookkeeping), signals completion, and accounts the operation to its
+    /// object-kind namespace. `pure_read` marks operations that cannot
+    /// change shared memory (published while parked, for the explorer's
+    /// commuting-reads reduction).
+    fn step<R>(&self, pid: Pid, kind: u32, pure_read: bool, op: impl FnOnce(&mut State) -> R) -> R {
         let mut st = self.inner.st.lock();
         if !st.free {
+            st.pending_read[pid] = pure_read;
             st.waiting[pid] = true;
             self.inner.sched_cv.notify_one();
             loop {
@@ -526,7 +756,7 @@ impl ModelWorld {
                 }
             }
         }
-        let out = op(&mut st.objects);
+        let out = op(&mut st);
         *st.op_counts.entry(kind).or_insert(0) += 1;
         if !st.free {
             st.op_done = true;
@@ -555,61 +785,84 @@ fn downcast<T: MemVal>(stored: &Stored, key: ObjKey, what: &str) -> T {
 
 impl World for ModelWorld {
     fn reg_write<T: MemVal>(&self, pid: Pid, key: ObjKey, val: T) {
-        self.step(pid, key.kind, |objs| {
-            match objs.entry(key).or_insert(Object::Register(None)) {
-                Object::Register(slot) => *slot = Some(Arc::new(val)),
+        self.step(pid, key.kind, false, |st| {
+            let cell = Cell::new(val, st.track);
+            let fp = cell.fp;
+            match st.objects.entry(key).or_insert(Object::Register(None)) {
+                Object::Register(slot) => *slot = Some(cell),
                 other => panic!("object {key} is not a register: {other:?}"),
+            }
+            if st.track {
+                st.observe(pid, OP_REG_WRITE, key, fp);
             }
         });
     }
 
     fn reg_read<T: MemVal>(&self, pid: Pid, key: ObjKey) -> Option<T> {
-        self.step(pid, key.kind, |objs| {
-            match objs.entry(key).or_insert(Object::Register(None)) {
-                Object::Register(slot) => slot.as_ref().map(|s| downcast(s, key, "register")),
+        self.step(pid, key.kind, true, |st| {
+            let out = match st.objects.entry(key).or_insert(Object::Register(None)) {
+                Object::Register(slot) => slot.as_ref().map(|c| downcast(&c.val, key, "register")),
                 other => panic!("object {key} is not a register: {other:?}"),
+            };
+            if st.track {
+                st.observe(pid, OP_REG_READ, key, fp_of::<Option<T>>(&out));
             }
+            out
         })
     }
 
     fn snap_write<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize, idx: usize, val: T) {
         assert!(idx < len, "snapshot cell index {idx} out of range (len {len})");
-        self.step(pid, key.kind, |objs| {
-            match objs.entry(key).or_insert_with(|| Object::Snapshot(vec![None; len])) {
+        self.step(pid, key.kind, false, |st| {
+            let cell = Cell::new(val, st.track);
+            let fp = cell.fp;
+            match st.objects.entry(key).or_insert_with(|| Object::Snapshot(vec![None; len])) {
                 Object::Snapshot(cells) => {
                     assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
-                    cells[idx] = Some(Arc::new(val));
+                    cells[idx] = Some(cell);
                 }
                 other => panic!("object {key} is not a snapshot object: {other:?}"),
+            }
+            if st.track {
+                st.observe(pid, OP_SNAP_WRITE, key, mix(idx as u64, fp));
             }
         });
     }
 
     fn snap_scan<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize) -> Vec<Option<T>> {
-        self.step(pid, key.kind, |objs| {
-            match objs.entry(key).or_insert_with(|| Object::Snapshot(vec![None; len])) {
-                Object::Snapshot(cells) => {
-                    assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
-                    cells
-                        .iter()
-                        .map(|c| c.as_ref().map(|s| downcast(s, key, "snapshot cell")))
-                        .collect()
-                }
-                other => panic!("object {key} is not a snapshot object: {other:?}"),
+        self.step(pid, key.kind, true, |st| {
+            let out: Vec<Option<T>> =
+                match st.objects.entry(key).or_insert_with(|| Object::Snapshot(vec![None; len])) {
+                    Object::Snapshot(cells) => {
+                        assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
+                        cells
+                            .iter()
+                            .map(|c| c.as_ref().map(|c| downcast(&c.val, key, "snapshot cell")))
+                            .collect()
+                    }
+                    other => panic!("object {key} is not a snapshot object: {other:?}"),
+                };
+            if st.track {
+                st.observe(pid, OP_SNAP_SCAN, key, fp_of(&out));
             }
+            out
         })
     }
 
     fn tas(&self, pid: Pid, key: ObjKey) -> bool {
-        self.step(pid, key.kind, |objs| {
-            match objs.entry(key).or_insert(Object::Tas(false)) {
+        self.step(pid, key.kind, false, |st| {
+            let won = match st.objects.entry(key).or_insert(Object::Tas(false)) {
                 Object::Tas(taken) => {
                     let won = !*taken;
                     *taken = true;
                     won
                 }
                 other => panic!("object {key} is not a test&set object: {other:?}"),
+            };
+            if st.track {
+                st.observe(pid, OP_TAS, key, u64::from(won));
             }
+            won
         })
     }
 
@@ -618,8 +871,10 @@ impl World for ModelWorld {
             ports.contains(&pid),
             "process {pid} is not a port of consensus object {key} (ports {ports:?})"
         );
-        self.step(pid, key.kind, |objs| {
-            match objs
+        self.step(pid, key.kind, false, |st| {
+            let track = st.track;
+            let out = match st
+                .objects
                 .entry(key)
                 .or_insert_with(|| Object::XCons { ports: ports.to_vec(), decided: None })
             {
@@ -628,11 +883,15 @@ impl World for ModelWorld {
                         stored_ports, ports,
                         "consensus object {key} accessed with inconsistent port sets"
                     );
-                    let d = decided.get_or_insert_with(|| Arc::new(val));
-                    downcast(d, key, "consensus object")
+                    let d = decided.get_or_insert_with(|| Cell::new(val, track));
+                    downcast::<T>(&d.val, key, "consensus object")
                 }
                 other => panic!("object {key} is not a consensus object: {other:?}"),
+            };
+            if st.track {
+                st.observe(pid, OP_XCONS, key, fp_of(&out));
             }
+            out
         })
     }
 }
@@ -718,6 +977,33 @@ mod tests {
     }
 
     #[test]
+    fn worlds_larger_than_64_processes_run_without_decision_recording() {
+        // The 64-bit decision masks only exist under record_decisions;
+        // plain runs must keep working at any n (regression: the
+        // reads-mask fold used to shift by pid unconditionally).
+        let n = 65;
+        let cfg = RunConfig::new(n).schedule(Schedule::RoundRobin);
+        let bodies = (0..n)
+            .map(|i| {
+                body(move |env| {
+                    env.reg_write(ObjKey::new(11, i as u64, 0), 1u64);
+                    env.reg_read::<u64>(ObjKey::new(11, i as u64, 0)).unwrap()
+                })
+            })
+            .collect();
+        let report = ModelWorld::run(cfg, bodies);
+        assert_eq!(report.decided_values().len(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "decision recording uses 64-bit process masks")]
+    fn decision_recording_rejects_large_worlds() {
+        let cfg = RunConfig::new(65).record_decisions(true);
+        let bodies = (0..65).map(|i| body(move |_env| i)).collect();
+        ModelWorld::run(cfg, bodies);
+    }
+
+    #[test]
     fn scheduled_run_all_decide() {
         let cfg = RunConfig::new(3).schedule(Schedule::RandomSeed(1));
         let bodies = (0..3)
@@ -748,9 +1034,7 @@ mod tests {
     #[test]
     fn deterministic_traces() {
         let run = |seed| {
-            let cfg = RunConfig::new(3)
-                .schedule(Schedule::RandomSeed(seed))
-                .record_trace(true);
+            let cfg = RunConfig::new(3).schedule(Schedule::RandomSeed(seed)).record_trace(true);
             let bodies = (0..3)
                 .map(|i| {
                     body(move |env| {
@@ -844,11 +1128,18 @@ mod tests {
     #[test]
     fn report_helpers() {
         let report = RunReport {
-            outcomes: vec![Outcome::Decided(3), Outcome::Crashed, Outcome::Undecided, Outcome::Decided(3)],
+            outcomes: vec![
+                Outcome::Decided(3),
+                Outcome::Crashed,
+                Outcome::Undecided,
+                Outcome::Decided(3),
+            ],
             steps: 10,
             timed_out: true,
             trace: None,
             branching: None,
+            state_hashes: None,
+            decisions: None,
             ops_by_kind: vec![],
         };
         assert_eq!(report.decided_values(), vec![3, 3]);

@@ -120,10 +120,8 @@ impl XConsLayout {
     /// `ASM(n, t, x)` algorithm uses its objects (e.g. the group-consensus
     /// k-set algorithm of `mpcn-tasks`).
     pub fn partition(n: usize, x: u32) -> Self {
-        let ports = (0..n)
-            .step_by(x as usize)
-            .map(|lo| (lo..(lo + x as usize).min(n)).collect())
-            .collect();
+        let ports =
+            (0..n).step_by(x as usize).map(|lo| (lo..(lo + x as usize).min(n)).collect()).collect();
         XConsLayout { ports }
     }
 

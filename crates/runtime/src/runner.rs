@@ -41,11 +41,7 @@ pub fn xcons_key(a: usize) -> ObjKey {
 /// Panics if `cfg.n()` differs from `programs.len()`, or if a program
 /// invokes an [`SimOp::XConsPropose`] on an object it is not a port of
 /// (surfaced by the world's port check).
-pub fn run_direct(
-    cfg: RunConfig,
-    programs: Vec<BoxedProcess>,
-    layout: XConsLayout,
-) -> RunReport {
+pub fn run_direct(cfg: RunConfig, programs: Vec<BoxedProcess>, layout: XConsLayout) -> RunReport {
     let n = programs.len();
     assert_eq!(cfg.n(), n, "one program per process required");
     let bodies: Vec<Body> = programs

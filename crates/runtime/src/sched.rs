@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Which process takes the next step.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Schedule {
     /// Uniformly random among alive processes, from a seeded RNG
     /// (deterministic given the seed).
@@ -149,9 +149,7 @@ impl CrashState {
         let crash = match &self.policy {
             Crashes::None => false,
             Crashes::AtOwnStep(plan) => plan.iter().any(|&(p, s)| p == pid && s == own_step),
-            Crashes::Random { p, max, .. } => {
-                self.crashes_so_far < *max && self.rng.gen_bool(*p)
-            }
+            Crashes::Random { p, max, .. } => self.crashes_so_far < *max && self.rng.gen_bool(*p),
         };
         if crash {
             self.crashes_so_far += 1;

@@ -32,9 +32,7 @@ pub struct ThreadWorld {
 
 impl std::fmt::Debug for ThreadWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadWorld")
-            .field("objects", &self.objects.lock().len())
-            .finish()
+        f.debug_struct("ThreadWorld").field("objects", &self.objects.lock().len()).finish()
     }
 }
 

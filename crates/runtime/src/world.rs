@@ -24,8 +24,13 @@ pub type Pid = usize;
 /// Objects are dynamically typed (the world stores `Arc<dyn Any>`); each
 /// call site fixes a concrete `T: MemVal` and a mismatch is a bug in the
 /// calling algorithm, reported by panic.
-pub trait MemVal: Clone + Send + Sync + 'static {}
-impl<T: Clone + Send + Sync + 'static> MemVal for T {}
+///
+/// The [`std::hash::Hash`] bound lets the model world fingerprint memory
+/// contents and operation results for the exhaustive explorer's
+/// visited-state pruning ([`crate::explore`]); every value the paper's
+/// algorithms store (integers, tuples, vectors of them) hashes naturally.
+pub trait MemVal: Clone + std::hash::Hash + Send + Sync + 'static {}
+impl<T: Clone + std::hash::Hash + Send + Sync + 'static> MemVal for T {}
 
 /// Structured key addressing one shared object.
 ///

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use mpcn_runtime::model_world::{Body, ModelWorld, RunConfig};
+use mpcn_runtime::explore::{ExploreLimits, Explorer, Reduction};
+use mpcn_runtime::fingerprint::fp_of;
+use mpcn_runtime::model_world::{Body, ModelWorld, RunConfig, RunReport};
 use mpcn_runtime::sched::{Crashes, Schedule};
 use mpcn_runtime::world::{Env, ObjKey};
 
@@ -18,6 +20,37 @@ fn counter_bodies(n: usize, rounds: u64) -> Vec<Body> {
                 }
                 let view = env.snap_scan::<u64>(snap, n);
                 view.into_iter().flatten().sum()
+            }) as Body
+        })
+        .collect()
+}
+
+/// A deterministic "random" program: `n` processes, `ops` shared-memory
+/// operations each, drawn from a small alphabet (register writes/reads,
+/// snapshot writes/scans, test&set) by hashing `(seed, pid, op index)`.
+/// Bodies fold their observations into the decided value, so outcomes
+/// depend on the interleaving — the explorer equivalence tests need
+/// schedule-sensitive programs.
+fn small_program(seed: u64, n: usize, ops: usize) -> Vec<Body> {
+    (0..n)
+        .map(|i| {
+            Box::new(move |env: Env<ModelWorld>| {
+                let mut acc = 0u64;
+                for j in 0..ops {
+                    let h = fp_of(&(seed, i, j));
+                    let key = ObjKey::new(74, 0, h % 2);
+                    match h % 5 {
+                        0 => env.reg_write(key, h % 16),
+                        1 => acc = acc.wrapping_add(env.reg_read::<u64>(key).unwrap_or(7)),
+                        2 => env.snap_write(ObjKey::new(75, 0, 0), n, i, h % 16),
+                        3 => {
+                            let view = env.snap_scan::<u64>(ObjKey::new(75, 0, 0), n);
+                            acc = acc.wrapping_add(view.into_iter().flatten().sum::<u64>());
+                        }
+                        _ => acc = acc.wrapping_add(u64::from(env.tas(ObjKey::new(76, 0, h % 2)))),
+                    }
+                }
+                acc
             }) as Body
         })
         .collect()
@@ -104,6 +137,61 @@ proptest! {
         let cfg = RunConfig::new(n).schedule(Schedule::RandomSeed(seed));
         let report = ModelWorld::run(cfg, bodies);
         prop_assert!(report.all_correct_decided());
+    }
+
+    /// State fingerprints are a pure function of the configuration:
+    /// identical runs produce identical hash sequences, and a different
+    /// schedule produces a different sequence (same final state, but the
+    /// path differs).
+    #[test]
+    fn state_hashes_are_deterministic(seed in 0u64..1_000_000, n in 2usize..5) {
+        let run = |s| {
+            let cfg = RunConfig::new(n)
+                .schedule(Schedule::RandomSeed(s))
+                .record_state_hashes(true);
+            ModelWorld::run(cfg, counter_bodies(n, 3)).state_hashes.expect("requested")
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Reduced exploration (visited-state pruning + commuting reads)
+    /// finds exactly the same violation set as the unpruned reference on
+    /// randomly generated small programs, for an outcome-only checker —
+    /// and never runs more schedules doing so.
+    #[test]
+    fn reductions_preserve_violation_sets(seed in 0u64..1_000_000, n in 2usize..4, ops in 1usize..3) {
+        let make = move || small_program(seed, n, ops);
+        // A checker that trips on a seed-dependent subset of outcomes, so
+        // some generated cases violate and some do not.
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            if fp_of(&vals).wrapping_add(seed) % 3 == 0 {
+                return Err(format!("flagged outcome {vals:?}"));
+            }
+            Ok(())
+        };
+        let limits = ExploreLimits { max_runs: 100_000, max_steps: 1_000, ..Default::default() };
+        let collect = |reduction: Reduction| {
+            let out = Explorer::new(n)
+                .limits(limits)
+                .reduction(reduction)
+                .collect_all(true)
+                .run(make, check);
+            prop_assert!(
+                out.complete || !out.violations.is_empty(),
+                "small trees must be exhausted"
+            );
+            let mut msgs: Vec<String> =
+                out.violations.iter().map(|v| v.message.clone()).collect();
+            msgs.sort();
+            msgs.dedup();
+            Ok((out.stats.runs, msgs))
+        };
+        let (reduced_runs, reduced) = collect(Reduction::full())?;
+        let (reference_runs, reference) = collect(Reduction::none())?;
+        prop_assert_eq!(reduced, reference, "violation sets must match (seed {})", seed);
+        prop_assert!(reduced_runs <= reference_runs, "reductions never add work");
     }
 
     /// Crash planning at own-step granularity: a process crashed at step s

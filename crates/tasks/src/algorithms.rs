@@ -99,11 +99,7 @@ impl SourceAlgorithm {
             "one input per process of {} required",
             self.model
         );
-        inputs
-            .iter()
-            .enumerate()
-            .map(|(pid, &input)| (self.factory)(pid, input))
-            .collect()
+        inputs.iter().enumerate().map(|(pid, &input)| (self.factory)(pid, input)).collect()
     }
 }
 
@@ -200,7 +196,11 @@ pub fn consensus_via_xcons(n: u32, x: u32) -> Result<SourceAlgorithm, mpcn_model
 ///
 /// Returns the parameter-validation error if `t ≥ x` or `(n, t, x)` is
 /// invalid.
-pub fn consensus_leader_x(n: u32, t: u32, x: u32) -> Result<SourceAlgorithm, mpcn_model::ParamError> {
+pub fn consensus_leader_x(
+    n: u32,
+    t: u32,
+    x: u32,
+) -> Result<SourceAlgorithm, mpcn_model::ParamError> {
     let model = ModelParams::new(n, t, x)?;
     if !model.is_universal() {
         return Err(mpcn_model::ParamError::BadConsensusNumber { x, n });
@@ -261,9 +261,8 @@ mod tests {
 
     fn run_and_validate(alg: &SourceAlgorithm, inputs: &[u64], seed: u64, crashes: Crashes) {
         let programs = alg.instantiate(inputs);
-        let cfg = RunConfig::new(inputs.len())
-            .schedule(Schedule::RandomSeed(seed))
-            .crashes(crashes);
+        let cfg =
+            RunConfig::new(inputs.len()).schedule(Schedule::RandomSeed(seed)).crashes(crashes);
         let report = run_direct(cfg, programs, alg.layout().clone());
         assert!(report.all_correct_decided(), "{}: liveness, seed {seed}", alg.name());
         alg.task()
@@ -276,11 +275,12 @@ mod tests {
         let alg = kset_read_write(5, 2).unwrap();
         assert_eq!(alg.task(), TaskKind::KSet(3));
         for seed in 0..20 {
-            run_and_validate(&alg, &[11, 22, 33, 44, 55], seed, Crashes::Random {
+            run_and_validate(
+                &alg,
+                &[11, 22, 33, 44, 55],
                 seed,
-                p: 0.02,
-                max: 2,
-            });
+                Crashes::Random { seed, p: 0.02, max: 2 },
+            );
         }
     }
 
@@ -289,11 +289,12 @@ mod tests {
         let alg = group_xcons(6, 3).unwrap();
         assert_eq!(alg.task(), TaskKind::KSet(2));
         for seed in 0..20 {
-            run_and_validate(&alg, &[1, 2, 3, 4, 5, 6], seed, Crashes::Random {
+            run_and_validate(
+                &alg,
+                &[1, 2, 3, 4, 5, 6],
                 seed,
-                p: 0.05,
-                max: 5,
-            });
+                Crashes::Random { seed, p: 0.05, max: 5 },
+            );
         }
     }
 
@@ -302,11 +303,12 @@ mod tests {
         let alg = group_xcons_then_min(6, 4, 2).unwrap();
         assert_eq!(alg.task(), TaskKind::KSet(3), "min(3, 5) = 3");
         for seed in 0..20 {
-            run_and_validate(&alg, &[9, 8, 7, 6, 5, 4], seed, Crashes::Random {
+            run_and_validate(
+                &alg,
+                &[9, 8, 7, 6, 5, 4],
                 seed,
-                p: 0.03,
-                max: 4,
-            });
+                Crashes::Random { seed, p: 0.03, max: 4 },
+            );
         }
     }
 
@@ -325,11 +327,12 @@ mod tests {
         let alg = consensus_leader_x(6, 2, 3).unwrap();
         assert_eq!(alg.task(), TaskKind::Consensus);
         for seed in 0..20 {
-            run_and_validate(&alg, &[5, 6, 7, 8, 9, 10], seed, Crashes::Random {
+            run_and_validate(
+                &alg,
+                &[5, 6, 7, 8, 9, 10],
                 seed,
-                p: 0.03,
-                max: 2,
-            });
+                Crashes::Random { seed, p: 0.03, max: 2 },
+            );
         }
     }
 

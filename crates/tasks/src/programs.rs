@@ -229,19 +229,14 @@ impl SimProcess for Renaming {
         match resp {
             SimResponse::WriteAck => SimStep::Invoke(SimOp::Snapshot),
             SimResponse::Snapshot(view) => {
-                let conflict = view
-                    .iter()
-                    .enumerate()
-                    .any(|(j, v)| j != self.pid && *v == Some(self.prop));
+                let conflict =
+                    view.iter().enumerate().any(|(j, v)| j != self.pid && *v == Some(self.prop));
                 if !conflict {
                     return SimStep::Decide(self.prop);
                 }
                 // Rank (1-based) of our id among the participants we see.
-                let rank = view
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, v)| v.is_some() && *j <= self.pid)
-                    .count();
+                let rank =
+                    view.iter().enumerate().filter(|(j, v)| v.is_some() && *j <= self.pid).count();
                 // r-th smallest positive name not proposed by anyone else.
                 let taken: Vec<u64> = view
                     .iter()

@@ -166,9 +166,7 @@ mod tests {
     use super::*;
 
     fn outcomes(vals: &[Option<u64>]) -> Vec<Outcome> {
-        vals.iter()
-            .map(|v| v.map_or(Outcome::Crashed, Outcome::Decided))
-            .collect()
+        vals.iter().map(|v| v.map_or(Outcome::Crashed, Outcome::Decided)).collect()
     }
 
     #[test]
@@ -188,9 +186,7 @@ mod tests {
     fn kset_counts_distinct_values() {
         let t = TaskKind::KSet(2);
         t.validate(&[1, 2, 3], &outcomes(&[Some(1), Some(2), Some(1)])).unwrap();
-        let err = t
-            .validate(&[1, 2, 3], &outcomes(&[Some(1), Some(2), Some(3)]))
-            .unwrap_err();
+        let err = t.validate(&[1, 2, 3], &outcomes(&[Some(1), Some(2), Some(3)])).unwrap_err();
         assert!(matches!(err, Violation::Agreement { distinct: 3, allowed: 2 }));
     }
 

@@ -60,10 +60,7 @@ fn exhibit_2_blocked_safe_agreement() {
         })
         .collect();
     let report = ModelWorld::run(cfg, bodies);
-    println!(
-        "  timed out: {} — survivor is stuck behind p0's unstable entry\n",
-        report.timed_out
-    );
+    println!("  timed out: {} — survivor is stuck behind p0's unstable entry\n", report.timed_out);
     assert!(report.timed_out);
 }
 
@@ -90,9 +87,7 @@ fn exhibit_4_multiplicative_rescue() {
     let ins: Vec<u64> = (0..5).map(|i| 100 + i).collect();
 
     let rw = ModelParams::new(5, 2, 1).unwrap();
-    let run = SimRun::seeded(3)
-        .crashes(Crashes::AtOwnStep(vec![(0, 1), (1, 4)]))
-        .max_steps(60_000);
+    let run = SimRun::seeded(3).crashes(Crashes::AtOwnStep(vec![(0, 1), (1, 4)])).max_steps(60_000);
     let dead = check_simulation(&alg, rw, &ins, &run);
 
     let x2 = ModelParams::new(5, 2, 2).unwrap();

@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example atomics_tour`
 
-use mpcn::runtime::atomics::{
-    CasConsensus, DoubleCollectSnapshot, TestAndSet, WaitFreeSnapshot,
-};
+use mpcn::runtime::atomics::{CasConsensus, DoubleCollectSnapshot, TestAndSet, WaitFreeSnapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 

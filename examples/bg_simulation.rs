@@ -25,8 +25,11 @@ fn main() {
 
     let sim_inputs = [100, 200, 300];
     for crashes in 0..=t as usize {
-        let run = SimRun::seeded(2024)
-            .crashes(Crashes::Random { seed: 9 + crashes as u64, p: 0.005, max: crashes });
+        let run = SimRun::seeded(2024).crashes(Crashes::Random {
+            seed: 9 + crashes as u64,
+            p: 0.005,
+            max: crashes,
+        });
         let report = run_colorless(&spec, &sim_inputs, &run);
         println!(
             "  with ≤{crashes} crashes: outcomes {:?} in {} steps",

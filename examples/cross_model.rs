@@ -19,19 +19,31 @@ fn main() {
     // Section 3: ASM(6, 4, 2) → ASM(6, 2, 1), with 2 simulator crashes.
     let run = SimRun::seeded(11).crashes(Crashes::Random { seed: 1, p: 0.01, max: 2 });
     let check = round_trip::section3(6, 4, 2, &run, &inputs6);
-    println!("Section 3  ASM(6,4,2) -> ASM(6,2,1): sound={} live={} valid={:?}",
-        check.sound, check.live, check.valid.is_ok());
+    println!(
+        "Section 3  ASM(6,4,2) -> ASM(6,2,1): sound={} live={} valid={:?}",
+        check.sound,
+        check.live,
+        check.valid.is_ok()
+    );
 
     // Section 4: ASM(5, 2, 1) → ASM(5, 4, 2), with 4 simulator crashes.
     let run = SimRun::seeded(12).crashes(Crashes::Random { seed: 2, p: 0.01, max: 4 });
     let check = round_trip::section4(5, 2, 4, 2, &run, &inputs5);
-    println!("Section 4  ASM(5,2,1) -> ASM(5,4,2): sound={} live={} valid={:?}",
-        check.sound, check.live, check.valid.is_ok());
+    println!(
+        "Section 4  ASM(5,2,1) -> ASM(5,4,2): sound={} live={} valid={:?}",
+        check.sound,
+        check.live,
+        check.valid.is_ok()
+    );
 
     // Section 5.2 (generalized BG): ASM(6, 4, 2) → ASM(3, 2, 1).
     let check = round_trip::generalized_bg(6, 4, 2, &SimRun::seeded(13), &inputs3);
-    println!("Gen. BG    ASM(6,4,2) -> ASM(3,2,1): sound={} live={} valid={:?}",
-        check.sound, check.live, check.valid.is_ok());
+    println!(
+        "Gen. BG    ASM(6,4,2) -> ASM(3,2,1): sound={} live={} valid={:?}",
+        check.sound,
+        check.live,
+        check.valid.is_ok()
+    );
 
     // Section 5.3: same-class cross hop, both directions.
     let m1 = ModelParams::new(6, 4, 2).expect("valid");

@@ -70,10 +70,7 @@ fn main() {
     println!("\nCorollaries (Contribution #1)");
     println!("------------------------------");
     let k = SetConsensusNumber(3);
-    println!(
-        "  T_3 at fixed x = 2: solvable up to t' = {}",
-        k.max_tolerable_t(2).expect("k > 0")
-    );
+    println!("  T_3 at fixed x = 2: solvable up to t' = {}", k.max_tolerable_t(2).expect("k > 0"));
     println!(
         "  T_3 at fixed t' = 8: needs consensus number x >= {}",
         k.min_sufficient_x(8).expect("k > 0")

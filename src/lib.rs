@@ -21,6 +21,13 @@
 //! * [`core`] (`mpcn-core`) — the general simulation (Figures 2–4, 7, 8)
 //!   and the equivalence harness.
 //!
+//! The safety claims rest on *enumerated* interleavings: the bounded
+//! model checker in [`runtime::explore`] (re-exported here as
+//! [`Explorer`]) sweeps every schedule of the Figure 1/5/6 objects at
+//! small `n` with visited-state pruning and a commuting-reads reduction,
+//! and emits replayable [`Schedule::Indexed`](runtime::Schedule)
+//! counterexamples when a checker fails.
+//!
 //! ## The paper in one example
 //!
 //! `ASM(n, t', x)` and `ASM(n, t, 1)` have the same power for colorless
@@ -48,3 +55,7 @@ pub use mpcn_core as core;
 pub use mpcn_model as model;
 pub use mpcn_runtime as runtime;
 pub use mpcn_tasks as tasks;
+
+pub use mpcn_runtime::explore::{
+    ExploreLimits, ExploreReport, ExploreStats, Explorer, Reduction, Violation,
+};

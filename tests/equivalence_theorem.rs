@@ -22,8 +22,11 @@ fn sound_hops_hold_across_a_parameter_grid() {
     for (n, t_prime, x) in [(4u32, 2u32, 2u32), (5, 3, 3), (6, 4, 2), (6, 3, 3), (6, 5, 2)] {
         let t = t_prime / x;
         for seed in 0..5 {
-            let run = SimRun::seeded(seed)
-                .crashes(Crashes::Random { seed: seed + 50, p: 0.01, max: t as usize });
+            let run = SimRun::seeded(seed).crashes(Crashes::Random {
+                seed: seed + 50,
+                p: 0.01,
+                max: t as usize,
+            });
             let check = round_trip::section3(n, t_prime, x, &run, &inputs(n));
             assert!(check.sound, "n={n} t'={t_prime} x={x}");
             assert!(
@@ -40,13 +43,9 @@ fn sound_hops_hold_across_a_parameter_grid() {
 fn section4_holds_across_a_parameter_grid() {
     // Read/write sources ASM(n, t, 1) lifted into ASM(n, t', x') targets
     // with ⌊t'/x'⌋ ≤ t, under up to t' random crashes.
-    for (n, t, t_prime, x_prime) in [
-        (4u32, 1u32, 2u32, 2u32),
-        (5, 2, 4, 2),
-        (6, 2, 4, 2),
-        (6, 1, 3, 3),
-        (6, 2, 5, 2),
-    ] {
+    for (n, t, t_prime, x_prime) in
+        [(4u32, 1u32, 2u32, 2u32), (5, 2, 4, 2), (6, 2, 4, 2), (6, 1, 3, 3), (6, 2, 5, 2)]
+    {
         for seed in 0..5 {
             let run = SimRun::seeded(seed).crashes(Crashes::Random {
                 seed: seed + 90,
@@ -55,10 +54,7 @@ fn section4_holds_across_a_parameter_grid() {
             });
             let check = round_trip::section4(n, t, t_prime, x_prime, &run, &inputs(n));
             assert!(check.sound, "n={n} t={t} t'={t_prime} x'={x_prime}");
-            assert!(
-                check.holds(),
-                "section4 n={n} t={t} t'={t_prime} x'={x_prime} seed={seed}"
-            );
+            assert!(check.holds(), "section4 n={n} t={t} t'={t_prime} x'={x_prime} seed={seed}");
         }
     }
 }
@@ -101,8 +97,7 @@ fn same_class_hops_work_in_both_directions() {
     for &src in &class2 {
         for &tgt in &class2 {
             let alg = algorithms::group_xcons_then_min(src.n(), src.t(), src.x()).unwrap();
-            let check =
-                check_simulation(&alg, tgt, &inputs(tgt.n()), &SimRun::seeded(77));
+            let check = check_simulation(&alg, tgt, &inputs(tgt.n()), &SimRun::seeded(77));
             assert!(check.sound, "{src} -> {tgt}");
             assert!(check.holds(), "{src} -> {tgt}: {:?}", check.valid);
         }

@@ -74,10 +74,7 @@ fn claim_wait_free_with_n_minus_1_objects_equals_one_resilient() {
         let one_resilient = ModelParams::new(n, 1, 1).unwrap();
         assert!(equivalent(wait_free, one_resilient));
         for t in 1..n {
-            assert!(equivalent(
-                ModelParams::new(n, t, t).unwrap(),
-                one_resilient
-            ));
+            assert!(equivalent(ModelParams::new(n, t, t).unwrap(), one_resilient));
         }
     }
 }

@@ -104,8 +104,7 @@ fn full_stack_determinism() {
     let alg = algorithms::group_xcons_then_min(6, 4, 2).unwrap();
     let target = ModelParams::new(6, 2, 1).unwrap();
     for seed in [1u64, 99] {
-        let run = SimRun::seeded(seed)
-            .crashes(Crashes::Random { seed: seed + 1, p: 0.02, max: 2 });
+        let run = SimRun::seeded(seed).crashes(Crashes::Random { seed: seed + 1, p: 0.02, max: 2 });
         let a = check_simulation(&alg, target, &inputs(6), &run);
         let b = check_simulation(&alg, target, &inputs(6), &run);
         assert_eq!(a.report.outcomes, b.report.outcomes, "seed {seed}");

@@ -30,8 +30,7 @@ fn threaded_simulation_agrees_across_algorithm_catalogue() {
         let ins = inputs(target.n());
         for round in 0..10 {
             let decisions = run_colorless_threaded(&spec, &ins);
-            let outcomes: Vec<Outcome> =
-                decisions.iter().map(|&v| Outcome::Decided(v)).collect();
+            let outcomes: Vec<Outcome> = decisions.iter().map(|&v| Outcome::Decided(v)).collect();
             alg.task()
                 .validate(&ins, &outcomes)
                 .unwrap_or_else(|v| panic!("{} round {round}: {v}", alg.name()));
@@ -84,11 +83,8 @@ fn consensus_task_travels_between_class_zero_models() {
     for (t_prime, x_prime) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4)] {
         let target = ModelParams::new(5, t_prime, x_prime).unwrap();
         assert_eq!(target.class(), 0);
-        let run = SimRun::seeded(6).crashes(Crashes::Random {
-            seed: 6,
-            p: 0.02,
-            max: t_prime as usize,
-        });
+        let run =
+            SimRun::seeded(6).crashes(Crashes::Random { seed: 6, p: 0.02, max: t_prime as usize });
         let check = check_simulation(&alg, target, &inputs(5), &run);
         assert!(check.sound);
         assert!(check.holds(), "t'={t_prime} x'={x_prime}: {:?}", check.valid);

@@ -9,8 +9,9 @@
 //!
 //! Measurement model: per benchmark, a short warm-up estimates the cost of
 //! one iteration, then `sample_size` samples of a batch sized to fill
-//! `measurement_time` are timed; the mean and min ns/iter are printed as
-//! one line. There are no saved baselines, statistics, or HTML reports.
+//! `measurement_time` are timed; the mean, min, and sample variance of
+//! the per-iteration nanoseconds are printed as one line. There are no
+//! saved baselines, further statistics, or HTML reports.
 //! Passing `--quick` (or running under `--test`, as `cargo test` does for
 //! bench targets) runs each benchmark exactly once for smoke coverage.
 
@@ -73,10 +74,7 @@ struct Settings {
 impl Settings {
     fn from_args() -> Self {
         let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
-        let filters = std::env::args()
-            .skip(1)
-            .filter(|a| !a.starts_with('-'))
-            .collect();
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
         Settings {
             sample_size: 10,
             warm_up_time: Duration::from_millis(300),
@@ -235,17 +233,30 @@ fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, label: &str, mut f: F) {
     };
     let budget_ns = settings.measurement_time.as_nanos() / settings.sample_size as u128;
     let batch = (budget_ns / per_iter.max(1)).clamp(1, 1 << 24) as u64;
-    let mut mean_sum = 0u128;
-    let mut best = u128::MAX;
+    let mut samples = Vec::with_capacity(settings.sample_size);
     for _ in 0..settings.sample_size {
         let mut b = Bencher { iters: batch, elapsed: Duration::ZERO };
         f(&mut b);
-        let ns_per_iter = b.elapsed.as_nanos() / u128::from(batch);
-        mean_sum += ns_per_iter;
-        best = best.min(ns_per_iter);
+        samples.push(b.elapsed.as_nanos() / u128::from(batch));
     }
-    let mean = mean_sum / settings.sample_size as u128;
-    println!("bench {label:<56} mean {mean:>10} ns/iter   min {best:>10} ns/iter");
+    let (mean, min, var) = sample_stats(&samples);
+    println!(
+        "bench {label:<56} mean {mean:>10} ns/iter   min {min:>10} ns/iter   var {var:>12} ns^2"
+    );
+}
+
+/// Mean, minimum, and sample variance (`n − 1` denominator; 0 for a
+/// single sample) of per-iteration nanosecond samples.
+fn sample_stats(samples: &[u128]) -> (u128, u128, u128) {
+    let n = samples.len() as u128;
+    let mean = samples.iter().sum::<u128>() / n;
+    let min = *samples.iter().min().expect("sample_size is positive");
+    let var = if n > 1 {
+        samples.iter().map(|&x| x.abs_diff(mean).pow(2)).sum::<u128>() / (n - 1)
+    } else {
+        0
+    };
+    (mean, min, var)
 }
 
 /// Bundles benchmark functions into a runnable group function.
@@ -323,6 +334,16 @@ mod tests {
     #[test]
     fn run_one_terminates() {
         run_one(&quick(), "shim/self_test", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn sample_stats_mean_min_variance() {
+        // Samples 2, 4, 9: mean 5, min 2, variance ((9 + 1 + 16) / 2) = 13.
+        assert_eq!(sample_stats(&[2, 4, 9]), (5, 2, 13));
+        // A single sample has no spread to estimate.
+        assert_eq!(sample_stats(&[7]), (7, 7, 0));
+        // Constant samples: zero variance.
+        assert_eq!(sample_stats(&[3, 3, 3, 3]), (3, 3, 0));
     }
 
     #[test]

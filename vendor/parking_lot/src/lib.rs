@@ -31,9 +31,7 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
-        }
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)) }
     }
 
     /// Attempts to acquire the lock without blocking.
@@ -115,10 +113,7 @@ impl Condvar {
     /// reacquiring before returning. Spurious wakeups are possible.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard present");
-        let reacquired = self
-            .inner
-            .wait(std_guard)
-            .unwrap_or_else(PoisonError::into_inner);
+        let reacquired = self.inner.wait(std_guard).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(reacquired);
     }
 
@@ -129,10 +124,8 @@ impl Condvar {
         timeout: std::time::Duration,
     ) -> WaitTimeoutResult {
         let std_guard = guard.inner.take().expect("guard present");
-        let (reacquired, result) = self
-            .inner
-            .wait_timeout(std_guard, timeout)
-            .unwrap_or_else(PoisonError::into_inner);
+        let (reacquired, result) =
+            self.inner.wait_timeout(std_guard, timeout).unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(reacquired);
         WaitTimeoutResult { timed_out: result.timed_out() }
     }

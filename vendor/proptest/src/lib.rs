@@ -141,7 +141,9 @@ macro_rules! prop_assert_ne {
             return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
                 ::std::format!(
                     "assertion failed: {} != {} (both {:?})",
-                    ::core::stringify!($left), ::core::stringify!($right), l,
+                    ::core::stringify!($left),
+                    ::core::stringify!($right),
+                    l,
                 ),
             ));
         }

@@ -156,14 +156,10 @@ mod tests {
             assert!(a < 5 && (1..=3).contains(&b));
             let m = (0u64..10).prop_map(|x| x * 2).generate(&mut rng);
             assert!(m % 2 == 0 && m < 20);
-            let f = (1u32..4)
-                .prop_flat_map(|n| (0..n, 1..=n))
-                .generate(&mut rng);
+            let f = (1u32..4).prop_flat_map(|n| (0..n, 1..=n)).generate(&mut rng);
             assert!(f.0 < 4 && f.1 >= 1);
             assert_eq!(Just(7).generate(&mut rng), 7);
-            let odd = (0u32..100)
-                .prop_filter("odd", |v| v % 2 == 1)
-                .generate(&mut rng);
+            let odd = (0u32..100).prop_filter("odd", |v| v % 2 == 1).generate(&mut rng);
             assert_eq!(odd % 2, 1);
         }
     }
@@ -183,9 +179,7 @@ mod tests {
     fn generation_is_deterministic_per_case() {
         let draw = |case| {
             let mut rng = TestRng::for_case(case);
-            (0..50u64)
-                .map(|_| (0u64..1_000_000).generate(&mut rng))
-                .collect::<Vec<_>>()
+            (0..50u64).map(|_| (0u64..1_000_000).generate(&mut rng)).collect::<Vec<_>>()
         };
         assert_eq!(draw(3), draw(3));
         assert_ne!(draw(3), draw(4));

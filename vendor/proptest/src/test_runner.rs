@@ -44,9 +44,7 @@ pub struct TestRng {
 impl TestRng {
     /// The RNG for case number `case`.
     pub fn for_case(case: u32) -> Self {
-        TestRng {
-            inner: StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ (u64::from(case) << 17)),
-        }
+        TestRng { inner: StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ (u64::from(case) << 17)) }
     }
 
     /// The next 64 random bits.
