@@ -38,7 +38,7 @@ fn safe_agreement_three_processes_every_schedule() {
     // with both reductions on — the pruned-vs-unpruned agreement on this
     // very configuration is asserted in `explore_sweeps.rs`.
     let out = Explorer::new(3)
-        .limits(ExploreLimits { max_runs: 2_000_000, max_steps: 1_000, ..Default::default() })
+        .limits(ExploreLimits { max_expansions: 2_000_000, max_steps: 1_000, ..Default::default() })
         .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, true));
     assert_complete(&out);
     assert!(
@@ -113,7 +113,7 @@ fn x_compete_never_exceeds_x_winners_any_schedule() {
         let out = explore(
             3,
             Crashes::None,
-            ExploreLimits { max_runs: 500_000, max_steps: 1_000, ..Default::default() },
+            ExploreLimits { max_expansions: 500_000, max_steps: 1_000, ..Default::default() },
             || fig5_bodies(3, x),
             move |r| check_winners(r, 3, x),
         );
@@ -128,7 +128,7 @@ fn x_safe_agreement_two_owners_every_schedule() {
     let out = explore(
         n,
         Crashes::None,
-        ExploreLimits { max_runs: 1_000_000, max_steps: 1_000, ..Default::default() },
+        ExploreLimits { max_expansions: 1_000_000, max_steps: 1_000, ..Default::default() },
         || fig6_bodies(n, x, 2),
         |r| check_agreement(r, n, true),
     );
@@ -147,7 +147,7 @@ fn x_safe_agreement_survives_every_single_crash_placement() {
             let out = explore(
                 n,
                 Crashes::AtOwnStep(vec![(victim, crash_step)]),
-                ExploreLimits { max_runs: 1_000_000, max_steps: 1_000, ..Default::default() },
+                ExploreLimits { max_expansions: 1_000_000, max_steps: 1_000, ..Default::default() },
                 || fig6_bodies(n, x, 3),
                 |r| {
                     check_agreement(r, n, false)?;

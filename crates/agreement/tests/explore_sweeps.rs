@@ -1,18 +1,21 @@
 //! Bounded-depth model-checking sweeps of the paper's object types
-//! (ISSUE 2 / ROADMAP "scripted-schedule exploration coverage"):
+//! (ROADMAP "Explorer scale-up"):
 //!
 //! * Figure 1 safe agreement, `n = 3..5` — exhaustive at `n = 3`
-//!   (pruned DFS visits strictly fewer states than the unpruned
-//!   reference, finds zero violations, and agrees with it), bounded-depth
-//!   at `n = 4, 5`;
+//!   (pruned frontier search visits strictly fewer states than the
+//!   unpruned reference, finds zero violations, and agrees with it),
+//!   bounded-depth at `n = 4, 5`;
 //! * Figure 5 `x_compete`, `n = 3..5` — exhaustive at `n = 3, 4`,
 //!   bounded-depth at `n = 5`;
-//! * Figure 6 x-safe agreement, `n = 3..5` — exhaustive at `n = 3`,
-//!   bounded-depth at `n = 4, 5`.
+//! * Figure 6 x-safe agreement, `n = 3..5` — exhaustive at `n = 3, 4`
+//!   (the `n = 4` sweep additionally pins that `threads = 1` and
+//!   `threads = 2` produce byte-identical reports), bounded-depth at
+//!   `n = 5`.
 //!
 //! The deterministic state-count lines these sweeps produce are also
 //! printed by `crates/bench/benches/explore_sweep.rs` and diffed by the
-//! CI determinism gate; the baselines are recorded in ROADMAP.md.
+//! CI determinism gate (including across explorer thread counts); the
+//! baselines are recorded in ROADMAP.md.
 
 use mpcn_agreement::fixtures::{
     check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies,
@@ -22,12 +25,13 @@ use mpcn_runtime::model_world::RunReport;
 use mpcn_runtime::sched::Crashes;
 
 /// The acceptance sweep: the Figure 1 object at `n = 3`, exhaustively.
-/// Pruned DFS must complete, find nothing, and visit strictly fewer
-/// states (and run strictly fewer schedules) than the unpruned
-/// reference over the same tree.
+/// The pruned frontier search must complete, find nothing, and visit
+/// strictly fewer states (and check strictly fewer runs) than the
+/// unpruned reference over the same tree.
 #[test]
 fn fig1_n3_pruned_sweep_beats_unpruned_reference() {
-    let limits = ExploreLimits { max_runs: 2_000_000, max_steps: 1_000, ..Default::default() };
+    let limits =
+        ExploreLimits { max_expansions: 2_000_000, max_steps: 1_000, ..Default::default() };
     let pruned =
         Explorer::new(3).limits(limits).run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, true));
     pruned.assert_no_violation();
@@ -47,7 +51,7 @@ fn fig1_n3_pruned_sweep_beats_unpruned_reference() {
     );
     assert!(
         pruned.runs() < unpruned.runs(),
-        "pruning must execute strictly fewer schedules ({} !< {})",
+        "pruning must check strictly fewer runs ({} !< {})",
         pruned.runs(),
         unpruned.runs()
     );
@@ -60,12 +64,15 @@ fn fig1_n3_pruned_sweep_beats_unpruned_reference() {
 fn fig1_n4_n5_bounded_depth_sweeps() {
     for (n, max_depth) in [(4usize, 7), (5usize, 5)] {
         let out = Explorer::new(n)
-            .limits(ExploreLimits { max_runs: 60_000, max_steps: 1_000, max_depth })
+            .limits(ExploreLimits { max_expansions: 400_000, max_steps: 1_000, max_depth })
             .run(|| fig1_bodies(n, 1), |r| check_agreement(r, n, true));
         out.assert_no_violation();
         assert!(!out.complete, "a depth-bounded sweep is not a full proof (n = {n})");
         assert!(out.stats.depth_limited_runs > 0, "the bound must actually bind (n = {n})");
-        assert!(out.runs() < 60_000, "run budget must not be the binding limit (n = {n})");
+        assert!(
+            out.stats.expansions < 400_000,
+            "work budget must not be the binding limit (n = {n})"
+        );
     }
 }
 
@@ -74,34 +81,62 @@ fn fig1_n4_n5_bounded_depth_sweeps() {
 fn fig5_x_compete_sweeps_n3_to_n5() {
     for (n, x) in [(3usize, 2u32), (4, 2)] {
         let out = Explorer::new(n)
-            .limits(ExploreLimits { max_runs: 500_000, max_steps: 1_000, ..Default::default() })
+            .limits(ExploreLimits {
+                max_expansions: 500_000,
+                max_steps: 1_000,
+                ..Default::default()
+            })
             .run(|| fig5_bodies(n, x), move |r| check_winners(r, n, x));
         out.assert_no_violation();
         assert!(out.complete, "n = {n} x = {x} must exhaust ({} runs)", out.runs());
     }
     let out = Explorer::new(5)
-        .limits(ExploreLimits { max_runs: 40_000, max_steps: 1_000, max_depth: 7 })
+        .limits(ExploreLimits { max_expansions: 400_000, max_steps: 1_000, max_depth: 7 })
         .run(|| fig5_bodies(5, 2), |r| check_winners(r, 5, 2));
     out.assert_no_violation();
     assert!(out.stats.depth_limited_runs > 0);
 }
 
-/// Figure 6 sweeps: exhaustive at `n = 3`; depth bounded at `n = 4, 5`.
+/// Figure 6 sweeps: exhaustive at `n = 3`; depth bounded at `n = 5`
+/// (`n = 4` is exhausted by the parallel sweep below).
 #[test]
-fn fig6_x_safe_agreement_sweeps_n3_to_n5() {
+fn fig6_x_safe_agreement_sweeps_n3_and_n5() {
     let out = Explorer::new(3)
-        .limits(ExploreLimits { max_runs: 1_000_000, max_steps: 2_000, ..Default::default() })
+        .limits(ExploreLimits { max_expansions: 1_000_000, max_steps: 2_000, ..Default::default() })
         .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, true));
     out.assert_no_violation();
     assert!(out.complete, "n = 3 x = 2 must exhaust ({} runs)", out.runs());
 
-    for (n, max_depth) in [(4usize, 7), (5, 5)] {
-        let out = Explorer::new(n)
-            .limits(ExploreLimits { max_runs: 60_000, max_steps: 2_000, max_depth })
-            .run(|| fig6_bodies(n, 2, 1), |r| check_agreement(r, n, true));
-        out.assert_no_violation();
-        assert!(out.stats.depth_limited_runs > 0, "the bound must bind (n = {n})");
-    }
+    let out = Explorer::new(5)
+        .limits(ExploreLimits { max_expansions: 400_000, max_steps: 2_000, max_depth: 5 })
+        .run(|| fig6_bodies(5, 2, 1), |r| check_agreement(r, 5, true));
+    out.assert_no_violation();
+    assert!(out.stats.depth_limited_runs > 0, "the bound must bind (n = 5)");
+}
+
+/// The Figure 6 scale-up milestone: `n = 4, x = 2` exhausted — and the
+/// parallel frontier is invisible: `threads = 1` and `threads = 2`
+/// produce byte-identical statistics (visited/pruned counts included)
+/// and the same verdict.
+#[test]
+fn fig6_n4_exhaustive_is_thread_count_invariant() {
+    let sweep = |threads: usize| {
+        Explorer::new(4)
+            .threads(threads)
+            .limits(ExploreLimits {
+                max_expansions: 2_000_000,
+                max_steps: 2_000,
+                ..Default::default()
+            })
+            .run(|| fig6_bodies(4, 2, 1), |r| check_agreement(r, 4, true))
+    };
+    let sequential = sweep(1);
+    sequential.assert_no_violation();
+    assert!(sequential.complete, "n = 4 x = 2 must exhaust ({} runs)", sequential.runs());
+    let parallel = sweep(2);
+    assert_eq!(sequential.stats, parallel.stats, "thread count must be invisible");
+    assert_eq!(sequential.complete, parallel.complete);
+    assert_eq!(sequential.violations.len(), parallel.violations.len());
 }
 
 /// Crash plans compose with pruning: every placement of one crash during
@@ -114,7 +149,7 @@ fn fig1_n3_single_crash_placements_pruned() {
             let out = Explorer::new(3)
                 .crashes(Crashes::AtOwnStep(vec![(victim, crash_step)]))
                 .limits(ExploreLimits {
-                    max_runs: 2_000_000,
+                    max_expansions: 2_000_000,
                     max_steps: 1_000,
                     ..Default::default()
                 })
@@ -137,7 +172,7 @@ fn fig1_violation_schedule_replays_deterministically() {
             _ => Ok(()),
         };
     let out = Explorer::new(3)
-        .limits(ExploreLimits { max_runs: 2_000_000, max_steps: 1_000, ..Default::default() })
+        .limits(ExploreLimits { max_expansions: 2_000_000, max_steps: 1_000, ..Default::default() })
         .run(|| fig1_bodies(3, 1), broken);
     let v = out.violation().expect("the explorer must find a p2-first schedule");
     // Replay: the violating interleaving re-runs deterministically.
@@ -168,7 +203,11 @@ fn fig1_n2_violation_sets_match_between_reduced_and_reference() {
         let out = Explorer::new(2)
             .reduction(reduction)
             .collect_all(true)
-            .limits(ExploreLimits { max_runs: 200_000, max_steps: 1_000, ..Default::default() })
+            .limits(ExploreLimits {
+                max_expansions: 200_000,
+                max_steps: 1_000,
+                ..Default::default()
+            })
             .run(|| fig1_bodies(2, 1), broken);
         let mut msgs: Vec<String> = out.violations.iter().map(|v| v.message.clone()).collect();
         msgs.sort();

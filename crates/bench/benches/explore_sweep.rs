@@ -3,38 +3,50 @@
 //! Two kinds of output:
 //!
 //! * **Deterministic state-count lines on stderr** — one
-//!   `explore: <label> runs=… visited=… pruned=…` line per catalogued
-//!   sweep, identical across runs, machines, and optimization levels.
-//!   The CI determinism gate runs the benches twice and diffs exactly
-//!   these lines; the baselines are recorded in ROADMAP.md.
-//! * **Wall time** of two small pruned sweeps (relative measure only —
-//!   the model world's scheduler handshakes dominate).
+//!   `explore: <label> runs=… expansions=… visited=…` line per
+//!   catalogued sweep, identical across runs, machines, optimization
+//!   levels, *and explorer thread counts*. The CI determinism gate runs
+//!   the benches twice and diffs exactly these lines, and additionally
+//!   diffs an `MPCN_EXPLORE_THREADS=1` run against an
+//!   `MPCN_EXPLORE_THREADS=2` run; the baselines are recorded in
+//!   ROADMAP.md.
+//! * **Wall time** of pruned sweeps under `threads = 1` and
+//!   `threads = k` — the parallel-speedup measure (the vendored
+//!   criterion shim reports mean/min/p50/p99, so tail latency is
+//!   visible). On a single-core runner the thread counts tie; the
+//!   deterministic lines above are identical either way.
+//!
+//! Worker count for the catalogued sweeps: `MPCN_EXPLORE_THREADS`
+//! (default 2).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpcn_agreement::fixtures::{
     check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies,
 };
-use mpcn_runtime::explore::{ExploreLimits, ExploreReport, Explorer, Reduction};
+use mpcn_runtime::explore::{threads_from_env, ExploreLimits, ExploreReport, Explorer, Reduction};
 use mpcn_runtime::sched::Crashes;
 use std::hint::black_box;
 
-fn limits(max_runs: u64, max_depth: usize) -> ExploreLimits {
-    ExploreLimits { max_runs, max_steps: 2_000, max_depth }
+fn limits(max_expansions: u64, max_depth: usize) -> ExploreLimits {
+    ExploreLimits { max_expansions, max_steps: 2_000, max_depth }
 }
 
 /// The catalogued sweeps. Every report's summary line must be identical
-/// on every invocation — no timing, no randomness, no pointers.
-fn catalogue() -> Vec<(&'static str, ExploreReport)> {
+/// on every invocation — no timing, no randomness, no pointers, no
+/// thread-count dependence.
+fn catalogue(threads: usize) -> Vec<(&'static str, ExploreReport)> {
     vec![
         (
             "fig1 n=3 pruned",
             Explorer::new(3)
+                .threads(threads)
                 .limits(limits(2_000_000, usize::MAX))
                 .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
         ),
         (
             "fig1 n=3 unpruned",
             Explorer::new(3)
+                .threads(threads)
                 .limits(limits(2_000_000, usize::MAX))
                 .reduction(Reduction::none())
                 .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
@@ -42,33 +54,45 @@ fn catalogue() -> Vec<(&'static str, ExploreReport)> {
         (
             "fig1 n=3 crash(0@1) pruned",
             Explorer::new(3)
+                .threads(threads)
                 .crashes(Crashes::AtOwnStep(vec![(0, 1)]))
                 .limits(limits(2_000_000, usize::MAX))
                 .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
         ),
         (
-            "fig1 n=4 depth<=7 pruned",
+            "fig1 n=4 depth<=9 pruned",
             Explorer::new(4)
-                .limits(limits(60_000, 7))
+                .threads(threads)
+                .limits(limits(2_000_000, 9))
                 .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
         ),
         (
             "fig5 n=4 x=2 pruned",
             Explorer::new(4)
+                .threads(threads)
                 .limits(limits(500_000, usize::MAX))
                 .run(|| fig5_bodies(4, 2), |r| check_winners(r, 4, 2)),
         ),
         (
             "fig6 n=3 x=2 pruned",
             Explorer::new(3)
+                .threads(threads)
                 .limits(limits(1_000_000, usize::MAX))
                 .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, false)),
+        ),
+        (
+            "fig6 n=4 x=2 pruned",
+            Explorer::new(4)
+                .threads(threads)
+                .limits(limits(2_000_000, usize::MAX))
+                .run(|| fig6_bodies(4, 2, 1), |r| check_agreement(r, 4, false)),
         ),
     ]
 }
 
 fn sweeps(c: &mut Criterion) {
-    for (label, report) in catalogue() {
+    let threads = threads_from_env(2);
+    for (label, report) in catalogue(threads) {
         report.assert_no_violation();
         eprintln!("{}", report.summary_line(label));
     }
@@ -91,7 +115,43 @@ fn sweeps(c: &mut Criterion) {
             black_box(out.stats.states_visited)
         })
     });
+    // Parallel speedup: the same exhaustive fig6 n=4 sweep under 1 worker
+    // and under the env-selected worker count. The deterministic lines
+    // above prove both produce identical reports; this pair measures what
+    // the extra workers buy in wall time. At this group's sample_size of
+    // 10 the printed p99 is just the maximum (nearest rank) — the real
+    // tail comes from the 100-sample n=3 pair below.
+    for (label, k) in [("fig6_n4_x2_sweep_t1", 1), ("fig6_n4_x2_sweep_tk", threads)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let out = Explorer::new(4)
+                    .threads(k)
+                    .limits(limits(2_000_000, usize::MAX))
+                    .run(|| fig6_bodies(4, 2, 1), |r| check_agreement(r, 4, false));
+                black_box(out.stats.states_visited)
+            })
+        });
+    }
     g.finish();
+
+    // Tail latency of the parallel frontier: the (fast) exhaustive fig6
+    // n=3 sweep at 100 samples, where the shim's nearest-rank p99 is a
+    // real 99th percentile — worker scheduling jitter shows up here
+    // first (vendor/README.md documents the line format).
+    let mut tail = c.benchmark_group("explore_tail");
+    tail.sample_size(100);
+    for (label, k) in [("fig6_n3_x2_sweep_t1", 1), ("fig6_n3_x2_sweep_tk", threads)] {
+        tail.bench_function(label, |b| {
+            b.iter(|| {
+                let out = Explorer::new(3)
+                    .threads(k)
+                    .limits(limits(1_000_000, usize::MAX))
+                    .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, false));
+                black_box(out.stats.states_visited)
+            })
+        });
+    }
+    tail.finish();
 }
 
 criterion_group!(benches, sweeps);

@@ -1,0 +1,445 @@
+//! The frontier engine: layered, snapshot-resuming, optionally parallel
+//! expansion of the schedule tree.
+//!
+//! # Shape
+//!
+//! The engine maintains a **frontier** of tree nodes — each a
+//! [`Snapshot`] plus its choice path, alive set, and per-path adversary
+//! state — and processes the tree in layers (all nodes at one depth):
+//!
+//! 1. **Expand (parallel):** every `(node, choice)` job of the layer
+//!    resumes one scheduling decision from the node's snapshot
+//!    ([`ModelWorld::resume_from`] / [`ModelWorld::resume_crash`]) and
+//!    fingerprints the child. Jobs are claimed work-stealing style from a
+//!    shared atomic cursor by up to [`super::Explorer::threads`] workers;
+//!    each worker also pre-checks the child's fingerprint against the
+//!    **committed** visited set (sharded `fingerprint mod 64` behind
+//!    striped locks), which is frozen during the phase — so the check's
+//!    outcome is independent of worker interleaving.
+//! 2. **Merge (canonical):** results are folded **in job order** —
+//!    visited-set insertion, within-layer duplicate resolution,
+//!    statistics, violation checks, and the next layer's job list. Every
+//!    nondeterministic effect of phase 1 is invisible to phase 2, so the
+//!    whole exploration — counts, violations, report — is byte-identical
+//!    for `threads = 1` and `threads = k` (property-tested in
+//!    `tests/proptests.rs` and diffed by the CI determinism gate).
+//!
+//! Terminal nodes (everyone decided/crashed, or the per-path step budget
+//! exhausted) synthesize their [`RunReport`] from the snapshot and are
+//! checked at merge time. Nodes at the sibling-enumeration depth bound
+//! run a **tail**: resumed to completion along the canonical choice-0
+//! suffix as one job, exactly like the gated explorer's depth-bounded
+//! runs. A violation's confirmation re-runs its choice vector through the
+//! **gated** world ([`RunConfig::replay`]) and asserts both engines agree
+//! on the outcomes — a permanent cross-check of the resume engine against
+//! the reference implementation.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::model_world::{Body, ModelWorld, RunConfig, RunReport, Snapshot};
+use crate::sched::{CrashState, Crashes};
+use crate::world::Pid;
+
+use super::report::{ExploreReport, ExploreStats, Violation};
+use super::Explorer;
+
+/// Number of visited-set shards (fingerprint modulo; must be a power of
+/// two). 64 stripes keep lock contention negligible at the worker counts
+/// a desktop machine can field.
+const SHARD_COUNT: usize = 64;
+
+/// The visited-fingerprint set, sharded by `fingerprint mod 64` behind
+/// striped locks: workers of one expansion phase probe membership
+/// concurrently; insertion happens only in the canonical merge.
+struct VisitedShards {
+    shards: Vec<Mutex<HashSet<u64>>>,
+}
+
+impl VisitedShards {
+    fn new() -> Self {
+        VisitedShards { shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashSet::new())).collect() }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<HashSet<u64>> {
+        &self.shards[(fp as usize) & (SHARD_COUNT - 1)]
+    }
+
+    fn contains(&self, fp: u64) -> bool {
+        self.shard(fp).lock().contains(&fp)
+    }
+
+    /// `true` if `fp` was new.
+    fn insert(&self, fp: u64) -> bool {
+        self.shard(fp).lock().insert(fp)
+    }
+}
+
+/// One frontier node: a reachable state plus everything path-dependent
+/// the engine needs to continue from it.
+struct Node {
+    snap: Snapshot,
+    /// Choice vector from the root (the replayable schedule prefix).
+    path: Vec<usize>,
+    /// Cached `snap.alive()`.
+    alive: Vec<Pid>,
+    /// The decision that created this node: `(picked pid, completed a
+    /// pure read)` — what the commuting-reads rule needs. `None` at the
+    /// root.
+    incoming: Option<(Pid, bool)>,
+    /// Adversary state after this node's path (one `should_crash` call
+    /// per pick, as in a gated run).
+    crash: CrashState,
+}
+
+enum Job {
+    /// Execute one scheduling decision: pick `alive[choice]` at `node`.
+    Expand { node: Arc<Node>, choice: usize },
+    /// Resume `node` to completion along the canonical choice-0 suffix
+    /// (sibling enumeration was cut by the depth bound).
+    Tail { node: Arc<Node> },
+}
+
+enum JobResult {
+    Expanded(Box<Expanded>),
+    Tail(TailRun),
+}
+
+struct Expanded {
+    /// `None` when the committed visited set already contained `fp` (the
+    /// snapshot is dropped in the worker, saving merge-phase memory).
+    node: Option<Node>,
+    fp: u64,
+    pre_pruned: bool,
+}
+
+struct TailRun {
+    report: RunReport,
+    /// Full choice vector from the root, including the `0` tail.
+    choices: Vec<usize>,
+    /// Total picks from the root (the run's schedule depth).
+    depth: usize,
+}
+
+/// The read-only context expansion workers share.
+struct Shared<'a, F> {
+    make_bodies: &'a F,
+    visited: &'a VisitedShards,
+    /// Visited-state pruning enabled — also the only reason to
+    /// fingerprint child snapshots, so it doubles as the tracking flag.
+    prune: bool,
+    max_steps: u64,
+}
+
+/// One exploration in progress. Construction wires the configuration;
+/// [`Engine::run`] consumes it.
+pub(super) struct Engine<'a, F, C> {
+    ex: &'a Explorer,
+    make_bodies: &'a F,
+    check: &'a C,
+    /// See [`Shared::prune`] — also the snapshot-tracking flag.
+    prune: bool,
+    sleep: bool,
+    threads: usize,
+    visited: VisitedShards,
+    stats: ExploreStats,
+    violations: Vec<Violation>,
+    complete: bool,
+    stopped: bool,
+    /// Jobs queued so far — the meter [`super::ExploreLimits::max_expansions`]
+    /// is charged against. `stats.expansions` counts *executed* jobs, so
+    /// on an early stop the final layer's still-queued jobs are charged
+    /// here but never reported as performed.
+    queued: u64,
+}
+
+impl<'a, F, C> Engine<'a, F, C>
+where
+    F: Fn() -> Vec<Body> + Sync,
+    C: Fn(&RunReport) -> Result<(), String>,
+{
+    pub(super) fn new(ex: &'a Explorer, make_bodies: &'a F, check: &'a C) -> Self {
+        // Random crashes are a sampling policy whose RNG state is a
+        // function of the pick history, not of the reached state; neither
+        // reduction's argument applies, so both are disabled.
+        let reducible = !matches!(ex.crashes, Crashes::Random { .. });
+        Engine {
+            ex,
+            make_bodies,
+            check,
+            prune: ex.reduction.prune_visited && reducible,
+            sleep: ex.reduction.sleep_reads && reducible,
+            threads: ex.threads.max(1),
+            visited: VisitedShards::new(),
+            stats: ExploreStats::new(ex.n),
+            violations: Vec::new(),
+            complete: true,
+            stopped: false,
+            queued: 0,
+        }
+    }
+
+    pub(super) fn run(mut self) -> ExploreReport {
+        let snap = ModelWorld::snapshot_root(self.ex.n, self.prune, (self.make_bodies)());
+        let root = Node {
+            alive: snap.alive(),
+            snap,
+            path: Vec::new(),
+            incoming: None,
+            crash: CrashState::new(self.ex.crashes.clone()),
+        };
+        let mut jobs = Vec::new();
+        self.admit(root, &mut jobs);
+        while !jobs.is_empty() && !self.stopped {
+            let results = self.execute(&jobs);
+            jobs = self.merge(results);
+        }
+        ExploreReport {
+            complete: self.complete && self.violations.is_empty(),
+            stats: self.stats,
+            violations: self.violations,
+        }
+    }
+
+    /// Classifies a freshly retained node: terminal and timed-out nodes
+    /// are checked now; depth-bounded nodes queue a tail job; everything
+    /// else queues one expansion job per non-redundant choice.
+    fn admit(&mut self, node: Node, jobs: &mut Vec<Job>) {
+        let depth = node.path.len();
+        if node.alive.is_empty() {
+            let report = node.snap.report(false);
+            self.finish_run(report, node.path, depth);
+            return;
+        }
+        if node.snap.steps() >= self.ex.limits.max_steps {
+            let report = node.snap.report(true);
+            self.finish_run(report, node.path, depth);
+            return;
+        }
+        if depth >= self.ex.limits.max_depth {
+            // The bound binds: this is no longer a full proof.
+            self.complete = false;
+            if self.take_work() {
+                jobs.push(Job::Tail { node: Arc::new(node) });
+            }
+            return;
+        }
+        self.stats.branching_histogram[node.alive.len()] += 1;
+        let node = Arc::new(node);
+        for choice in 0..node.alive.len() {
+            if self.sleep && self.sleep_skippable(&node, choice) {
+                self.stats.sleep_skips += 1;
+                continue;
+            }
+            if !self.take_work() {
+                return;
+            }
+            jobs.push(Job::Expand { node: Arc::clone(&node), choice });
+        }
+    }
+
+    /// Accounts one unit of expansion work against the budget; on
+    /// exhaustion the exploration stops incomplete.
+    fn take_work(&mut self) -> bool {
+        if self.queued >= self.ex.limits.max_expansions {
+            self.complete = false;
+            self.stopped = true;
+            return false;
+        }
+        self.queued += 1;
+        true
+    }
+
+    /// In the spirit of sleep sets: picking `p = alive[choice]` right
+    /// after the pure read that created `node` is redundant when `p < q`
+    /// and `p`'s own pending operation is also a pure read — the
+    /// transposed pair reaches the canonical pair's state, whose subtree
+    /// is covered from its pid-ascending representative. A pick the crash
+    /// plan intercepts is not a read and is never skipped.
+    fn sleep_skippable(&self, node: &Node, choice: usize) -> bool {
+        let Some((q, true)) = node.incoming else {
+            return false;
+        };
+        let p = node.alive[choice];
+        p < q && node.snap.pending_read(p) && !self.crash_fires(p, node.snap.own_steps(p))
+    }
+
+    /// Whether the (stateless) crash plan crashes `pid` at its `own`-th
+    /// step. [`Crashes::Random`] never reaches here — it disables the
+    /// reductions.
+    fn crash_fires(&self, pid: Pid, own: u64) -> bool {
+        match &self.ex.crashes {
+            Crashes::None => false,
+            Crashes::AtOwnStep(plan) => plan.iter().any(|&(p, s)| p == pid && s == own),
+            Crashes::Random { .. } => unreachable!("reductions are disabled under random crashes"),
+        }
+    }
+
+    /// Phase 1: runs the layer's jobs, on this thread or on a scoped
+    /// worker pool claiming jobs from an atomic cursor. Only reads shared
+    /// state; all results are folded canonically by [`Engine::merge`].
+    fn execute(&self, jobs: &[Job]) -> Vec<JobResult> {
+        let shared = Shared {
+            make_bodies: self.make_bodies,
+            visited: &self.visited,
+            prune: self.prune,
+            max_steps: self.ex.limits.max_steps,
+        };
+        let workers = self.threads.min(jobs.len());
+        if workers <= 1 {
+            return jobs.iter().map(|job| run_job(&shared, job)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let out = run_job(&shared, &jobs[i]);
+                    *slots[i].lock() = Some(out);
+                });
+            }
+        });
+        slots.into_iter().map(|slot| slot.into_inner().expect("every job ran")).collect()
+    }
+
+    /// Phase 2: folds the layer's results in job order — deterministic
+    /// regardless of which worker produced what when.
+    fn merge(&mut self, results: Vec<JobResult>) -> Vec<Job> {
+        // Every result in hand was executed, even those a mid-merge stop
+        // discards below — `expansions` reports performed work.
+        self.stats.expansions += results.len() as u64;
+        let mut jobs = Vec::new();
+        for result in results {
+            if self.stopped {
+                break;
+            }
+            match result {
+                JobResult::Tail(tail) => {
+                    self.stats.depth_limited_runs += 1;
+                    self.finish_run(tail.report, tail.choices, tail.depth);
+                }
+                JobResult::Expanded(child) => {
+                    if self.prune && (child.pre_pruned || !self.visited.insert(child.fp)) {
+                        self.stats.states_pruned += 1;
+                        continue;
+                    }
+                    self.stats.states_visited += 1;
+                    let node = child.node.expect("retained children carry their node");
+                    self.admit(node, &mut jobs);
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Accounts one completed run and checks it; a violation is confirmed
+    /// against the gated engine before being recorded.
+    fn finish_run(&mut self, report: RunReport, choices: Vec<usize>, depth: usize) {
+        self.stats.runs += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        if let Err(message) = (self.check)(&report) {
+            self.confirm_against_gated_replay(&choices, &report);
+            self.violations.push(Violation { choices, message });
+            if !self.ex.collect_all {
+                self.complete = false;
+                self.stopped = true;
+            }
+        }
+    }
+
+    /// Re-runs a violating choice vector through the gated world (the
+    /// same [`RunConfig::replay`] the public [`super::replay`] builds)
+    /// and asserts both engines reach the same outcomes.
+    fn confirm_against_gated_replay(&self, choices: &[usize], report: &RunReport) {
+        let cfg = RunConfig::replay(
+            self.ex.n,
+            self.ex.crashes.clone(),
+            self.ex.limits.max_steps,
+            choices,
+        );
+        let replayed = ModelWorld::run(cfg, (self.make_bodies)());
+        assert_eq!(
+            replayed.outcomes, report.outcomes,
+            "snapshot-resume exploration and gated replay disagree on a counterexample \
+             (choices {choices:?}) — model-world engine bug"
+        );
+    }
+}
+
+fn run_job<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, job: &Job) -> JobResult {
+    match job {
+        Job::Expand { node, choice } => {
+            JobResult::Expanded(Box::new(expand(shared, node, *choice)))
+        }
+        Job::Tail { node } => JobResult::Tail(run_tail(shared, node)),
+    }
+}
+
+/// One scheduling decision from `snap`, advancing `crash` by its
+/// `should_crash` call: a firing crash replaces the step, exactly as in
+/// the gated scheduler loop. Returns the successor and whether the pick
+/// delivered a crash.
+///
+/// Under the `Fn() -> Vec<Body>` contract a non-crash step must
+/// materialize all `n` bodies to use the picked one — `O(n)` small boxed
+/// allocations per step. Negligible for the catalogued sweeps; a
+/// per-pid body constructor in the public API would remove it if a
+/// multi-million-expansion sweep ever makes it measurable.
+fn step_snapshot<F: Fn() -> Vec<Body>>(
+    shared: &Shared<'_, F>,
+    snap: &Snapshot,
+    crash: &mut CrashState,
+    pid: Pid,
+) -> (Snapshot, bool) {
+    if crash.should_crash(pid, snap.own_steps(pid)) {
+        (ModelWorld::resume_crash(snap, pid), true)
+    } else {
+        let body = (shared.make_bodies)().into_iter().nth(pid).expect("one body per process");
+        (ModelWorld::resume_from(snap, pid, body), false)
+    }
+}
+
+/// Executes one scheduling decision from `node`.
+fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usize) -> Expanded {
+    let pid = node.alive[choice];
+    let mut crash = node.crash.clone();
+    let (snap, crashed_now) = step_snapshot(shared, &node.snap, &mut crash, pid);
+    let fp = if shared.prune { snap.fingerprint() } else { 0 };
+    if shared.prune && shared.visited.contains(fp) {
+        return Expanded { node: None, fp, pre_pruned: true };
+    }
+    let mut path = node.path.clone();
+    path.push(choice);
+    let alive = snap.alive();
+    let incoming = Some((pid, !crashed_now && node.snap.pending_read(pid)));
+    Expanded { node: Some(Node { snap, path, alive, incoming, crash }), fp, pre_pruned: false }
+}
+
+/// Resumes `node` to completion along the canonical choice-0 suffix —
+/// the depth-bounded sweep's "runs still execute to completion" path.
+fn run_tail<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node) -> TailRun {
+    let mut snap = node.snap.clone();
+    let mut crash = node.crash.clone();
+    let mut choices = node.path.clone();
+    let report = loop {
+        let alive = snap.alive();
+        if alive.is_empty() {
+            break snap.report(false);
+        }
+        if snap.steps() >= shared.max_steps {
+            break snap.report(true);
+        }
+        let pid = alive[0];
+        choices.push(0);
+        let (next, _) = step_snapshot(shared, &snap, &mut crash, pid);
+        snap = next;
+    };
+    TailRun { report, depth: choices.len(), choices }
+}

@@ -1,42 +1,55 @@
 //! Bounded model checking of model-world programs: exhaustive schedule
-//! enumeration with visited-state pruning and a commuting-reads
-//! reduction — loom-style, but over the model world's virtual processes.
+//! enumeration with visited-state pruning, a commuting-reads reduction,
+//! snapshot-resume execution, and optional parallel frontier expansion —
+//! loom-style, but over the model world's virtual processes.
 //!
-//! # Enumeration (odometer DFS)
+//! # Enumeration (snapshot-resuming frontier search)
 //!
 //! A model-world run is fully determined by its *choice vector*: at the
 //! `i`-th scheduling decision the scheduler picks `alive[c_i % alive.len()]`
-//! ([`Schedule::Indexed`]). Because process bodies are deterministic, the
-//! branch degree at each decision (`alive.len()`) is a function of the
-//! prefix of choices — so the space of schedules forms a finitely-branching
-//! tree that can be enumerated without state snapshots: run, read off the
-//! recorded branch degrees, increment the deepest incrementable choice
-//! ("odometer" DFS), re-run.
+//! ([`Schedule::Indexed`](crate::sched::Schedule::Indexed)). Because
+//! process bodies are deterministic, the
+//! branch degree at each decision is a function of the prefix of choices,
+//! so the space of schedules forms a finitely-branching tree. The
+//! explorer walks that tree **without ever re-executing a prefix**: each
+//! tree node is held as a [`Snapshot`](crate::model_world::Snapshot)
+//! (shared memory, per-process
+//! operation logs — the continuation cursors — observation histories,
+//! adversary state), and a child is produced by resuming exactly one
+//! scheduling decision from its parent's snapshot
+//! ([`ModelWorld::resume_from`]). Completed runs are checked from the
+//! terminal snapshot's synthesized [`RunReport`].
+//!
+//! The frontier is processed in depth layers by a work-deque of
+//! `(snapshot, pending choice)` jobs; [`Explorer::threads`] workers claim
+//! jobs from a shared cursor and probe a fingerprint-sharded visited set,
+//! while all state mutation happens in a canonical-order merge per layer
+//! — so reports are **byte-identical for any thread count** (the CI
+//! determinism gate diffs `threads=1` against `threads=2`). See the
+//! `frontier` module docs for the two-phase argument.
 //!
 //! # Prefix pruning ([`Reduction::prune_visited`])
 //!
-//! Re-running shared prefixes is cheap; the exponential cost is sibling
-//! *subtrees* that converge to the same global state (e.g. two writes to
-//! different snapshot cells in either order). The model world fingerprints
-//! the global state after every pick ([`RunConfig::record_state_hashes`]):
-//! shared-memory contents plus, per process, its liveness flags, result,
-//! and the rolling hash of its *observation history* (every operation's
-//! key and returned value). A deterministic closure's control state is
-//! exactly a function of the values its operations returned, so
+//! The exponential cost of naive enumeration is sibling *subtrees* that
+//! converge to the same global state (e.g. two writes to different
+//! snapshot cells in either order). Every child snapshot is fingerprinted
+//! (shared-memory contents — maintained incrementally as XOR deltas per
+//! write — plus, per process, its liveness flags, result, and the rolling
+//! hash of its *observation history*: every operation's key and returned
+//! value). A deterministic closure's control state is exactly a function
+//! of the values its operations returned, so
 //!
 //! > equal fingerprint ⇒ equal memory and equal per-process control
 //! > states ⇒ identical behavior under identical schedule suffixes.
 //!
-//! The explorer therefore keeps a visited-fingerprint set; when a freshly
-//! executed pick lands in an already-visited state, every *other*
-//! extension of that prefix is skipped (the first extension was just run,
-//! and the state's full subtree was or will be covered from its first
-//! occurrence). No reachable final state is lost, so a checker that reads
-//! only run outcomes (decided values, crash/undecided status) sees the
-//! same violation set with pruning on or off — property-tested in
-//! `tests/proptests.rs`. Path statistics (`steps`, `ops_by_kind`,
-//! `trace`) are *not* part of the state and may differ between the
-//! retained representative and a pruned schedule.
+//! A child whose fingerprint was already visited is dropped with its
+//! entire subtree: the state's futures were or will be covered from its
+//! first occurrence. No reachable final state is lost, so a checker that
+//! reads only run outcomes (decided values, crash/undecided status) sees
+//! the same violation set with pruning on or off — property-tested in
+//! `tests/proptests.rs`. Path statistics (`steps`, `ops_by_kind`) are
+//! *not* part of the state and may differ between the retained
+//! representative and a pruned schedule.
 //!
 //! # Commuting reads ([`Reduction::sleep_reads`])
 //!
@@ -44,13 +57,12 @@
 //! `snap_scan`) commute: neither changes memory, so both orders reach the
 //! same state. In the spirit of sleep sets, the explorer keeps only the
 //! canonical (pid-ascending) order of each such adjacent pair and skips
-//! the transposed sibling subtree — before running it when the pair is
-//! visible in recorded prefix metadata ([`RunConfig::record_decisions`]),
-//! or right after otherwise. Pruning alone would also converge one pick
-//! later; the reduction avoids executing those runs at all. Crash plans
-//! are honored: a pick that would deliver a crash is never treated as a
-//! read, and the reduction is disabled under [`Crashes::Random`] (whose
-//! RNG state is not a function of the reached state — that policy is for
+//! the transposed sibling *before executing it* — a read's purity is a
+//! function of the reader's own operation log, so the snapshot knows
+//! every parked process's pending-operation purity. Crash plans are
+//! honored: a pick that would deliver a crash is never treated as a read,
+//! and the reduction is disabled under [`Crashes::Random`] (whose RNG
+//! state is not a function of the reached state — that policy is for
 //! sampling, not exhaustive exploration, and disables visited-state
 //! pruning too).
 //!
@@ -61,31 +73,35 @@
 //! exhausting `(victim, step)` pairs × schedules covers every placement
 //! of a crash in every interleaving. [`ExploreLimits::max_depth`] bounds
 //! *sibling enumeration* depth for bounded-depth sweeps of larger
-//! configurations: runs still execute to completion, but scheduling
-//! alternatives are only explored in the first `max_depth` picks (the
-//! report is then marked incomplete).
+//! configurations: runs still execute to completion (along the canonical
+//! choice-0 suffix), but scheduling alternatives are only explored in the
+//! first `max_depth` picks (the report is then marked incomplete).
+//! [`ExploreLimits::max_expansions`] bounds total work;
+//! [`ExploreLimits::max_steps`] bounds each path.
 //!
 //! Use **bounded** process bodies (no unbounded busy-wait loops): a
-//! spinning process makes the schedule tree infinite. The agreement
-//! protocols are verified with propose sequences plus a fixed number of
-//! polls — safety (agreement, validity) is exhaustively checked on every
-//! interleaving of the proposes.
+//! spinning process makes the schedule tree explode within the step
+//! budget — and, with snapshot resumption executing bodies on the caller
+//! thread, a body that never reaches another shared operation hangs. The
+//! agreement protocols are verified with propose sequences plus a fixed
+//! number of polls — safety (agreement, validity) is exhaustively checked
+//! on every interleaving of the proposes.
 
+mod frontier;
 pub mod report;
 
 pub use report::{ExploreReport, ExploreStats, Violation};
 
-use std::collections::HashSet;
-
-use crate::model_world::{Body, Decision, ModelWorld, RunConfig, RunReport};
-use crate::sched::{Crashes, Schedule};
-use crate::world::Pid;
+use crate::model_world::{Body, ModelWorld, RunConfig, RunReport};
+use crate::sched::Crashes;
 
 /// Bounds for an exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExploreLimits {
-    /// Maximum number of runs before giving up (incomplete exploration).
-    pub max_runs: u64,
+    /// Maximum number of scheduling expansions (one resumed decision or
+    /// depth-bounded completion run each — the unit of exploration work)
+    /// before giving up (incomplete exploration).
+    pub max_expansions: u64,
     /// Step budget per run (guards against accidental unbounded bodies).
     pub max_steps: u64,
     /// Sibling-enumeration depth bound (in picks): scheduling
@@ -96,7 +112,7 @@ pub struct ExploreLimits {
 
 impl Default for ExploreLimits {
     fn default() -> Self {
-        ExploreLimits { max_runs: 100_000, max_steps: 10_000, max_depth: usize::MAX }
+        ExploreLimits { max_expansions: 1_000_000, max_steps: 10_000, max_depth: usize::MAX }
     }
 }
 
@@ -168,11 +184,12 @@ pub struct Explorer {
     limits: ExploreLimits,
     reduction: Reduction,
     collect_all: bool,
+    threads: usize,
 }
 
 impl Explorer {
     /// An explorer for `n`-process programs with no crashes, default
-    /// limits, and both reductions enabled.
+    /// limits, both reductions enabled, and single-threaded expansion.
     pub fn new(n: usize) -> Self {
         Explorer {
             n,
@@ -180,6 +197,7 @@ impl Explorer {
             limits: ExploreLimits::default(),
             reduction: Reduction::default(),
             collect_all: false,
+            threads: 1,
         }
     }
 
@@ -213,8 +231,17 @@ impl Explorer {
         self
     }
 
+    /// Expands each frontier layer on `k` worker threads (clamped to at
+    /// least 1). The report is byte-identical for every `k`: workers only
+    /// execute and probe; all bookkeeping happens in a canonical-order
+    /// merge (see the `frontier` module).
+    pub fn threads(mut self, k: usize) -> Self {
+        self.threads = k.max(1);
+        self
+    }
+
     /// Explores every schedule of the processes produced by `make_bodies`
-    /// (re-invoked per run — bodies must be deterministic), running
+    /// (re-invoked per expansion — bodies must be deterministic), running
     /// `check` on every completed run.
     ///
     /// With [`Reduction::prune_visited`] on, `check` must depend only on
@@ -223,179 +250,32 @@ impl Explorer {
     /// pruned schedule and its retained representative.
     pub fn run<F, C>(&self, make_bodies: F, check: C) -> ExploreReport
     where
-        F: Fn() -> Vec<Body>,
+        F: Fn() -> Vec<Body> + Sync,
         C: Fn(&RunReport) -> Result<(), String>,
     {
-        let reducible = !matches!(self.crashes, Crashes::Random { .. });
-        let prune = self.reduction.prune_visited && reducible;
-        let sleep = self.reduction.sleep_reads && reducible;
-
-        let mut stats = ExploreStats::new(self.n);
-        let mut violations: Vec<Violation> = Vec::new();
-        let mut visited: HashSet<u64> = HashSet::new();
-        let mut complete = true;
-        let mut choices: Vec<usize> = Vec::new();
-        let mut fresh_from = 0usize;
-        // Metadata of the last *executed* run (assigned before first use —
-        // every exploration executes at least one run). A candidate differs
-        // from it only at its deepest position, so records for shallower
-        // decisions stay valid (they are functions of the shared prefix).
-        let mut last_branching: Vec<usize>;
-        let mut last_decisions: Vec<Decision>;
-
-        'explore: loop {
-            if stats.runs >= self.limits.max_runs {
-                complete = false;
-                break;
-            }
-            let cfg = RunConfig::new(self.n)
-                .schedule(Schedule::Indexed { choices: choices.clone() })
-                .crashes(self.crashes.clone())
-                .max_steps(self.limits.max_steps)
-                .record_branching(true)
-                .record_state_hashes(prune)
-                .record_decisions(sleep);
-            let run = ModelWorld::run(cfg, make_bodies());
-            stats.runs += 1;
-            let branching = run.branching.clone().expect("branching recording was requested");
-            let depth = branching.len();
-            stats.max_depth = stats.max_depth.max(depth);
-
-            // Effective sibling-enumeration depth for this run: the depth
-            // bound, then the shallowest reduction cut.
-            let mut eff = depth;
-            if depth > self.limits.max_depth {
-                eff = self.limits.max_depth;
-                stats.depth_limited_runs += 1;
-                complete = false;
-            }
-            if prune {
-                let hashes = run.state_hashes.as_ref().expect("state hashes were requested");
-                debug_assert_eq!(hashes.len(), depth, "one fingerprint per pick");
-                for (d, &hash) in hashes.iter().enumerate().take(depth.min(eff)).skip(fresh_from) {
-                    if visited.insert(hash) {
-                        stats.states_visited += 1;
-                    } else {
-                        stats.states_pruned += 1;
-                        eff = d + 1;
-                        break;
-                    }
-                }
-            } else {
-                // Every fresh pick reaches a node no other schedule
-                // prefix reaches (no merging without hashing).
-                stats.states_visited += (depth.min(eff) - fresh_from) as u64;
-            }
-            if sleep {
-                let decisions = run.decisions.as_ref().expect("decisions were requested");
-                for d in fresh_from.max(1)..depth.min(eff) {
-                    if non_canonical_read_pair(&decisions[d - 1], &decisions[d]) {
-                        stats.sleep_skips += 1;
-                        eff = eff.min(d + 1);
-                        break;
-                    }
-                }
-            }
-            for &degree in branching.iter().take(depth.min(eff)).skip(fresh_from) {
-                stats.branching_histogram[degree] += 1;
-            }
-
-            if let Err(message) = check(&run) {
-                let mut repro = choices.clone();
-                repro.resize(depth, 0);
-                violations.push(Violation { choices: repro, message });
-                if !self.collect_all {
-                    complete = false;
-                    break;
-                }
-            }
-
-            // Odometer: make the enumerable prefix explicit, then advance
-            // the deepest position with siblings left; pre-skip candidates
-            // the commuting-reads rule proves redundant.
-            choices.resize(depth.min(eff), 0);
-            last_branching = branching;
-            last_decisions = run.decisions.clone().unwrap_or_default();
-            loop {
-                let mut advanced = None;
-                for i in (0..choices.len()).rev() {
-                    if choices[i] + 1 < last_branching[i] {
-                        choices[i] += 1;
-                        choices.truncate(i + 1);
-                        advanced = Some(i);
-                        break;
-                    }
-                }
-                let Some(i) = advanced else {
-                    break 'explore;
-                };
-                fresh_from = i;
-                if sleep && self.candidate_is_sleep_skippable(i, choices[i], &last_decisions) {
-                    stats.sleep_skips += 1;
-                    continue;
-                }
-                continue 'explore;
-            }
-        }
-
-        ExploreReport { stats, complete: complete && violations.is_empty(), violations }
-    }
-
-    /// Decides — *before running it* — whether the candidate that picks
-    /// alive-index `v` at decision `i` starts a redundant transposed
-    /// read pair with the (unchanged) pick at decision `i − 1`.
-    ///
-    /// `decisions` comes from the last executed run; the candidate shares
-    /// its choice prefix below `i`, so records up to `i − 1` describe the
-    /// candidate exactly, and record `i`'s alive/reads sets (functions of
-    /// the prefix) do too — only its pick differs.
-    fn candidate_is_sleep_skippable(&self, i: usize, v: usize, decisions: &[Decision]) -> bool {
-        if i == 0 || i >= decisions.len() {
-            return false;
-        }
-        let prev = &decisions[i - 1];
-        if !prev.picked_a_read() {
-            return false;
-        }
-        let cur = &decisions[i];
-        let p = cur.nth_alive(v);
-        if p >= prev.picked || !cur.is_pending_read(p) || !prev.is_pending_read(p) {
-            return false;
-        }
-        // The candidate pick only executes p's read if the crash plan does
-        // not fire first (p's own-step count is prefix determined).
-        let own = decisions[..i].iter().filter(|d| d.picked == p && !d.crash).count() as u64;
-        !self.crash_fires(p, own)
-    }
-
-    /// Whether the (stateless) crash plan crashes `pid` at its `own`-th
-    /// step. [`Crashes::Random`] never reaches here — it disables the
-    /// reductions.
-    fn crash_fires(&self, pid: Pid, own: u64) -> bool {
-        match &self.crashes {
-            Crashes::None => false,
-            Crashes::AtOwnStep(plan) => plan.iter().any(|&(p, s)| p == pid && s == own),
-            Crashes::Random { .. } => unreachable!("reductions are disabled under random crashes"),
-        }
+        frontier::Engine::new(self, &make_bodies, &check).run()
     }
 }
 
-/// `true` if decisions `d − 1, d` executed two pure reads in
-/// descending-pid order — the transposition of a canonical pair whose
-/// subtree reaches the identical state.
-fn non_canonical_read_pair(prev: &Decision, cur: &Decision) -> bool {
-    prev.picked_a_read()
-        && cur.picked_a_read()
-        && cur.picked < prev.picked
-        && prev.is_pending_read(cur.picked)
+/// Worker count for sweeps driven by benches and CI: the value of the
+/// `MPCN_EXPLORE_THREADS` environment variable, or `default` when unset
+/// or unparsable. The CI determinism gate runs the explore benches under
+/// `1` and `2` and diffs their state-count lines.
+pub fn threads_from_env(default: usize) -> usize {
+    std::env::var("MPCN_EXPLORE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k >= 1)
+        .unwrap_or(default)
 }
 
 /// Exhaustively explores every schedule with **no reductions** — the
 /// reference enumeration. Stops at the first violation or when
-/// `limits.max_runs` is hit.
+/// `limits.max_expansions` is hit.
 ///
 /// Shorthand for [`Explorer::run`] with [`Reduction::none`]; use the
-/// builder for pruning, bounded-depth sweeps, or violation collection.
+/// builder for pruning, bounded-depth sweeps, parallel expansion, or
+/// violation collection.
 pub fn explore<F, C>(
     n: usize,
     crashes: Crashes,
@@ -404,7 +284,7 @@ pub fn explore<F, C>(
     check: C,
 ) -> ExploreReport
 where
-    F: Fn() -> Vec<Body>,
+    F: Fn() -> Vec<Body> + Sync,
     C: Fn(&RunReport) -> Result<(), String>,
 {
     Explorer::new(n)
@@ -415,7 +295,10 @@ where
 }
 
 /// Replays one choice vector under the same configuration an exploration
-/// used — the deterministic reproduction of a [`Violation`].
+/// used — the deterministic reproduction of a [`Violation`]. Builds its
+/// [`RunConfig`] through [`RunConfig::replay`], the exact constructor the
+/// explorer's internal counterexample confirmation uses, so repro
+/// configs cannot drift from sweep configs.
 pub fn replay<F>(
     n: usize,
     crashes: Crashes,
@@ -426,11 +309,7 @@ pub fn replay<F>(
 where
     F: Fn() -> Vec<Body>,
 {
-    let cfg = RunConfig::new(n)
-        .schedule(Schedule::Indexed { choices: choices.to_vec() })
-        .crashes(crashes)
-        .max_steps(max_steps);
-    ModelWorld::run(cfg, make_bodies())
+    ModelWorld::run(RunConfig::replay(n, crashes, max_steps, choices), make_bodies())
 }
 
 #[cfg(test)]
@@ -454,12 +333,15 @@ mod tests {
 
     #[test]
     fn explores_all_interleavings_of_two_single_step_processes() {
-        // Two processes, one step each: exactly 2 schedules (AB, BA).
+        // Two processes, one step each: exactly 2 terminal schedules
+        // (AB, BA).
         let out = explore(2, Crashes::None, ExploreLimits::default(), tas_bodies, one_winner);
         assert!(out.complete);
         assert!(out.violations.is_empty());
         assert_eq!(out.runs(), 2);
         assert_eq!(out.stats.max_depth, 2);
+        // Without pruning, every expansion reaches a fresh state.
+        assert_eq!(out.stats.expansions, out.stats.states_visited);
     }
 
     #[test]
@@ -500,10 +382,18 @@ mod tests {
         let out = explore(2, Crashes::None, ExploreLimits::default(), bodies, |_r| Ok(()));
         assert!(out.complete);
         assert_eq!(out.runs(), 6);
-        // Every fresh decision is a distinct tree node; the histogram is
-        // the node-degree census (degrees 1 and 2 only for n = 2).
+        // The histogram is the degree census of the expanded (interior)
+        // tree nodes; its weighted sum is the number of children created,
+        // i.e. every non-root node of the unreduced tree.
         assert_eq!(out.stats.branching_histogram[0], 0);
-        assert_eq!(out.stats.decisions(), out.stats.states_visited);
+        let children: u64 = out
+            .stats
+            .branching_histogram
+            .iter()
+            .enumerate()
+            .map(|(degree, &count)| degree as u64 * count)
+            .sum();
+        assert_eq!(children, out.stats.states_visited);
     }
 
     #[test]
@@ -524,11 +414,11 @@ mod tests {
     }
 
     #[test]
-    fn run_limit_reports_incomplete() {
+    fn expansion_budget_reports_incomplete() {
         let out = explore(
             2,
             Crashes::None,
-            ExploreLimits { max_runs: 3, max_steps: 100, max_depth: usize::MAX },
+            ExploreLimits { max_expansions: 3, max_steps: 100, max_depth: usize::MAX },
             || {
                 (0..2)
                     .map(|i| {
@@ -544,7 +434,12 @@ mod tests {
             |_r| Ok(()),
         );
         assert!(!out.complete);
-        assert_eq!(out.runs(), 3);
+        assert!(
+            out.stats.expansions <= 3,
+            "at most the budgeted jobs execute ({} performed)",
+            out.stats.expansions
+        );
+        assert!(out.runs() < 20, "the budget must cut the C(6,3) = 20 leaves");
     }
 
     #[test]
@@ -566,7 +461,7 @@ mod tests {
     }
 
     /// Two writers to different registers: the orders converge to the
-    /// same state, so pruning halves the leaf count.
+    /// same states, so pruning collapses the diamond.
     #[test]
     fn pruning_merges_commuting_writes() {
         let bodies = || {
@@ -592,8 +487,8 @@ mod tests {
     }
 
     /// Readers followed by private writes: each transposed adjacent read
-    /// pair either cuts its subtree or is skipped before running, so the
-    /// reduction executes strictly fewer schedules than plain DFS.
+    /// pair is skipped before execution, so the reduction expands
+    /// strictly fewer states than plain enumeration.
     #[test]
     fn sleep_reduction_cuts_transposed_read_pairs() {
         let bodies = || {
@@ -658,7 +553,7 @@ mod tests {
             .run(bodies, |_r| Ok(()));
         assert!(full.complete);
         assert!(!bounded.complete);
-        assert!(bounded.stats.depth_limited_runs > 0);
+        assert_eq!(bounded.stats.depth_limited_runs, 4, "one tail per depth-2 node");
         assert!(bounded.runs() < full.runs());
         assert_eq!(bounded.stats.max_depth, 8, "runs still execute to completion");
     }
@@ -688,5 +583,31 @@ mod tests {
         assert_eq!(out.stats.states_pruned, 0);
         assert_eq!(out.stats.sleep_skips, 0);
         assert_eq!(out.runs(), 2, "behaves as plain enumeration");
+    }
+
+    /// Every thread count must produce the byte-identical report — the
+    /// parallel engine's core contract (random small-program coverage
+    /// lives in `tests/proptests.rs`).
+    #[test]
+    fn thread_counts_produce_identical_reports() {
+        let bodies = || {
+            (0..3u64)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        env.snap_write(ObjKey::new(65, 0, 0), 3, i as usize, i + 1);
+                        let view = env.snap_scan::<u64>(ObjKey::new(65, 0, 0), 3);
+                        view.into_iter().flatten().sum()
+                    }) as Body
+                })
+                .collect()
+        };
+        let sweep = |k: usize| {
+            let out = Explorer::new(3).threads(k).run(bodies, |_r| Ok(()));
+            (out.stats, out.complete, out.violations)
+        };
+        let sequential = sweep(1);
+        assert_eq!(sequential, sweep(2));
+        assert_eq!(sequential, sweep(4));
+        assert!(sequential.0.states_pruned > 0, "the sweep must exercise pruning");
     }
 }

@@ -10,29 +10,41 @@ use crate::sched::Schedule;
 /// Coverage and reduction statistics of one exploration.
 ///
 /// "States" are schedule-tree nodes keyed by their global-state
-/// fingerprint (see [`crate::model_world::RunReport::state_hashes`]).
-/// Without pruning every freshly executed pick counts as a distinct
-/// state, so the pruned/unpruned `states_visited` values are directly
-/// comparable: their difference is the work the reductions avoided.
+/// fingerprint (see [`crate::model_world::Snapshot::fingerprint`]).
+/// Without pruning every expansion reaches a distinct tree node, so the
+/// pruned/unpruned `states_visited` values are directly comparable:
+/// their difference is the work the reductions avoided.
+///
+/// All fields are exact, deterministic, and — for any fixed
+/// configuration — independent of [`super::Explorer::threads`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploreStats {
-    /// Number of schedules executed.
+    /// Completed (terminal, timed-out, or depth-bounded) runs checked.
     pub runs: u64,
-    /// Distinct states visited (tree nodes executed and retained).
+    /// Scheduling expansions performed: one resumed decision or one
+    /// depth-bounded completion run each — the exploration's unit of
+    /// work. [`super::ExploreLimits::max_expansions`] is charged when a
+    /// job is *queued*, so an early stop (budget or first violation) can
+    /// leave this count short of the budget by the final layer's
+    /// unexecuted jobs; for completed sweeps queued == performed.
+    pub expansions: u64,
+    /// Distinct states visited (child snapshots retained on the
+    /// frontier).
     pub states_visited: u64,
-    /// Fresh picks that reached an already-visited state (each cuts the
-    /// subtree below it).
+    /// Expansions that reached an already-visited state (each cuts the
+    /// entire subtree below it).
     pub states_pruned: u64,
-    /// Subtrees skipped by the commuting-reads (sleep-set-style)
-    /// reduction, before or after executing a representative.
+    /// Sibling subtrees skipped — before execution — by the
+    /// commuting-reads (sleep-set-style) reduction.
     pub sleep_skips: u64,
-    /// Deepest schedule (in picks) seen.
+    /// Deepest completed run (in picks) seen.
     pub max_depth: usize,
-    /// Runs whose schedule ran past [`super::ExploreLimits::max_depth`]
-    /// (sibling enumeration was truncated there).
+    /// Depth-bounded completion runs: frontier nodes at
+    /// [`super::ExploreLimits::max_depth`] resumed to completion along
+    /// the canonical choice-0 suffix instead of branching.
     pub depth_limited_runs: u64,
-    /// `branching_histogram[d]` counts retained fresh decisions that had
-    /// exactly `d` schedulable processes (index `0 ..= n`).
+    /// `branching_histogram[d]` counts expanded (interior) tree nodes
+    /// that had exactly `d` schedulable processes (index `0 ..= n`).
     pub branching_histogram: Vec<u64>,
 }
 
@@ -40,6 +52,7 @@ impl ExploreStats {
     pub(super) fn new(n: usize) -> Self {
         ExploreStats {
             runs: 0,
+            expansions: 0,
             states_visited: 0,
             states_pruned: 0,
             sleep_skips: 0,
@@ -49,7 +62,7 @@ impl ExploreStats {
         }
     }
 
-    /// Total retained fresh decisions (sum of the branching histogram).
+    /// Total expanded decisions (sum of the branching histogram).
     pub fn decisions(&self) -> u64 {
         self.branching_histogram.iter().sum()
     }
@@ -60,8 +73,9 @@ impl ExploreStats {
         let hist =
             self.branching_histogram.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         format!(
-            "runs={} visited={} pruned={} sleep={} max_depth={} depth_limited={} branching=[{}]",
+            "runs={} expansions={} visited={} pruned={} sleep={} max_depth={} depth_limited={} branching=[{}]",
             self.runs,
+            self.expansions,
             self.states_visited,
             self.states_pruned,
             self.sleep_skips,
@@ -111,7 +125,7 @@ pub struct ExploreReport {
 }
 
 impl ExploreReport {
-    /// Number of schedules executed.
+    /// Number of completed runs checked.
     pub fn runs(&self) -> u64 {
         self.stats.runs
     }
@@ -157,12 +171,14 @@ mod tests {
     fn summary_is_stable_and_complete() {
         let mut stats = ExploreStats::new(2);
         stats.runs = 6;
+        stats.expansions = 14;
         stats.states_visited = 12;
         stats.max_depth = 4;
         stats.branching_histogram = vec![0, 4, 8];
         assert_eq!(
             stats.summary(),
-            "runs=6 visited=12 pruned=0 sleep=0 max_depth=4 depth_limited=0 branching=[0,4,8]"
+            "runs=6 expansions=14 visited=12 pruned=0 sleep=0 max_depth=4 depth_limited=0 \
+             branching=[0,4,8]"
         );
         assert_eq!(stats.decisions(), 12);
     }

@@ -15,7 +15,10 @@
 //!   time (seeded-random, round-robin, or scripted order), and a crash can
 //!   be delivered between any two shared accesses — exactly the failure
 //!   granularity the paper's proofs quantify over (e.g. a simulator
-//!   crashing *inside* `sa_propose` blocks that safe-agreement object);
+//!   crashing *inside* `sa_propose` blocks that safe-agreement object).
+//!   Reachable states can be checkpointed as [`model_world::Snapshot`]s
+//!   and resumed one decision at a time on the caller thread — the
+//!   substrate of the exhaustive explorer's frontier search;
 //! * [`thread_world::ThreadWorld`] — a lock-based implementation running at
 //!   full speed on real threads, for benchmarks;
 //! * [`atomics`] — lock-free/wait-free building blocks on real atomics
@@ -59,7 +62,7 @@ pub mod thread_world;
 pub mod world;
 
 pub use explore::{ExploreLimits, ExploreReport, ExploreStats, Explorer, Reduction, Violation};
-pub use model_world::{Decision, ModelWorld, Outcome, RunConfig, RunReport};
+pub use model_world::{Decision, ModelWorld, Outcome, RunConfig, RunReport, Snapshot};
 pub use program::{SimOp, SimProcess, SimResponse, SimStep, XConsLayout};
 pub use sched::{Crashes, Schedule};
 pub use world::{Env, ObjKey, Pid, World};

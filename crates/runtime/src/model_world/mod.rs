@@ -20,6 +20,20 @@
 //! ends when every process has returned or crashed, or when the step budget
 //! is exhausted (remaining processes are reported [`Outcome::Undecided`] —
 //! used by the boundary experiments to detect forever-blocked simulations).
+//!
+//! Besides the gated [`ModelWorld::run`], the world supports **snapshot
+//! resumption** ([`Snapshot`], [`ModelWorld::resume_from`]): a checkpoint
+//! of shared memory, per-process operation logs (the continuation
+//! cursors), and observation histories, from which a single further step
+//! can be executed *on the caller thread* — no process threads, no
+//! scheduler handshakes. The exhaustive explorer ([`crate::explore`]) is
+//! built on it.
+
+mod snapshot;
+
+pub use snapshot::Snapshot;
+
+use snapshot::{LogEntry, ResumeCtl};
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -37,15 +51,21 @@ use std::hash::Hasher;
 /// Panic payload used to unwind a crashed virtual process.
 struct CrashSignal;
 
-/// Silences the default panic report for crash-signal unwinds (they are
-/// the *intended* crash mechanism, not errors); all other panics keep the
-/// previous hook.
+/// Panic payload used to unwind a resumed process once it has taken its
+/// granted step and parked at its next gate (see [`Snapshot`]).
+struct StopSignal;
+
+/// Silences the default panic report for crash-signal and stop-signal
+/// unwinds (they are the *intended* crash/park mechanisms, not errors);
+/// all other panics keep the previous hook.
 fn install_crash_hook() {
     static HOOK: std::sync::Once = std::sync::Once::new();
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<CrashSignal>().is_none() {
+            let ours = info.payload().downcast_ref::<CrashSignal>().is_some()
+                || info.payload().downcast_ref::<StopSignal>().is_some();
+            if !ours {
                 prev(info);
             }
         }));
@@ -238,6 +258,20 @@ impl RunConfig {
         }
     }
 
+    /// The exact configuration a recorded choice vector must be re-run
+    /// under: `n` processes, the original crash plan and step budget, and
+    /// the [`Schedule::Indexed`] policy over `choices`.
+    ///
+    /// Shared by [`crate::explore::replay`] and the explorer's internal
+    /// counterexample confirmation re-run, so reproduction configs cannot
+    /// drift from sweep configs.
+    pub fn replay(n: usize, crashes: Crashes, max_steps: u64, choices: &[usize]) -> Self {
+        RunConfig::new(n)
+            .schedule(Schedule::Indexed { choices: choices.to_vec() })
+            .crashes(crashes)
+            .max_steps(max_steps)
+    }
+
     /// Sets the scheduling policy.
     pub fn schedule(mut self, s: Schedule) -> Self {
         self.schedule = s;
@@ -308,7 +342,7 @@ impl Cell {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Object {
     Register(Option<Cell>),
     Snapshot(Vec<Option<Cell>>),
@@ -384,6 +418,12 @@ struct State {
     /// `pending_read[p]`: process `p` is parked before a pure read (a
     /// `reg_read` or `snap_scan`); valid while `waiting[p]`.
     pending_read: Vec<bool>,
+    /// Incrementally maintained XOR accumulator over
+    /// `hash(key, object-content)` of every object in `objects` —
+    /// maintained as a delta on each write instead of rehashing the full
+    /// map (XOR, not [`mix`], so the fold is independent of `HashMap`
+    /// iteration order). Only maintained under [`State::track`].
+    mem_fp: u64,
     /// Fingerprint bookkeeping enabled (set by
     /// [`RunConfig::record_state_hashes`]); off for plain runs so the
     /// per-operation hashing costs nothing.
@@ -391,6 +431,11 @@ struct State {
     /// Free mode: no scheduler; every op proceeds immediately (used for
     /// direct unit tests of object semantics).
     free: bool,
+    /// Resume mode: one process is being driven from a [`Snapshot`] on
+    /// the caller thread; [`ModelWorld::step`] replays its operation log
+    /// and executes exactly the granted fresh operations (see
+    /// [`snapshot`]).
+    resume: Option<ResumeCtl>,
 }
 
 /// Operation tags folded into [`State::obs_fp`].
@@ -400,6 +445,33 @@ const OP_SNAP_WRITE: u64 = 3;
 const OP_SNAP_SCAN: u64 = 4;
 const OP_TAS: u64 = 5;
 const OP_XCONS: u64 = 6;
+
+/// `hash(key, object-content)` — the per-key word XOR-folded into
+/// [`State::mem_fp`].
+fn key_obj_fp(key: ObjKey, obj: &Object) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write_u64(u64::from(key.kind));
+    h.write_u64(key.a);
+    h.write_u64(key.b);
+    h.write_u64(obj.fp());
+    h.finish()
+}
+
+/// Folds the memory accumulator and every process's (observation
+/// fingerprint, liveness flags, result) triple into one global-state
+/// fingerprint — shared by the gated [`State::fingerprint`] and
+/// [`Snapshot::fingerprint`] so the two execution engines agree on state
+/// identity word for word.
+fn fold_state_fp(mem: u64, per_proc: impl Iterator<Item = (u64, u64, u64)>) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write_u64(mem);
+    for (obs, flags, result) in per_proc {
+        h.write_u64(obs);
+        h.write_u64(flags);
+        h.write_u64(result);
+    }
+    h.finish()
+}
 
 impl State {
     /// Folds one completed operation of `pid` into its observation
@@ -414,43 +486,66 @@ impl State {
         self.obs_fp[pid] = mix(self.obs_fp[pid], h.finish());
     }
 
-    /// Fingerprint of the current global state: shared memory (order
-    /// independent across the object map), plus every process's
-    /// observation history, liveness flags, and result.
+    /// Runs `f` on the object at `key` (created via `default` on first
+    /// access), maintaining the incremental memory fingerprint
+    /// [`State::mem_fp`]: the key's contribution is XORed out before and
+    /// back in after the access, and a freshly defaulted object is XORed
+    /// in — so `mem_fp` always equals the full-map walk without ever
+    /// recomputing it (asserted in debug builds by
+    /// [`State::fingerprint`]).
+    fn with_obj<R>(
+        &mut self,
+        key: ObjKey,
+        default: impl FnOnce() -> Object,
+        f: impl FnOnce(&mut Object) -> R,
+    ) -> R {
+        let track = self.track;
+        let existed = !track || self.objects.contains_key(&key);
+        let obj = self.objects.entry(key).or_insert_with(default);
+        let before = if track && existed { key_obj_fp(key, obj) } else { 0 };
+        let out = f(obj);
+        if track {
+            let after = key_obj_fp(key, obj);
+            self.mem_fp ^= before ^ after;
+        }
+        out
+    }
+
+    /// The full-map recomputation of [`State::mem_fp`] — only used to
+    /// cross-check the incremental accumulator in debug builds.
+    fn recompute_mem_fp(&self) -> u64 {
+        self.objects.iter().fold(0u64, |acc, (key, obj)| acc ^ key_obj_fp(*key, obj))
+    }
+
+    /// Fingerprint of the current global state: shared memory (the
+    /// incrementally maintained, iteration-order-independent
+    /// [`State::mem_fp`]), plus every process's observation history,
+    /// liveness flags, and result.
     ///
     /// Two equal fingerprints identify states with identical futures under
     /// identical schedule suffixes — see [`crate::explore`] for the
     /// pruning argument. Deliberately excluded: step counters, traces, and
     /// `op_counts` (path statistics, not state).
-    ///
-    /// The memory walk is recomputed per call rather than maintained
-    /// incrementally: model-checking runs hold a handful of objects (the
-    /// Figure 1/5/6 sweeps create 1–10), so the XOR walk is a few dozen
-    /// hash folds per pick. Revisit (ROADMAP "Explorer scale-up") if
-    /// sweeps over object-heavy programs appear.
     fn fingerprint(&self) -> u64 {
-        let mut mem = 0u64;
-        for (key, obj) in &self.objects {
-            let mut h = Fnv1a::default();
-            h.write_u64(u64::from(key.kind));
-            h.write_u64(key.a);
-            h.write_u64(key.b);
-            h.write_u64(obj.fp());
-            mem ^= h.finish();
-        }
-        let mut h = Fnv1a::default();
-        h.write_u64(mem);
-        for p in 0..self.obs_fp.len() {
-            h.write_u64(self.obs_fp[p]);
-            h.write_u64(
-                u64::from(self.finished[p])
-                    | u64::from(self.crashed[p]) << 1
-                    | u64::from(self.adversary_crash[p]) << 2
-                    | u64::from(self.results[p].is_some()) << 3,
-            );
-            h.write_u64(self.results[p].unwrap_or(0));
-        }
-        h.finish()
+        debug_assert!(self.track, "fingerprints require tracking");
+        debug_assert_eq!(
+            self.mem_fp,
+            self.recompute_mem_fp(),
+            "incremental memory fingerprint drifted from the full-map walk"
+        );
+        fold_state_fp(
+            self.mem_fp,
+            (0..self.obs_fp.len()).map(|p| {
+                (
+                    self.obs_fp[p],
+                    u64::from(self.finished[p])
+                        | u64::from(self.crashed[p]) << 1
+                        | u64::from(self.adversary_crash[p]) << 2
+                        | u64::from(self.results[p].is_some()) << 3,
+                    self.results[p].unwrap_or(0),
+                )
+            }),
+        )
     }
 }
 
@@ -497,8 +592,10 @@ impl ModelWorld {
             trace: Vec::new(),
             obs_fp: vec![0; n],
             pending_read: vec![false; n],
+            mem_fp: 0,
             track,
             free,
+            resume: None,
         };
         ModelWorld {
             inner: Arc::new(Inner {
@@ -728,15 +825,45 @@ impl ModelWorld {
         }
     }
 
-    /// Performs one gated shared-memory step: waits for the scheduler's
-    /// grant, runs `op` on the state (object map + fingerprint
-    /// bookkeeping), signals completion, and accounts the operation to its
-    /// object-kind namespace. `pure_read` marks operations that cannot
-    /// change shared memory (published while parked, for the explorer's
-    /// commuting-reads reduction).
-    fn step<R>(&self, pid: Pid, kind: u32, pure_read: bool, op: impl FnOnce(&mut State) -> R) -> R {
+    /// Performs one shared-memory step of `pid`.
+    ///
+    /// In the gated mode this waits for the scheduler's grant, runs `op`
+    /// on the state (object map + fingerprint bookkeeping), signals
+    /// completion, and accounts the operation to its object-kind
+    /// namespace. `pure_read` marks operations that cannot change shared
+    /// memory (published while parked, for the explorer's commuting-reads
+    /// reduction).
+    ///
+    /// In the resume mode ([`Snapshot`]) the first `log.len()` operations
+    /// are answered from the recorded log without executing `op`; the
+    /// granted fresh operations execute and are appended to the log; one
+    /// operation past the budget unwinds with [`StopSignal`] — the
+    /// process is then parked at its next gate, purity recorded.
+    ///
+    /// `op_tag` is the operation's [`LogEntry`] tag (`OP_*`).
+    fn step<R>(
+        &self,
+        pid: Pid,
+        op_tag: u64,
+        key: ObjKey,
+        pure_read: bool,
+        op: impl FnOnce(&mut State) -> R,
+    ) -> R
+    where
+        R: Clone + Send + Sync + 'static,
+    {
         let mut st = self.inner.st.lock();
-        if !st.free {
+        if st.resume.is_some() {
+            match snapshot::resume_gate::<R>(&mut st, pid, op_tag, key) {
+                snapshot::ResumeGate::Replayed(out) => return out,
+                snapshot::ResumeGate::Park => {
+                    st.resume.as_mut().expect("resume mode").park_at(pure_read);
+                    drop(st);
+                    std::panic::panic_any(StopSignal);
+                }
+                snapshot::ResumeGate::Fresh => {}
+            }
+        } else if !st.free {
             st.pending_read[pid] = pure_read;
             st.waiting[pid] = true;
             self.inner.sched_cv.notify_one();
@@ -757,8 +884,12 @@ impl ModelWorld {
             }
         }
         let out = op(&mut st);
-        *st.op_counts.entry(kind).or_insert(0) += 1;
-        if !st.free {
+        *st.op_counts.entry(key.kind).or_insert(0) += 1;
+        if st.resume.is_some() {
+            st.own_steps[pid] += 1;
+            let entry = LogEntry::new(op_tag, key, Arc::new(out.clone()));
+            st.resume.as_mut().expect("resume mode").push_fresh(entry);
+        } else if !st.free {
             st.op_done = true;
             self.inner.sched_cv.notify_one();
         }
@@ -785,13 +916,17 @@ fn downcast<T: MemVal>(stored: &Stored, key: ObjKey, what: &str) -> T {
 
 impl World for ModelWorld {
     fn reg_write<T: MemVal>(&self, pid: Pid, key: ObjKey, val: T) {
-        self.step(pid, key.kind, false, |st| {
+        self.step(pid, OP_REG_WRITE, key, false, |st| {
             let cell = Cell::new(val, st.track);
             let fp = cell.fp;
-            match st.objects.entry(key).or_insert(Object::Register(None)) {
-                Object::Register(slot) => *slot = Some(cell),
-                other => panic!("object {key} is not a register: {other:?}"),
-            }
+            st.with_obj(
+                key,
+                || Object::Register(None),
+                |obj| match obj {
+                    Object::Register(slot) => *slot = Some(cell),
+                    other => panic!("object {key} is not a register: {other:?}"),
+                },
+            );
             if st.track {
                 st.observe(pid, OP_REG_WRITE, key, fp);
             }
@@ -799,11 +934,17 @@ impl World for ModelWorld {
     }
 
     fn reg_read<T: MemVal>(&self, pid: Pid, key: ObjKey) -> Option<T> {
-        self.step(pid, key.kind, true, |st| {
-            let out = match st.objects.entry(key).or_insert(Object::Register(None)) {
-                Object::Register(slot) => slot.as_ref().map(|c| downcast(&c.val, key, "register")),
-                other => panic!("object {key} is not a register: {other:?}"),
-            };
+        self.step(pid, OP_REG_READ, key, true, |st| {
+            let out = st.with_obj(
+                key,
+                || Object::Register(None),
+                |obj| match obj {
+                    Object::Register(slot) => {
+                        slot.as_ref().map(|c| downcast(&c.val, key, "register"))
+                    }
+                    other => panic!("object {key} is not a register: {other:?}"),
+                },
+            );
             if st.track {
                 st.observe(pid, OP_REG_READ, key, fp_of::<Option<T>>(&out));
             }
@@ -813,16 +954,20 @@ impl World for ModelWorld {
 
     fn snap_write<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize, idx: usize, val: T) {
         assert!(idx < len, "snapshot cell index {idx} out of range (len {len})");
-        self.step(pid, key.kind, false, |st| {
+        self.step(pid, OP_SNAP_WRITE, key, false, |st| {
             let cell = Cell::new(val, st.track);
             let fp = cell.fp;
-            match st.objects.entry(key).or_insert_with(|| Object::Snapshot(vec![None; len])) {
-                Object::Snapshot(cells) => {
-                    assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
-                    cells[idx] = Some(cell);
-                }
-                other => panic!("object {key} is not a snapshot object: {other:?}"),
-            }
+            st.with_obj(
+                key,
+                || Object::Snapshot(vec![None; len]),
+                |obj| match obj {
+                    Object::Snapshot(cells) => {
+                        assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
+                        cells[idx] = Some(cell);
+                    }
+                    other => panic!("object {key} is not a snapshot object: {other:?}"),
+                },
+            );
             if st.track {
                 st.observe(pid, OP_SNAP_WRITE, key, mix(idx as u64, fp));
             }
@@ -830,9 +975,11 @@ impl World for ModelWorld {
     }
 
     fn snap_scan<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize) -> Vec<Option<T>> {
-        self.step(pid, key.kind, true, |st| {
-            let out: Vec<Option<T>> =
-                match st.objects.entry(key).or_insert_with(|| Object::Snapshot(vec![None; len])) {
+        self.step(pid, OP_SNAP_SCAN, key, true, |st| {
+            let out: Vec<Option<T>> = st.with_obj(
+                key,
+                || Object::Snapshot(vec![None; len]),
+                |obj| match obj {
                     Object::Snapshot(cells) => {
                         assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
                         cells
@@ -841,7 +988,8 @@ impl World for ModelWorld {
                             .collect()
                     }
                     other => panic!("object {key} is not a snapshot object: {other:?}"),
-                };
+                },
+            );
             if st.track {
                 st.observe(pid, OP_SNAP_SCAN, key, fp_of(&out));
             }
@@ -850,15 +998,19 @@ impl World for ModelWorld {
     }
 
     fn tas(&self, pid: Pid, key: ObjKey) -> bool {
-        self.step(pid, key.kind, false, |st| {
-            let won = match st.objects.entry(key).or_insert(Object::Tas(false)) {
-                Object::Tas(taken) => {
-                    let won = !*taken;
-                    *taken = true;
-                    won
-                }
-                other => panic!("object {key} is not a test&set object: {other:?}"),
-            };
+        self.step(pid, OP_TAS, key, false, |st| {
+            let won = st.with_obj(
+                key,
+                || Object::Tas(false),
+                |obj| match obj {
+                    Object::Tas(taken) => {
+                        let won = !*taken;
+                        *taken = true;
+                        won
+                    }
+                    other => panic!("object {key} is not a test&set object: {other:?}"),
+                },
+            );
             if st.track {
                 st.observe(pid, OP_TAS, key, u64::from(won));
             }
@@ -871,23 +1023,23 @@ impl World for ModelWorld {
             ports.contains(&pid),
             "process {pid} is not a port of consensus object {key} (ports {ports:?})"
         );
-        self.step(pid, key.kind, false, |st| {
+        self.step(pid, OP_XCONS, key, false, |st| {
             let track = st.track;
-            let out = match st
-                .objects
-                .entry(key)
-                .or_insert_with(|| Object::XCons { ports: ports.to_vec(), decided: None })
-            {
-                Object::XCons { ports: stored_ports, decided } => {
-                    assert_eq!(
-                        stored_ports, ports,
-                        "consensus object {key} accessed with inconsistent port sets"
-                    );
-                    let d = decided.get_or_insert_with(|| Cell::new(val, track));
-                    downcast::<T>(&d.val, key, "consensus object")
-                }
-                other => panic!("object {key} is not a consensus object: {other:?}"),
-            };
+            let out = st.with_obj(
+                key,
+                || Object::XCons { ports: ports.to_vec(), decided: None },
+                |obj| match obj {
+                    Object::XCons { ports: stored_ports, decided } => {
+                        assert_eq!(
+                            stored_ports, ports,
+                            "consensus object {key} accessed with inconsistent port sets"
+                        );
+                        let d = decided.get_or_insert_with(|| Cell::new(val, track));
+                        downcast::<T>(&d.val, key, "consensus object")
+                    }
+                    other => panic!("object {key} is not a consensus object: {other:?}"),
+                },
+            );
             if st.track {
                 st.observe(pid, OP_XCONS, key, fp_of(&out));
             }

@@ -1,0 +1,603 @@
+//! Snapshot-resume execution of model-world programs.
+//!
+//! A [`Snapshot`] is a cheap checkpoint of one reachable global state:
+//! shared memory (plain clone of the object map — objects share their
+//! `Arc`ed cells), the incremental memory fingerprint, each process's
+//! observation history, liveness flags and result, and — the key piece —
+//! each process's **operation log**: the ordered `(op, key, result)`
+//! records of every shared-memory operation it has completed. Because
+//! process bodies are deterministic closures whose control state is
+//! exactly a function of the values their operations returned, a log *is*
+//! a continuation cursor: re-running the body and answering its first
+//! `log.len()` operations from the log reconstructs the process's local
+//! state without executing anything against shared memory, without
+//! threads, and without scheduler handshakes.
+//!
+//! [`ModelWorld::resume_from`] uses that to execute **one** scheduling
+//! decision from a snapshot on the caller thread: replay the picked
+//! process's log, execute its next operation against the snapshot's
+//! memory (appending the new log record), let the body run on to its next
+//! gate — where a [`StopSignal`] unwind parks it, recording the purity of
+//! the operation it stopped at — or to completion. The exhaustive
+//! explorer ([`crate::explore`]) expands its frontier this way instead of
+//! re-executing every schedule from the root.
+//!
+//! The cost of resuming process `p` is `O(|log(p)|)` pure closure
+//! re-execution (no syscalls, no locks beyond uncontended per-op
+//! acquisitions), versus a full gated replay's two context switches per
+//! step of *every* process. Logs are shared (`Arc`) between a snapshot
+//! and its children; only the stepped process's log is rebuilt.
+//!
+//! **Caveat:** resume executes bodies on the caller thread, so — unlike
+//! the gated world, which has a watchdog — a body that spins forever in
+//! local code without reaching another shared operation hangs the caller.
+//! The explorer's contract (bounded bodies) already excludes those.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use super::{
+    fold_state_fp, install_crash_hook, panic_message, Body, Inner, ModelWorld, Outcome, Permit,
+    RunReport, State, StopSignal,
+};
+use crate::world::{Env, ObjKey, Pid, Stored};
+
+/// One completed shared-memory operation of a process: operation tag
+/// (`OP_*`), key, and the (type-erased) value the operation returned.
+#[derive(Clone)]
+pub(super) struct LogEntry {
+    op: u64,
+    key: ObjKey,
+    result: Stored,
+}
+
+impl LogEntry {
+    pub(super) fn new(op: u64, key: ObjKey, result: Stored) -> Self {
+        LogEntry { op, key, result }
+    }
+}
+
+/// Driver state of one resumed process (lives in [`State::resume`]).
+pub(super) struct ResumeCtl {
+    /// The process being driven — resume mode executes no other body.
+    pid: Pid,
+    /// Its operation log from the snapshot.
+    log: Arc<Vec<LogEntry>>,
+    /// Log entries replayed so far (the continuation cursor).
+    cursor: usize,
+    /// Fresh operations allowed before parking (0 = probe only).
+    budget: usize,
+    /// Fresh operations completed this resume, in order.
+    fresh: Vec<LogEntry>,
+    /// Purity of the operation the body parked at, once stopped.
+    next_op_pure: Option<bool>,
+}
+
+impl ResumeCtl {
+    pub(super) fn push_fresh(&mut self, entry: LogEntry) {
+        self.fresh.push(entry);
+    }
+
+    /// Records the purity of the operation the body is about to park at.
+    pub(super) fn park_at(&mut self, pure_read: bool) {
+        self.next_op_pure = Some(pure_read);
+    }
+}
+
+/// What [`ModelWorld::step`] must do with an operation arriving in resume
+/// mode.
+pub(super) enum ResumeGate<R> {
+    /// Answered from the log — return this value, execute nothing.
+    Replayed(R),
+    /// A granted fresh operation — execute it.
+    Fresh,
+    /// Budget exhausted — record purity and unwind with [`StopSignal`].
+    Park,
+}
+
+/// Classifies the operation `(op_tag, key)` of `pid` against the resume
+/// log.
+///
+/// # Panics
+///
+/// Panics if the body diverges from its recorded log (a nondeterministic
+/// process body — disallowed by the model) or if another process's body
+/// somehow runs.
+pub(super) fn resume_gate<R: Clone + 'static>(
+    st: &mut State,
+    pid: Pid,
+    op_tag: u64,
+    key: ObjKey,
+) -> ResumeGate<R> {
+    let ctl = st.resume.as_mut().expect("resume mode");
+    assert_eq!(pid, ctl.pid, "resume executes only the picked process");
+    if ctl.cursor < ctl.log.len() {
+        let entry = &ctl.log[ctl.cursor];
+        assert!(
+            entry.op == op_tag && entry.key == key,
+            "nondeterministic process body: replay step {} issued op {op_tag} on {key}, \
+             log records op {} on {}",
+            ctl.cursor,
+            entry.op,
+            entry.key
+        );
+        ctl.cursor += 1;
+        let out = entry
+            .result
+            .downcast_ref::<R>()
+            .expect("nondeterministic process body: replayed result type changed")
+            .clone();
+        return ResumeGate::Replayed(out);
+    }
+    if ctl.fresh.len() >= ctl.budget {
+        ResumeGate::Park
+    } else {
+        ResumeGate::Fresh
+    }
+}
+
+/// A checkpoint of one reachable model-world state, from which execution
+/// can be resumed one scheduling decision at a time (see the
+/// [module docs](self)).
+#[derive(Clone)]
+pub struct Snapshot {
+    n: usize,
+    track: bool,
+    objects: HashMap<ObjKey, super::Object>,
+    mem_fp: u64,
+    obs_fp: Vec<u64>,
+    logs: Vec<Arc<Vec<LogEntry>>>,
+    finished: Vec<bool>,
+    crashed: Vec<bool>,
+    results: Vec<Option<u64>>,
+    pending_read: Vec<bool>,
+    own_steps: Vec<u64>,
+    op_counts: HashMap<u32, u64>,
+    steps: u64,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("n", &self.n)
+            .field("steps", &self.steps)
+            .field("objects", &self.objects.len())
+            .field("alive", &self.alive())
+            .finish()
+    }
+}
+
+impl Snapshot {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Completed shared-memory steps along the path to this state.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Completed shared-memory steps of `pid` (the crash adversary's
+    /// own-step clock).
+    pub fn own_steps(&self, pid: Pid) -> u64 {
+        self.own_steps[pid]
+    }
+
+    /// Schedulable processes, in increasing pid order — the order
+    /// [`crate::sched::Schedule::Indexed`] indexes into.
+    pub fn alive(&self) -> Vec<Pid> {
+        (0..self.n).filter(|&p| !self.finished[p] && !self.crashed[p]).collect()
+    }
+
+    /// `true` once every process has decided or crashed.
+    pub fn is_terminal(&self) -> bool {
+        (0..self.n).all(|p| self.finished[p] || self.crashed[p])
+    }
+
+    /// `true` if alive `pid` is parked before a pure read (`reg_read` or
+    /// `snap_scan`) — a function of its own operation log only.
+    pub fn pending_read(&self, pid: Pid) -> bool {
+        self.pending_read[pid]
+    }
+
+    /// The global-state fingerprint of this snapshot — word-for-word the
+    /// value the gated world records per pick under
+    /// [`super::RunConfig::record_state_hashes`] after the same schedule
+    /// prefix (property-tested in `tests/proptests.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the snapshot was built without tracking.
+    pub fn fingerprint(&self) -> u64 {
+        debug_assert!(self.track, "fingerprints require tracking (snapshot_root track=true)");
+        fold_state_fp(
+            self.mem_fp,
+            (0..self.n).map(|p| {
+                (
+                    self.obs_fp[p],
+                    // Resume crashes are always adversary crashes, so the
+                    // crashed bit fills both flag positions the gated
+                    // fingerprint reserves for crashed/adversary_crash.
+                    u64::from(self.finished[p])
+                        | u64::from(self.crashed[p]) << 1
+                        | u64::from(self.crashed[p]) << 2
+                        | u64::from(self.results[p].is_some()) << 3,
+                    self.results[p].unwrap_or(0),
+                )
+            }),
+        )
+    }
+
+    /// Synthesizes the [`RunReport`] of the path that reached this state,
+    /// equivalent to what a gated [`ModelWorld::run`] over the same
+    /// schedule prefix reports (no trace/branching/hash/decision records —
+    /// those are opt-in path recordings, not state).
+    ///
+    /// `timed_out` marks a run cut by the step budget (alive processes
+    /// report [`Outcome::Undecided`], as in the gated world's timeout
+    /// sweep).
+    pub fn report(&self, timed_out: bool) -> RunReport {
+        let outcomes = (0..self.n)
+            .map(|p| {
+                if let Some(v) = self.results[p] {
+                    Outcome::Decided(v)
+                } else if self.crashed[p] {
+                    Outcome::Crashed
+                } else {
+                    Outcome::Undecided
+                }
+            })
+            .collect();
+        let mut ops_by_kind: Vec<(u32, u64)> =
+            self.op_counts.iter().map(|(&k, &c)| (k, c)).collect();
+        ops_by_kind.sort_unstable();
+        RunReport {
+            outcomes,
+            steps: self.steps,
+            timed_out,
+            trace: None,
+            branching: None,
+            state_hashes: None,
+            decisions: None,
+            ops_by_kind,
+        }
+    }
+}
+
+enum Resumed {
+    /// The body parked at its next gate.
+    Parked,
+    /// The body ran to completion and decided.
+    Finished(u64),
+}
+
+impl ModelWorld {
+    /// Builds a resume-mode world loaded with `snap`'s state.
+    fn from_snapshot(snap: &Snapshot, ctl: ResumeCtl) -> ModelWorld {
+        let n = snap.n;
+        let st = State {
+            permits: vec![Permit::Idle; n],
+            op_done: false,
+            waiting: vec![false; n],
+            finished: snap.finished.clone(),
+            crashed: snap.crashed.clone(),
+            adversary_crash: snap.crashed.clone(),
+            results: snap.results.clone(),
+            failures: Vec::new(),
+            objects: snap.objects.clone(),
+            op_counts: snap.op_counts.clone(),
+            own_steps: snap.own_steps.clone(),
+            trace: Vec::new(),
+            obs_fp: snap.obs_fp.clone(),
+            pending_read: snap.pending_read.clone(),
+            mem_fp: snap.mem_fp,
+            track: snap.track,
+            free: false,
+            resume: Some(ctl),
+        };
+        ModelWorld {
+            inner: Arc::new(Inner {
+                st: Mutex::new(st),
+                proc_cvs: Vec::new(),
+                sched_cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Runs `body` as process `pid` against this resume-mode world until
+    /// it parks ([`StopSignal`]) or returns.
+    fn drive_resumed(&self, pid: Pid, body: Body) -> Resumed {
+        let env = Env::new(self.clone(), pid);
+        match catch_unwind(AssertUnwindSafe(move || body(env))) {
+            Ok(v) => Resumed::Finished(v),
+            Err(payload) if payload.downcast_ref::<StopSignal>().is_some() => Resumed::Parked,
+            Err(payload) => {
+                panic!("virtual process {pid} failed: {}", panic_message(payload.as_ref()))
+            }
+        }
+    }
+
+    /// The initial [`Snapshot`] of a run of `bodies`: every process is
+    /// settled at its first shared-memory gate (or has already decided,
+    /// for bodies that return without touching shared memory). With
+    /// `track`, fingerprint bookkeeping is enabled for the whole path —
+    /// required for [`Snapshot::fingerprint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies.len() != n` or if a body fails with a real panic.
+    pub fn snapshot_root(n: usize, track: bool, bodies: Vec<Body>) -> Snapshot {
+        assert_eq!(bodies.len(), n, "one body per process required");
+        install_crash_hook();
+        let mut snap = Snapshot {
+            n,
+            track,
+            objects: HashMap::new(),
+            mem_fp: 0,
+            obs_fp: vec![0; n],
+            logs: (0..n).map(|_| Arc::new(Vec::new())).collect(),
+            finished: vec![false; n],
+            crashed: vec![false; n],
+            results: vec![None; n],
+            pending_read: vec![false; n],
+            own_steps: vec![0; n],
+            op_counts: HashMap::new(),
+            steps: 0,
+        };
+        for (pid, body) in bodies.into_iter().enumerate() {
+            // Probe (budget 0): the body unwinds at its first operation
+            // without touching shared state, recording the op's purity.
+            let ctl = ResumeCtl {
+                pid,
+                log: Arc::new(Vec::new()),
+                cursor: 0,
+                budget: 0,
+                fresh: Vec::new(),
+                next_op_pure: None,
+            };
+            let world = ModelWorld::from_snapshot(&snap, ctl);
+            match world.drive_resumed(pid, body) {
+                Resumed::Finished(v) => {
+                    snap.finished[pid] = true;
+                    snap.results[pid] = Some(v);
+                }
+                Resumed::Parked => {
+                    let st = world.inner.st.lock();
+                    let ctl = st.resume.as_ref().expect("resume mode");
+                    snap.pending_read[pid] = ctl.next_op_pure.expect("parked at a gate");
+                }
+            }
+        }
+        snap
+    }
+
+    /// Executes one scheduling decision from `snap`: grants alive process
+    /// `pid` one shared-memory step of `body` (which must be the same
+    /// deterministic closure the snapshot's path was built from) and
+    /// returns the successor snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not alive in `snap`, or if `body` diverges from
+    /// the recorded operation log (nondeterministic bodies are disallowed
+    /// by the model).
+    pub fn resume_from(snap: &Snapshot, pid: Pid, body: Body) -> Snapshot {
+        assert!(
+            pid < snap.n && !snap.finished[pid] && !snap.crashed[pid],
+            "resume_from requires an alive process (pid {pid})"
+        );
+        install_crash_hook();
+        let ctl = ResumeCtl {
+            pid,
+            log: Arc::clone(&snap.logs[pid]),
+            cursor: 0,
+            budget: 1,
+            fresh: Vec::new(),
+            next_op_pure: None,
+        };
+        let world = ModelWorld::from_snapshot(snap, ctl);
+        let resumed = world.drive_resumed(pid, body);
+        let mut st = world.inner.st.lock();
+        if let Resumed::Finished(v) = resumed {
+            st.finished[pid] = true;
+            st.results[pid] = Some(v);
+        }
+        let ctl = st.resume.take().expect("resume mode");
+        assert_eq!(
+            ctl.cursor,
+            ctl.log.len(),
+            "nondeterministic process body: replay consumed {} of {} logged operations",
+            ctl.cursor,
+            ctl.log.len()
+        );
+        assert_eq!(
+            ctl.fresh.len(),
+            1,
+            "an alive process must complete exactly one granted step (completed {})",
+            ctl.fresh.len()
+        );
+        let mut logs = snap.logs.clone();
+        let mut full = (*ctl.log).clone();
+        full.extend(ctl.fresh);
+        logs[pid] = Arc::new(full);
+        let mut pending_read = std::mem::take(&mut st.pending_read);
+        pending_read[pid] = if st.finished[pid] {
+            false
+        } else {
+            ctl.next_op_pure.expect("a live body parks at its next gate")
+        };
+        Snapshot {
+            n: snap.n,
+            track: snap.track,
+            objects: std::mem::take(&mut st.objects),
+            mem_fp: st.mem_fp,
+            obs_fp: std::mem::take(&mut st.obs_fp),
+            logs,
+            finished: std::mem::take(&mut st.finished),
+            crashed: std::mem::take(&mut st.crashed),
+            results: std::mem::take(&mut st.results),
+            pending_read,
+            own_steps: std::mem::take(&mut st.own_steps),
+            op_counts: std::mem::take(&mut st.op_counts),
+            steps: snap.steps + 1,
+        }
+    }
+
+    /// Delivers an adversary crash to alive `pid` *instead of* its next
+    /// step (the gated world's crash granularity) and returns the
+    /// successor snapshot. Memory, logs, and step counters are untouched;
+    /// only the liveness flags — and hence the fingerprint — change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not alive in `snap`.
+    pub fn resume_crash(snap: &Snapshot, pid: Pid) -> Snapshot {
+        assert!(
+            pid < snap.n && !snap.finished[pid] && !snap.crashed[pid],
+            "resume_crash requires an alive process (pid {pid})"
+        );
+        let mut out = snap.clone();
+        out.crashed[pid] = true;
+        out.pending_read[pid] = false;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Body, ModelWorld, Outcome, RunConfig};
+    use crate::sched::Schedule;
+    use crate::world::{Env, ObjKey};
+
+    const REG: ObjKey = ObjKey::new(30, 0, 0);
+    const SNAP: ObjKey = ObjKey::new(31, 0, 0);
+
+    fn body(f: impl FnOnce(Env<ModelWorld>) -> u64 + Send + 'static) -> Body {
+        Box::new(f)
+    }
+
+    fn writer_bodies(n: usize, rounds: u64) -> Vec<Body> {
+        (0..n)
+            .map(|i| {
+                body(move |env: Env<ModelWorld>| {
+                    for r in 1..=rounds {
+                        env.snap_write(SNAP, n, i, r);
+                    }
+                    let view = env.snap_scan::<u64>(SNAP, n);
+                    view.into_iter().flatten().sum()
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn root_settles_every_process_at_its_first_gate() {
+        let snap = ModelWorld::snapshot_root(3, true, writer_bodies(3, 2));
+        assert_eq!(snap.alive(), vec![0, 1, 2]);
+        assert_eq!(snap.steps(), 0);
+        assert!(!snap.pending_read(0), "first op is a snap_write");
+        assert!(!snap.is_terminal());
+    }
+
+    #[test]
+    fn root_records_immediately_deciding_bodies() {
+        let bodies: Vec<Body> = vec![body(|_env| 41), body(|env| u64::from(env.tas(REG)))];
+        let snap = ModelWorld::snapshot_root(2, false, bodies);
+        assert_eq!(snap.alive(), vec![1]);
+        assert_eq!(snap.report(false).outcomes[0], Outcome::Decided(41));
+    }
+
+    #[test]
+    fn resume_steps_match_a_gated_indexed_run() {
+        // Drive the snapshot engine and the gated world down the same
+        // indexed schedule; outcomes, steps, and every per-pick
+        // fingerprint must agree.
+        let n = 2;
+        let mut snap = ModelWorld::snapshot_root(n, true, writer_bodies(n, 2));
+        let mut choices = Vec::new();
+        let mut resumed_hashes = Vec::new();
+        while !snap.is_terminal() {
+            let alive = snap.alive();
+            // A fixed but non-trivial zig-zag through the alive sets.
+            let c = choices.len() % alive.len();
+            let pid = alive[c];
+            choices.push(c);
+            let body = writer_bodies(n, 2).into_iter().nth(pid).unwrap();
+            snap = ModelWorld::resume_from(&snap, pid, body);
+            resumed_hashes.push(snap.fingerprint());
+        }
+        let gated = ModelWorld::run(
+            RunConfig::new(n).schedule(Schedule::Indexed { choices }).record_state_hashes(true),
+            writer_bodies(n, 2),
+        );
+        let report = snap.report(false);
+        assert_eq!(report.outcomes, gated.outcomes);
+        assert_eq!(report.steps, gated.steps);
+        assert_eq!(report.ops_by_kind, gated.ops_by_kind);
+        assert_eq!(resumed_hashes, gated.state_hashes.unwrap());
+    }
+
+    #[test]
+    fn resume_crash_kills_without_consuming_steps() {
+        let n = 2;
+        let snap = ModelWorld::snapshot_root(n, false, writer_bodies(n, 1));
+        let crashed = ModelWorld::resume_crash(&snap, 0);
+        assert_eq!(crashed.alive(), vec![1]);
+        assert_eq!(crashed.steps(), 0);
+        assert_eq!(crashed.own_steps(0), 0);
+        let report = crashed.report(false);
+        assert_eq!(report.outcomes[0], Outcome::Crashed);
+    }
+
+    #[test]
+    fn pending_read_tracks_the_next_operation() {
+        // Body: one write, then a scan — after the write step the process
+        // must be parked before a pure read.
+        let n = 1;
+        let bodies = || {
+            vec![body(move |env: Env<ModelWorld>| {
+                env.snap_write(SNAP, 1, 0, 7u64);
+                env.snap_scan::<u64>(SNAP, 1);
+                0
+            })]
+        };
+        let snap = ModelWorld::snapshot_root(n, false, bodies());
+        assert!(!snap.pending_read(0));
+        let snap = ModelWorld::resume_from(&snap, 0, bodies().remove(0));
+        assert!(snap.pending_read(0), "parked before the scan");
+        let snap = ModelWorld::resume_from(&snap, 0, bodies().remove(0));
+        assert!(snap.is_terminal());
+        assert_eq!(snap.steps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondeterministic process body")]
+    fn diverging_replay_is_detected() {
+        let make = |tag: u64| {
+            vec![body(move |env: Env<ModelWorld>| {
+                if tag == 0 {
+                    env.reg_write(REG, 1u64);
+                } else {
+                    env.tas(REG.with_b(9));
+                }
+                env.reg_write(REG.with_b(1), 2u64);
+                0
+            })]
+        };
+        let snap = ModelWorld::snapshot_root(1, false, make(0));
+        let snap = ModelWorld::resume_from(&snap, 0, make(0).remove(0));
+        // Resuming with a *different* body: the log replay must detect it.
+        ModelWorld::resume_from(&snap, 0, make(1).remove(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual process 0 failed")]
+    fn real_panics_surface_through_resume() {
+        let bodies: Vec<Body> = vec![body(|_env| panic!("algorithm bug"))];
+        ModelWorld::snapshot_root(1, false, bodies);
+    }
+}

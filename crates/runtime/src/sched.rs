@@ -128,6 +128,11 @@ pub enum Crashes {
     },
 }
 
+/// Cloneable so the exhaustive explorer can carry the adversary's
+/// per-path state on each frontier node ([`crate::explore`]): advancing a
+/// clone per child replays exactly the `should_crash` call sequence a
+/// gated run over the same schedule prefix would make.
+#[derive(Clone)]
 pub(crate) struct CrashState {
     policy: Crashes,
     rng: StdRng,

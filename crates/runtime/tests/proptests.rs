@@ -171,7 +171,7 @@ proptest! {
             }
             Ok(())
         };
-        let limits = ExploreLimits { max_runs: 100_000, max_steps: 1_000, ..Default::default() };
+        let limits = ExploreLimits { max_expansions: 100_000, max_steps: 1_000, ..Default::default() };
         let collect = |reduction: Reduction| {
             let out = Explorer::new(n)
                 .limits(limits)
@@ -192,6 +192,72 @@ proptest! {
         let (reference_runs, reference) = collect(Reduction::none())?;
         prop_assert_eq!(reduced, reference, "violation sets must match (seed {})", seed);
         prop_assert!(reduced_runs <= reference_runs, "reductions never add work");
+    }
+
+    /// Parallel frontier expansion is invisible: `threads = 1` and
+    /// `threads = 4` produce byte-identical statistics (visited/pruned
+    /// counts included) and identical violation lists — messages *and*
+    /// schedules — on random small programs.
+    #[test]
+    fn parallel_exploration_is_deterministic(seed in 0u64..1_000_000, n in 2usize..4, ops in 1usize..3) {
+        let make = move || small_program(seed, n, ops);
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            if fp_of(&vals).wrapping_add(seed) % 4 == 0 {
+                return Err(format!("flagged outcome {vals:?}"));
+            }
+            Ok(())
+        };
+        let sweep = |threads: usize| {
+            let out = Explorer::new(n)
+                .limits(ExploreLimits { max_expansions: 100_000, max_steps: 1_000, ..Default::default() })
+                .collect_all(true)
+                .threads(threads)
+                .run(make, check);
+            let violations: Vec<(Vec<usize>, String)> =
+                out.violations.iter().map(|v| (v.choices.clone(), v.message.clone())).collect();
+            (out.stats.summary(), out.complete, violations)
+        };
+        let sequential = sweep(1);
+        let parallel = sweep(4);
+        prop_assert_eq!(sequential, parallel, "thread count must be invisible (seed {})", seed);
+    }
+
+    /// Snapshot-resume oracle: driving the snapshot engine down an
+    /// arbitrary schedule yields, pick for pick, the same state
+    /// fingerprints — and finally the same outcomes, step count, and
+    /// op accounting — as a gated replay-from-root of the same choice
+    /// vector.
+    #[test]
+    fn snapshot_resume_matches_gated_replay(
+        seed in 0u64..1_000_000,
+        pick_seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 1usize..4,
+    ) {
+        let make = move || small_program(seed, n, ops);
+        let mut snap = ModelWorld::snapshot_root(n, true, make());
+        let mut choices = Vec::new();
+        let mut resumed_hashes = Vec::new();
+        while !snap.is_terminal() {
+            let alive = snap.alive();
+            let c = (fp_of(&(pick_seed, choices.len())) as usize) % alive.len();
+            let pid = alive[c];
+            choices.push(c);
+            let body = make().into_iter().nth(pid).expect("pid in range");
+            snap = ModelWorld::resume_from(&snap, pid, body);
+            resumed_hashes.push(snap.fingerprint());
+        }
+        let gated = ModelWorld::run(
+            RunConfig::replay(n, Crashes::None, 10_000, &choices).record_state_hashes(true),
+            make(),
+        );
+        let report = snap.report(false);
+        prop_assert_eq!(report.outcomes, gated.outcomes);
+        prop_assert_eq!(report.steps, gated.steps);
+        prop_assert_eq!(report.ops_by_kind, gated.ops_by_kind);
+        prop_assert_eq!(resumed_hashes, gated.state_hashes.expect("requested"));
     }
 
     /// Crash planning at own-step granularity: a process crashed at step s

@@ -54,7 +54,7 @@ fn renaming_two_processes_every_schedule() {
     let out = explore(
         n,
         Crashes::None,
-        ExploreLimits { max_runs: 500_000, max_steps: 2_000, ..Default::default() },
+        ExploreLimits { max_expansions: 500_000, max_steps: 2_000, ..Default::default() },
         || (0..n).map(|p| renaming_body(p, n)).collect(),
         |r| {
             check(r, n)?;
@@ -77,7 +77,7 @@ fn renaming_survives_every_single_crash_placement() {
             let out = explore(
                 n,
                 Crashes::AtOwnStep(vec![(victim, crash_step)]),
-                ExploreLimits { max_runs: 500_000, max_steps: 2_000, ..Default::default() },
+                ExploreLimits { max_expansions: 500_000, max_steps: 2_000, ..Default::default() },
                 || (0..n).map(|p| renaming_body(p, n)).collect(),
                 |r| {
                     check(r, n)?;
@@ -104,10 +104,17 @@ fn renaming_three_processes_sampled_schedules_exhaustively_bounded() {
     let out = explore(
         n,
         Crashes::None,
-        ExploreLimits { max_runs: 8_000, max_steps: 3_000, ..Default::default() },
+        ExploreLimits { max_expansions: 8_000, max_steps: 3_000, ..Default::default() },
         || (0..n).map(|p| renaming_body(p, n)).collect(),
         |r| check(r, n),
     );
     out.assert_no_violation();
-    assert!(out.runs() >= 8_000 || out.complete);
+    // Either the tree fit in the budget, or the budget stopped it — in
+    // which case only executed work is reported, never more than queued.
+    assert!(out.stats.expansions <= 8_000);
+    assert!(
+        out.complete || out.stats.expansions > 1_000,
+        "the budget must have bought substantial coverage ({} expansions)",
+        out.stats.expansions
+    );
 }

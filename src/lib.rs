@@ -24,7 +24,9 @@
 //! The safety claims rest on *enumerated* interleavings: the bounded
 //! model checker in [`runtime::explore`] (re-exported here as
 //! [`Explorer`]) sweeps every schedule of the Figure 1/5/6 objects at
-//! small `n` with visited-state pruning and a commuting-reads reduction,
+//! small `n` — resuming from state snapshots instead of re-executing
+//! prefixes, optionally across worker threads with byte-identical
+//! reports — with visited-state pruning and a commuting-reads reduction,
 //! and emits replayable [`Schedule::Indexed`](runtime::Schedule)
 //! counterexamples when a checker fails.
 //!

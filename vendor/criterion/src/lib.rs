@@ -9,7 +9,8 @@
 //!
 //! Measurement model: per benchmark, a short warm-up estimates the cost of
 //! one iteration, then `sample_size` samples of a batch sized to fill
-//! `measurement_time` are timed; the mean, min, and sample variance of
+//! `measurement_time` are timed; the mean, min, p50/p99 percentiles
+//! (nearest-rank over the batch-averaged samples), and sample variance of
 //! the per-iteration nanoseconds are printed as one line. There are no
 //! saved baselines, further statistics, or HTML reports.
 //! Passing `--quick` (or running under `--test`, as `cargo test` does for
@@ -239,15 +240,34 @@ fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, label: &str, mut f: F) {
         f(&mut b);
         samples.push(b.elapsed.as_nanos() / u128::from(batch));
     }
-    let (mean, min, var) = sample_stats(&samples);
+    let stats = sample_stats(&samples);
     println!(
-        "bench {label:<56} mean {mean:>10} ns/iter   min {min:>10} ns/iter   var {var:>12} ns^2"
+        "bench {label:<56} mean {mean:>10} ns/iter   min {min:>10} ns/iter   p50 {p50:>10} ns/iter   p99 {p99:>10} ns/iter   var {var:>12} ns^2",
+        mean = stats.mean,
+        min = stats.min,
+        p50 = stats.p50,
+        p99 = stats.p99,
+        var = stats.var,
     );
 }
 
-/// Mean, minimum, and sample variance (`n − 1` denominator; 0 for a
-/// single sample) of per-iteration nanosecond samples.
-fn sample_stats(samples: &[u128]) -> (u128, u128, u128) {
+/// Summary statistics of per-iteration nanosecond samples.
+#[derive(Debug, PartialEq, Eq)]
+struct SampleStats {
+    mean: u128,
+    min: u128,
+    /// Median (nearest-rank percentile over the sorted samples).
+    p50: u128,
+    /// 99th percentile (nearest-rank; equals the max until the sample
+    /// count reaches 100 — tail visibility needs `sample_size` ≥ 100).
+    p99: u128,
+    /// Sample variance (`n − 1` denominator; 0 for a single sample).
+    var: u128,
+}
+
+/// Mean, minimum, nearest-rank p50/p99, and sample variance of
+/// per-iteration nanosecond samples.
+fn sample_stats(samples: &[u128]) -> SampleStats {
     let n = samples.len() as u128;
     let mean = samples.iter().sum::<u128>() / n;
     let min = *samples.iter().min().expect("sample_size is positive");
@@ -256,7 +276,17 @@ fn sample_stats(samples: &[u128]) -> (u128, u128, u128) {
     } else {
         0
     };
-    (mean, min, var)
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    SampleStats { mean, min, p50: percentile(&sorted, 50), p99: percentile(&sorted, 99), var }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample set:
+/// the `⌈q/100 · n⌉`-th smallest value.
+fn percentile(sorted: &[u128], q: u128) -> u128 {
+    let n = sorted.len() as u128;
+    let rank = (q * n).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
 }
 
 /// Bundles benchmark functions into a runnable group function.
@@ -338,12 +368,30 @@ mod tests {
 
     #[test]
     fn sample_stats_mean_min_variance() {
-        // Samples 2, 4, 9: mean 5, min 2, variance ((9 + 1 + 16) / 2) = 13.
-        assert_eq!(sample_stats(&[2, 4, 9]), (5, 2, 13));
+        // Samples 2, 4, 9: mean 5, min 2, variance ((9 + 1 + 16) / 2) = 13;
+        // nearest-rank p50 = 2nd smallest = 4, p99 = 3rd smallest = 9.
+        assert_eq!(
+            sample_stats(&[2, 4, 9]),
+            SampleStats { mean: 5, min: 2, p50: 4, p99: 9, var: 13 }
+        );
         // A single sample has no spread to estimate.
-        assert_eq!(sample_stats(&[7]), (7, 7, 0));
+        assert_eq!(sample_stats(&[7]), SampleStats { mean: 7, min: 7, p50: 7, p99: 7, var: 0 });
         // Constant samples: zero variance.
-        assert_eq!(sample_stats(&[3, 3, 3, 3]), (3, 3, 0));
+        assert_eq!(
+            sample_stats(&[3, 3, 3, 3]),
+            SampleStats { mean: 3, min: 3, p50: 3, p99: 3, var: 0 }
+        );
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 99), 99);
+        // Below 100 samples, p99's nearest rank is the maximum.
+        assert_eq!(percentile(&[10, 20, 30], 99), 30);
+        assert_eq!(percentile(&[10, 20, 30], 50), 20);
+        assert_eq!(percentile(&[5], 99), 5);
     }
 
     #[test]
