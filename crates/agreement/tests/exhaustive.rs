@@ -41,8 +41,10 @@ fn safe_agreement_three_processes_every_schedule() {
         .limits(ExploreLimits { max_expansions: 2_000_000, max_steps: 1_000, ..Default::default() })
         .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, true));
     assert_complete(&out);
+    // The full reduction set (DPOR + observation quotient, PR 4) covers
+    // this tree in ~2.5k states where the pre-DPOR explorer needed 11.2k.
     assert!(
-        out.stats.states_visited >= 5_000,
+        out.stats.states_visited >= 2_000,
         "non-trivial tree explored ({} states)",
         out.stats.states_visited
     );

@@ -1,26 +1,31 @@
-//! Bounded-depth model-checking sweeps of the paper's object types
-//! (ROADMAP "Explorer scale-up"):
+//! Model-checking sweeps of the paper's object types (ROADMAP "Explorer
+//! scale-up" / "Figure 1 at n = 4"):
 //!
-//! * Figure 1 safe agreement, `n = 3..5` — exhaustive at `n = 3`
-//!   (pruned frontier search visits strictly fewer states than the
-//!   unpruned reference, finds zero violations, and agrees with it),
-//!   bounded-depth at `n = 4, 5`;
+//! * Figure 1 safe agreement, `n = 3..5` — **exhaustive at `n = 3` and
+//!   `n = 4`** (DPOR footprint commutation + the observation quotient;
+//!   the `n = 4` sweep pins the exact state-count baseline), bounded
+//!   depth at `n = 5`;
 //! * Figure 5 `x_compete`, `n = 3..5` — exhaustive at `n = 3, 4`,
 //!   bounded-depth at `n = 5`;
 //! * Figure 6 x-safe agreement, `n = 3..5` — exhaustive at `n = 3, 4`
 //!   (the `n = 4` sweep additionally pins that `threads = 1` and
-//!   `threads = 2` produce byte-identical reports), bounded-depth at
-//!   `n = 5`.
+//!   `threads = 2` produce byte-identical reports, and the bounded
+//!   frontier that an artificially tiny snapshot ceiling is invisible),
+//!   bounded-depth at `n = 5`;
+//! * a crash-schedule matrix: `fig1 n = 3` with a crash at every
+//!   `(process, step)` pair, DPOR-on vs DPOR-off, verdicts cross-checked
+//!   against the gated-replay oracle.
 //!
 //! The deterministic state-count lines these sweeps produce are also
 //! printed by `crates/bench/benches/explore_sweep.rs` and diffed by the
-//! CI determinism gate (including across explorer thread counts); the
+//! CI determinism gate (including across explorer thread counts and
+//! across `MPCN_EXPLORE_DPOR=1` vs `0` for the verdict fields); the
 //! baselines are recorded in ROADMAP.md.
 
 use mpcn_agreement::fixtures::{
     check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies,
 };
-use mpcn_runtime::explore::{explore, ExploreLimits, Explorer, Reduction};
+use mpcn_runtime::explore::{explore, threads_from_env, ExploreLimits, Explorer, Reduction};
 use mpcn_runtime::model_world::RunReport;
 use mpcn_runtime::sched::Crashes;
 
@@ -57,23 +62,41 @@ fn fig1_n3_pruned_sweep_beats_unpruned_reference() {
     );
 }
 
-/// Bounded-depth Figure 1 sweeps at `n = 4, 5`: every scheduling
-/// alternative within the first `max_depth` picks is covered; no safety
-/// violation anywhere.
+/// The Figure 1 scale-up milestone (ROADMAP "Figure 1 at n = 4
+/// exhaustively"): safe agreement at `n = 4` is **exhausted** — DPOR
+/// footprint commutation plus the observation quotient shrink the
+/// 4.58M-expansion pre-DPOR tree to ~397k expansions — with zero
+/// violations, and the exact state counts are pinned as the recorded
+/// baseline (the `explore_sweep` bench prints the same line; ROADMAP.md
+/// and EXPERIMENTS.md record it).
 #[test]
-fn fig1_n4_n5_bounded_depth_sweeps() {
-    for (n, max_depth) in [(4usize, 7), (5usize, 5)] {
-        let out = Explorer::new(n)
-            .limits(ExploreLimits { max_expansions: 400_000, max_steps: 1_000, max_depth })
-            .run(|| fig1_bodies(n, 1), |r| check_agreement(r, n, true));
-        out.assert_no_violation();
-        assert!(!out.complete, "a depth-bounded sweep is not a full proof (n = {n})");
-        assert!(out.stats.depth_limited_runs > 0, "the bound must actually bind (n = {n})");
-        assert!(
-            out.stats.expansions < 400_000,
-            "work budget must not be the binding limit (n = {n})"
-        );
-    }
+fn fig1_n4_exhaustive_baseline() {
+    let out = Explorer::new(4)
+        .threads(threads_from_env(2))
+        .limits(ExploreLimits { max_expansions: 2_000_000, max_steps: 2_000, ..Default::default() })
+        .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, true));
+    out.assert_no_violation();
+    assert!(out.complete, "fig1 n = 4 must exhaust ({} runs)", out.runs());
+    assert_eq!(
+        out.stats.summary(),
+        "runs=221 expansions=397070 visited=168174 pruned=228896 sleep=85521 dpor=38233 \
+         qhits=228896 max_depth=16 depth_limited=0 branching=[0,5304,31614,71852,59184]",
+        "fig1 n = 4 baseline drifted"
+    );
+}
+
+/// Bounded-depth Figure 1 sweep at `n = 5`: every scheduling alternative
+/// within the first `max_depth` picks is covered; no safety violation
+/// anywhere.
+#[test]
+fn fig1_n5_bounded_depth_sweep() {
+    let out = Explorer::new(5)
+        .limits(ExploreLimits { max_expansions: 400_000, max_steps: 1_000, max_depth: 5 })
+        .run(|| fig1_bodies(5, 1), |r| check_agreement(r, 5, true));
+    out.assert_no_violation();
+    assert!(!out.complete, "a depth-bounded sweep is not a full proof");
+    assert!(out.stats.depth_limited_runs > 0, "the bound must actually bind");
+    assert!(out.stats.expansions < 400_000, "work budget must not be the binding limit");
 }
 
 /// Figure 5 sweeps: exhaustive at `n = 3, 4`; depth bounded at `n = 5`.
@@ -139,25 +162,87 @@ fn fig6_n4_exhaustive_is_thread_count_invariant() {
     assert_eq!(sequential.violations.len(), parallel.violations.len());
 }
 
-/// Crash plans compose with pruning: every placement of one crash during
-/// the Figure 1 proposes at `n = 3`, each swept exhaustively with
-/// reductions on (safety only — liveness is schedule dependent).
+/// The crash-schedule matrix: `fig1 n = 3` with a crash injected at
+/// every `(process, step)` pair — every victim, every own-step position
+/// in its 4-operation body — swept exhaustively under DPOR **and** under
+/// the DPOR-off baseline. Verdicts must match pair for pair, and both
+/// agree with the gated-replay oracle: any violation either sweep found
+/// would be re-executed through the gated reference engine (the
+/// explorer's built-in confirmation) before being reported, and the
+/// canonical choice-0 schedule is additionally replayed gated here and
+/// checked directly.
 #[test]
-fn fig1_n3_single_crash_placements_pruned() {
+fn fig1_n3_crash_matrix_dpor_matches_gated_oracle() {
+    let limits =
+        ExploreLimits { max_expansions: 2_000_000, max_steps: 1_000, ..Default::default() };
     for victim in 0..3usize {
-        for crash_step in 0..3u64 {
-            let out = Explorer::new(3)
-                .crashes(Crashes::AtOwnStep(vec![(victim, crash_step)]))
-                .limits(ExploreLimits {
-                    max_expansions: 2_000_000,
-                    max_steps: 1_000,
-                    ..Default::default()
-                })
-                .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false));
-            out.assert_no_violation();
-            assert!(out.complete, "victim {victim} at step {crash_step} must exhaust");
+        for crash_step in 0..4u64 {
+            let crashes = Crashes::AtOwnStep(vec![(victim, crash_step)]);
+            let sweep = |reduction: Reduction| {
+                let c = crashes.clone();
+                Explorer::new(3)
+                    .crashes(c)
+                    .reduction(reduction)
+                    .limits(limits)
+                    .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false))
+            };
+            let dpor = sweep(Reduction::full());
+            let baseline = sweep(Reduction::no_dpor());
+            dpor.assert_no_violation();
+            baseline.assert_no_violation();
+            assert_eq!(
+                (dpor.complete, dpor.violations.len()),
+                (baseline.complete, baseline.violations.len()),
+                "verdicts must match for victim {victim} at step {crash_step}"
+            );
+            assert!(dpor.complete, "victim {victim} at step {crash_step} must exhaust");
+            assert!(
+                dpor.stats.expansions <= baseline.stats.expansions,
+                "DPOR never adds work (victim {victim}, step {crash_step})"
+            );
+            // Gated-replay oracle, driven explicitly on the canonical
+            // schedule: the reference engine agrees nothing is violated.
+            let gated = mpcn_runtime::explore::replay(3, crashes, 1_000, || fig1_bodies(3, 1), &[]);
+            assert!(
+                check_agreement(&gated, 3, false).is_ok(),
+                "gated oracle disagrees (victim {victim}, step {crash_step})"
+            );
         }
     }
+}
+
+/// The bounded-memory frontier on the Figure 6 scale-up sweep: an
+/// artificially tiny snapshot ceiling (64 resident nodes per layer where
+/// the widest layer holds thousands) forces mass eviction and
+/// rehydration-from-log-cursors, and the report — every statistic of the
+/// summary line, completeness, violations — is byte-identical to the
+/// unbounded run's. Worker count comes from `MPCN_EXPLORE_THREADS`, so
+/// the CI env sweep also crosses thread counts here.
+#[test]
+fn fig6_n4_bounded_frontier_report_is_byte_identical() {
+    let sweep = |ceiling: usize, threads: usize| {
+        Explorer::new(4)
+            .threads(threads)
+            .resident_ceiling(ceiling)
+            .limits(ExploreLimits {
+                max_expansions: 2_000_000,
+                max_steps: 2_000,
+                ..Default::default()
+            })
+            .run(|| fig6_bodies(4, 2, 1), |r| check_agreement(r, 4, true))
+    };
+    let unbounded = sweep(usize::MAX, 1);
+    let bounded = sweep(64, threads_from_env(2));
+    assert_eq!(unbounded.stats.evicted, 0, "the unbounded run must not evict");
+    assert!(bounded.stats.evicted > 1_000, "a 64-node ceiling must evict en masse");
+    assert_eq!(
+        unbounded.stats.summary(),
+        bounded.stats.summary(),
+        "eviction must be invisible in the report"
+    );
+    assert_eq!(unbounded.complete, bounded.complete);
+    assert_eq!(unbounded.violations, bounded.violations);
+    unbounded.assert_no_violation();
 }
 
 /// A broken invariant on the real Figure 1 object produces a violation

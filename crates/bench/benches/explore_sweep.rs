@@ -8,8 +8,11 @@
 //!   levels, *and explorer thread counts*. The CI determinism gate runs
 //!   the benches twice and diffs exactly these lines, and additionally
 //!   diffs an `MPCN_EXPLORE_THREADS=1` run against an
-//!   `MPCN_EXPLORE_THREADS=2` run; the baselines are recorded in
-//!   ROADMAP.md.
+//!   `MPCN_EXPLORE_THREADS=2` run; a further gate re-runs the catalogue
+//!   under `MPCN_EXPLORE_DPOR=0` (the pre-DPOR reduction set) and
+//!   asserts the *verdict* fields (`complete=…/violations=…`) of every
+//!   common label match — state counts legitimately differ between the
+//!   two reduction sets. Baselines are recorded in ROADMAP.md.
 //! * **Wall time** of pruned sweeps under `threads = 1` and
 //!   `threads = k` — the parallel-speedup measure (the vendored
 //!   criterion shim reports mean/min/p50/p99, so tail latency is
@@ -17,13 +20,20 @@
 //!   deterministic lines above are identical either way.
 //!
 //! Worker count for the catalogued sweeps: `MPCN_EXPLORE_THREADS`
-//! (default 2).
+//! (default 2); reduction set: `MPCN_EXPLORE_DPOR` (default full — DPOR
+//! footprints + observation quotient). The flagship `fig1 n=4 pruned`
+//! exhaustive sweep (the ROADMAP "Figure 1 at n = 4" milestone, ~4 s
+//! release) is catalogued only under the full reduction: without DPOR it
+//! is a 4.58M-expansion, minutes-long sweep that CI cannot afford per
+//! gate run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpcn_agreement::fixtures::{
     check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies,
 };
-use mpcn_runtime::explore::{threads_from_env, ExploreLimits, ExploreReport, Explorer, Reduction};
+use mpcn_runtime::explore::{
+    reduction_from_env, threads_from_env, ExploreLimits, ExploreReport, Explorer, Reduction,
+};
 use mpcn_runtime::sched::Crashes;
 use std::hint::black_box;
 
@@ -31,15 +41,18 @@ fn limits(max_expansions: u64, max_depth: usize) -> ExploreLimits {
     ExploreLimits { max_expansions, max_steps: 2_000, max_depth }
 }
 
-/// The catalogued sweeps. Every report's summary line must be identical
-/// on every invocation — no timing, no randomness, no pointers, no
-/// thread-count dependence.
-fn catalogue(threads: usize) -> Vec<(&'static str, ExploreReport)> {
-    vec![
+/// The catalogued sweeps under `reduction`. Every report's summary line
+/// must be identical on every invocation — no timing, no randomness, no
+/// pointers, no thread-count dependence. (State counts *do* depend on
+/// the reduction set; the DPOR verdict gate compares only the
+/// `complete=`/`violations=` fields across reduction modes.)
+fn catalogue(threads: usize, reduction: Reduction) -> Vec<(&'static str, ExploreReport)> {
+    let mut sweeps = vec![
         (
             "fig1 n=3 pruned",
             Explorer::new(3)
                 .threads(threads)
+                .reduction(reduction)
                 .limits(limits(2_000_000, usize::MAX))
                 .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
         ),
@@ -55,6 +68,7 @@ fn catalogue(threads: usize) -> Vec<(&'static str, ExploreReport)> {
             "fig1 n=3 crash(0@1) pruned",
             Explorer::new(3)
                 .threads(threads)
+                .reduction(reduction)
                 .crashes(Crashes::AtOwnStep(vec![(0, 1)]))
                 .limits(limits(2_000_000, usize::MAX))
                 .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
@@ -63,6 +77,7 @@ fn catalogue(threads: usize) -> Vec<(&'static str, ExploreReport)> {
             "fig1 n=4 depth<=9 pruned",
             Explorer::new(4)
                 .threads(threads)
+                .reduction(reduction)
                 .limits(limits(2_000_000, 9))
                 .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
         ),
@@ -70,6 +85,7 @@ fn catalogue(threads: usize) -> Vec<(&'static str, ExploreReport)> {
             "fig5 n=4 x=2 pruned",
             Explorer::new(4)
                 .threads(threads)
+                .reduction(reduction)
                 .limits(limits(500_000, usize::MAX))
                 .run(|| fig5_bodies(4, 2), |r| check_winners(r, 4, 2)),
         ),
@@ -77,6 +93,7 @@ fn catalogue(threads: usize) -> Vec<(&'static str, ExploreReport)> {
             "fig6 n=3 x=2 pruned",
             Explorer::new(3)
                 .threads(threads)
+                .reduction(reduction)
                 .limits(limits(1_000_000, usize::MAX))
                 .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, false)),
         ),
@@ -84,15 +101,32 @@ fn catalogue(threads: usize) -> Vec<(&'static str, ExploreReport)> {
             "fig6 n=4 x=2 pruned",
             Explorer::new(4)
                 .threads(threads)
+                .reduction(reduction)
                 .limits(limits(2_000_000, usize::MAX))
                 .run(|| fig6_bodies(4, 2, 1), |r| check_agreement(r, 4, false)),
         ),
-    ]
+    ];
+    if reduction.dpor {
+        // The ROADMAP "Figure 1 at n = 4" milestone: exhaustive only
+        // under DPOR + observation quotient (pre-DPOR it is a
+        // 4.58M-expansion sweep — minutes per run, unaffordable per CI
+        // gate invocation). `explore_sweeps.rs` pins this exact line.
+        sweeps.push((
+            "fig1 n=4 pruned",
+            Explorer::new(4)
+                .threads(threads)
+                .reduction(reduction)
+                .limits(limits(2_000_000, usize::MAX))
+                .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
+        ));
+    }
+    sweeps
 }
 
 fn sweeps(c: &mut Criterion) {
     let threads = threads_from_env(2);
-    for (label, report) in catalogue(threads) {
+    let reduction = reduction_from_env();
+    for (label, report) in catalogue(threads, reduction) {
         report.assert_no_violation();
         eprintln!("{}", report.summary_line(label));
     }

@@ -33,6 +33,29 @@
 //! **gated** world ([`RunConfig::replay`]) and asserts both engines agree
 //! on the outcomes — a permanent cross-check of the resume engine against
 //! the reference implementation.
+//!
+//! # Reductions (see [`super::Reduction`])
+//!
+//! The skip rule generalizing the commuting-reads reduction lives in
+//! [`Engine::skip_kind`]: with DPOR on, a child pick is skipped when its
+//! pending *action* (operation footprint or crash delivery) commutes with
+//! the action that created the node and the pids are inverted — only the
+//! pid-canonical order of each adjacent independent pair is explored. The
+//! observation quotient swaps [`Snapshot::fingerprint`] for
+//! [`Snapshot::fingerprint_quotient`] as the visited-set identity.
+//!
+//! # Bounded-memory frontier ([`super::Explorer::resident_ceiling`])
+//!
+//! Each retained frontier node normally holds its [`Snapshot`] (object
+//! map + operation logs — the heavy part). Under a resident ceiling, only
+//! the first `ceiling` nodes admitted per layer stay resident; colder
+//! nodes are **evicted** down to their scheduling metadata (choice path,
+//! alive set, pending footprints, own-step counters), and a worker that
+//! expands one first **rehydrates** it by replaying the choice path from
+//! the root through the snapshot engine — the operation-log cursors make
+//! every replayed decision a deterministic `O(own log)` resume, so the
+//! rebuilt snapshot (and hence the whole report) is byte-identical to the
+//! never-evicted run, at `O(depth)` extra resumes per evicted expansion.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -40,7 +63,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::model_world::{Body, ModelWorld, RunConfig, RunReport, Snapshot};
+use crate::model_world::{Body, Footprint, ModelWorld, RunConfig, RunReport, Snapshot};
 use crate::sched::{CrashState, Crashes};
 use crate::world::Pid;
 
@@ -78,21 +101,92 @@ impl VisitedShards {
     }
 }
 
+/// The scheduling decision that created a node, as an *action*: the
+/// dependency footprint of the completed operation, or a crash delivery.
+#[derive(Clone, Copy)]
+enum Action {
+    Op(Footprint),
+    Crash,
+}
+
+impl Action {
+    /// Whether two actions, performed adjacently by two different
+    /// processes, commute (either order reaches the same global state).
+    /// Crash deliveries commute with everything: they only flip the
+    /// victim's liveness flags, which no operation reads, and they leave
+    /// every other process's enabledness and own-step clock untouched.
+    fn commutes(&self, other: &Action) -> bool {
+        match (self, other) {
+            (Action::Crash, _) | (_, Action::Crash) => true,
+            (Action::Op(f), Action::Op(g)) => f.commutes(g),
+        }
+    }
+
+    fn is_pure_read(&self) -> bool {
+        matches!(self, Action::Op(f) if f.pure_read)
+    }
+}
+
+/// Which reduction rule skipped a sibling (for the statistics split).
+enum SkipKind {
+    /// The commuting-pure-reads special case (counted as `sleep`).
+    Sleep,
+    /// The general DPOR footprint/crash-commutation rule.
+    Dpor,
+}
+
+/// A node's state payload: resident nodes carry their snapshot; evicted
+/// nodes keep only what the merge-phase reductions need and are
+/// rehydrated by the worker that expands them.
+enum Store {
+    Resident(Box<Snapshot>),
+    Evicted {
+        /// Pending footprint per pid (what [`Engine::skip_kind`] reads).
+        pending: Vec<Option<Footprint>>,
+        /// Per-process own-step clocks (what the crash plan reads).
+        own_steps: Vec<u64>,
+        /// Completed steps along the path (what the timeout guard of
+        /// [`Engine::skip_kind`] reads).
+        steps: u64,
+    },
+}
+
 /// One frontier node: a reachable state plus everything path-dependent
 /// the engine needs to continue from it.
 struct Node {
-    snap: Snapshot,
+    store: Store,
     /// Choice vector from the root (the replayable schedule prefix).
     path: Vec<usize>,
-    /// Cached `snap.alive()`.
+    /// Cached alive set of the node's state.
     alive: Vec<Pid>,
-    /// The decision that created this node: `(picked pid, completed a
-    /// pure read)` — what the commuting-reads rule needs. `None` at the
-    /// root.
-    incoming: Option<(Pid, bool)>,
+    /// The decision that created this node. `None` at the root.
+    incoming: Option<(Pid, Action)>,
     /// Adversary state after this node's path (one `should_crash` call
     /// per pick, as in a gated run).
     crash: CrashState,
+}
+
+impl Node {
+    fn pending_footprint(&self, pid: Pid) -> Option<Footprint> {
+        match &self.store {
+            Store::Resident(snap) => snap.pending_footprint(pid),
+            Store::Evicted { pending, .. } => pending[pid],
+        }
+    }
+
+    fn own_steps(&self, pid: Pid) -> u64 {
+        match &self.store {
+            Store::Resident(snap) => snap.own_steps(pid),
+            Store::Evicted { own_steps, .. } => own_steps[pid],
+        }
+    }
+
+    fn steps(&self) -> u64 {
+        match &self.store {
+            Store::Resident(snap) => snap.steps(),
+            Store::Evicted { steps, .. } => *steps,
+        }
+    }
 }
 
 enum Job {
@@ -113,6 +207,10 @@ struct Expanded {
     /// snapshot is dropped in the worker, saving merge-phase memory).
     node: Option<Node>,
     fp: u64,
+    /// The observation quotient coarsened this child's identity (its raw
+    /// fingerprint differs from `fp`) — feeds the `qhits` counter when
+    /// the child is pruned.
+    coarsened: bool,
     pre_pruned: bool,
 }
 
@@ -126,11 +224,15 @@ struct TailRun {
 
 /// The read-only context expansion workers share.
 struct Shared<'a, F> {
+    n: usize,
+    crashes: &'a Crashes,
     make_bodies: &'a F,
     visited: &'a VisitedShards,
     /// Visited-state pruning enabled — also the only reason to
     /// fingerprint child snapshots, so it doubles as the tracking flag.
     prune: bool,
+    /// Fingerprint children by the observation quotient.
+    quotient: bool,
     max_steps: u64,
 }
 
@@ -143,6 +245,8 @@ pub(super) struct Engine<'a, F, C> {
     /// See [`Shared::prune`] — also the snapshot-tracking flag.
     prune: bool,
     sleep: bool,
+    dpor: bool,
+    quotient: bool,
     threads: usize,
     visited: VisitedShards,
     stats: ExploreStats,
@@ -154,6 +258,10 @@ pub(super) struct Engine<'a, F, C> {
     /// on an early stop the final layer's still-queued jobs are charged
     /// here but never reported as performed.
     queued: u64,
+    /// Snapshots kept resident in the layer currently being admitted
+    /// (reset per merge pass; compared against
+    /// [`super::Explorer::resident_ceiling`]).
+    resident: usize,
 }
 
 impl<'a, F, C> Engine<'a, F, C>
@@ -163,8 +271,8 @@ where
 {
     pub(super) fn new(ex: &'a Explorer, make_bodies: &'a F, check: &'a C) -> Self {
         // Random crashes are a sampling policy whose RNG state is a
-        // function of the pick history, not of the reached state; neither
-        // reduction's argument applies, so both are disabled.
+        // function of the pick history, not of the reached state; no
+        // reduction's argument applies, so all are disabled.
         let reducible = !matches!(ex.crashes, Crashes::Random { .. });
         Engine {
             ex,
@@ -172,6 +280,8 @@ where
             check,
             prune: ex.reduction.prune_visited && reducible,
             sleep: ex.reduction.sleep_reads && reducible,
+            dpor: ex.reduction.dpor && reducible,
+            quotient: ex.reduction.prune_visited && ex.reduction.quotient_obs && reducible,
             threads: ex.threads.max(1),
             visited: VisitedShards::new(),
             stats: ExploreStats::new(ex.n),
@@ -179,6 +289,7 @@ where
             complete: true,
             stopped: false,
             queued: 0,
+            resident: 0,
         }
     }
 
@@ -186,7 +297,7 @@ where
         let snap = ModelWorld::snapshot_root(self.ex.n, self.prune, (self.make_bodies)());
         let root = Node {
             alive: snap.alive(),
-            snap,
+            store: Store::Resident(Box::new(snap)),
             path: Vec::new(),
             incoming: None,
             crash: CrashState::new(self.ex.crashes.clone()),
@@ -206,19 +317,25 @@ where
 
     /// Classifies a freshly retained node: terminal and timed-out nodes
     /// are checked now; depth-bounded nodes queue a tail job; everything
-    /// else queues one expansion job per non-redundant choice.
+    /// else queues one expansion job per non-redundant choice. A
+    /// non-terminal node beyond the layer's resident ceiling is evicted
+    /// to scheduling metadata before queueing.
     fn admit(&mut self, node: Node, jobs: &mut Vec<Job>) {
+        let Store::Resident(snap) = &node.store else {
+            unreachable!("children are admitted resident");
+        };
         let depth = node.path.len();
         if node.alive.is_empty() {
-            let report = node.snap.report(false);
+            let report = snap.report(false);
             self.finish_run(report, node.path, depth);
             return;
         }
-        if node.snap.steps() >= self.ex.limits.max_steps {
-            let report = node.snap.report(true);
+        if snap.steps() >= self.ex.limits.max_steps {
+            let report = snap.report(true);
             self.finish_run(report, node.path, depth);
             return;
         }
+        let node = self.maybe_evict(node);
         if depth >= self.ex.limits.max_depth {
             // The bound binds: this is no longer a full proof.
             self.complete = false;
@@ -230,15 +347,41 @@ where
         self.stats.branching_histogram[node.alive.len()] += 1;
         let node = Arc::new(node);
         for choice in 0..node.alive.len() {
-            if self.sleep && self.sleep_skippable(&node, choice) {
-                self.stats.sleep_skips += 1;
-                continue;
+            match self.skip_kind(&node, choice) {
+                Some(SkipKind::Sleep) => {
+                    self.stats.sleep_skips += 1;
+                    continue;
+                }
+                Some(SkipKind::Dpor) => {
+                    self.stats.dpor_skips += 1;
+                    continue;
+                }
+                None => {}
             }
             if !self.take_work() {
                 return;
             }
             jobs.push(Job::Expand { node: Arc::clone(&node), choice });
         }
+    }
+
+    /// Applies the resident ceiling: the first
+    /// [`super::Explorer::resident_ceiling`] nodes admitted per layer
+    /// keep their snapshot; colder ones are stripped down to scheduling
+    /// metadata and rehydrated on demand by the expanding worker.
+    fn maybe_evict(&mut self, node: Node) -> Node {
+        if self.resident < self.ex.resident_ceiling {
+            self.resident += 1;
+            return node;
+        }
+        let Store::Resident(snap) = &node.store else {
+            return node;
+        };
+        self.stats.evicted += 1;
+        let pending = (0..self.ex.n).map(|p| snap.pending_footprint(p)).collect();
+        let own_steps = (0..self.ex.n).map(|p| snap.own_steps(p)).collect();
+        let steps = snap.steps();
+        Node { store: Store::Evicted { pending, own_steps, steps }, ..node }
     }
 
     /// Accounts one unit of expansion work against the budget; on
@@ -253,18 +396,54 @@ where
         true
     }
 
-    /// In the spirit of sleep sets: picking `p = alive[choice]` right
-    /// after the pure read that created `node` is redundant when `p < q`
-    /// and `p`'s own pending operation is also a pure read — the
-    /// transposed pair reaches the canonical pair's state, whose subtree
-    /// is covered from its pid-ascending representative. A pick the crash
-    /// plan intercepts is not a read and is never skipped.
-    fn sleep_skippable(&self, node: &Node, choice: usize) -> bool {
-        let Some((q, true)) = node.incoming else {
-            return false;
-        };
+    /// The partial-order skip rule. Picking `p = alive[choice]` right
+    /// after the action that created `node` (performed by `q`) is
+    /// redundant when `p < q` and the two actions *commute*: the
+    /// transposed pair reaches the canonical (pid-ascending) pair's
+    /// state, whose subtree is covered from its canonical representative.
+    ///
+    /// With [`super::Reduction::dpor`] the commuting test is the full
+    /// action-level one ([`Action::commutes`]: footprint independence,
+    /// crash commutation); otherwise only the legacy commuting-pure-reads
+    /// special case applies. `p`'s action is a crash delivery when the
+    /// (stateless) crash plan fires at its current own-step clock, and
+    /// the completed operation's footprint otherwise.
+    fn skip_kind(&self, node: &Node, choice: usize) -> Option<SkipKind> {
+        if !self.dpor && !self.sleep {
+            return None;
+        }
+        let (q, act_q) = node.incoming.as_ref()?;
         let p = node.alive[choice];
-        p < q && node.snap.pending_read(p) && !self.crash_fires(p, node.snap.own_steps(p))
+        if p >= *q {
+            return None;
+        }
+        let act_p = if self.crash_fires(p, node.own_steps(p)) {
+            Action::Crash
+        } else {
+            Action::Op(node.pending_footprint(p)?)
+        };
+        // A crash delivery consumes no step but an operation does, so
+        // transposing an op past an incoming crash is only valid when the
+        // covering path — the op *first*, then the crash — is not cut by
+        // the step budget in between: if the op lands exactly on
+        // `max_steps`, the covering run times out before the crash is
+        // delivered and reports the victim undecided instead of crashed.
+        // (Op-op transpositions are symmetric in steps, and crash-crash
+        // consumes none, so only this mixed case needs the guard.)
+        if matches!(act_q, Action::Crash)
+            && matches!(act_p, Action::Op(_))
+            && node.steps() + 1 >= self.ex.limits.max_steps
+        {
+            return None;
+        }
+        let read_read = act_p.is_pure_read() && act_q.is_pure_read();
+        if self.dpor && act_p.commutes(act_q) {
+            Some(if read_read { SkipKind::Sleep } else { SkipKind::Dpor })
+        } else if self.sleep && !self.dpor && read_read {
+            Some(SkipKind::Sleep)
+        } else {
+            None
+        }
     }
 
     /// Whether the (stateless) crash plan crashes `pid` at its `own`-th
@@ -283,9 +462,12 @@ where
     /// state; all results are folded canonically by [`Engine::merge`].
     fn execute(&self, jobs: &[Job]) -> Vec<JobResult> {
         let shared = Shared {
+            n: self.ex.n,
+            crashes: &self.ex.crashes,
             make_bodies: self.make_bodies,
             visited: &self.visited,
             prune: self.prune,
+            quotient: self.quotient,
             max_steps: self.ex.limits.max_steps,
         };
         let workers = self.threads.min(jobs.len());
@@ -315,6 +497,7 @@ where
         // Every result in hand was executed, even those a mid-merge stop
         // discards below — `expansions` reports performed work.
         self.stats.expansions += results.len() as u64;
+        self.resident = 0;
         let mut jobs = Vec::new();
         for result in results {
             if self.stopped {
@@ -328,6 +511,9 @@ where
                 JobResult::Expanded(child) => {
                     if self.prune && (child.pre_pruned || !self.visited.insert(child.fp)) {
                         self.stats.states_pruned += 1;
+                        if child.coarsened {
+                            self.stats.quotient_hits += 1;
+                        }
                         continue;
                     }
                     self.stats.states_visited += 1;
@@ -406,26 +592,71 @@ fn step_snapshot<F: Fn() -> Vec<Body>>(
     }
 }
 
+/// Rebuilds an evicted node's snapshot by replaying its choice path from
+/// the root — every decision a deterministic resume, so the result is
+/// identical to the snapshot that was evicted. The adversary replay uses
+/// a fresh [`CrashState`] (the node keeps its own post-path state).
+fn rehydrate<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, path: &[usize]) -> Snapshot {
+    let mut snap = ModelWorld::snapshot_root(shared.n, shared.prune, (shared.make_bodies)());
+    let mut crash = CrashState::new(shared.crashes.clone());
+    for &choice in path {
+        let pid = snap.alive()[choice];
+        let (next, _) = step_snapshot(shared, &snap, &mut crash, pid);
+        snap = next;
+    }
+    snap
+}
+
+/// The node's snapshot: borrowed if resident, rebuilt into `slot` if
+/// evicted.
+fn snapshot_of<'s, F: Fn() -> Vec<Body>>(
+    shared: &Shared<'_, F>,
+    node: &'s Node,
+    slot: &'s mut Option<Snapshot>,
+) -> &'s Snapshot {
+    match &node.store {
+        Store::Resident(snap) => snap,
+        Store::Evicted { .. } => &*slot.insert(rehydrate(shared, &node.path)),
+    }
+}
+
 /// Executes one scheduling decision from `node`.
 fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usize) -> Expanded {
     let pid = node.alive[choice];
     let mut crash = node.crash.clone();
-    let (snap, crashed_now) = step_snapshot(shared, &node.snap, &mut crash, pid);
-    let fp = if shared.prune { snap.fingerprint() } else { 0 };
+    let mut rebuilt = None;
+    let parent = snapshot_of(shared, node, &mut rebuilt);
+    let (snap, crashed_now) = step_snapshot(shared, parent, &mut crash, pid);
+    let (fp, coarsened) = if shared.prune {
+        if shared.quotient {
+            (snap.fingerprint_quotient(), snap.quotient_coarsens())
+        } else {
+            (snap.fingerprint(), false)
+        }
+    } else {
+        (0, false)
+    };
     if shared.prune && shared.visited.contains(fp) {
-        return Expanded { node: None, fp, pre_pruned: true };
+        return Expanded { node: None, fp, coarsened, pre_pruned: true };
     }
+    let incoming = if crashed_now {
+        Some((pid, Action::Crash))
+    } else {
+        let executed = node.pending_footprint(pid).expect("an alive process parks at a gate");
+        Some((pid, Action::Op(executed)))
+    };
     let mut path = node.path.clone();
     path.push(choice);
     let alive = snap.alive();
-    let incoming = Some((pid, !crashed_now && node.snap.pending_read(pid)));
-    Expanded { node: Some(Node { snap, path, alive, incoming, crash }), fp, pre_pruned: false }
+    let child = Node { store: Store::Resident(Box::new(snap)), path, alive, incoming, crash };
+    Expanded { node: Some(child), fp, coarsened, pre_pruned: false }
 }
 
 /// Resumes `node` to completion along the canonical choice-0 suffix —
 /// the depth-bounded sweep's "runs still execute to completion" path.
 fn run_tail<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node) -> TailRun {
-    let mut snap = node.snap.clone();
+    let mut rebuilt = None;
+    let mut snap = snapshot_of(shared, node, &mut rebuilt).clone();
     let mut crash = node.crash.clone();
     let mut choices = node.path.clone();
     let report = loop {

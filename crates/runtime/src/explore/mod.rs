@@ -66,6 +66,68 @@
 //! sampling, not exhaustive exploration, and disables visited-state
 //! pruning too).
 //!
+//! # DPOR footprints ([`Reduction::dpor`])
+//!
+//! The commuting-reads rule generalizes to full **dependency
+//! footprints**: every parked process's pending operation is known to
+//! its snapshot as a [`Footprint`](crate::model_world::Footprint) —
+//! which object it touches, at which snapshot cell, and whether it is a
+//! pure read. Two adjacent *actions* commute when their footprints are
+//! independent (disjoint objects, both pure reads, or snapshot writes to
+//! disjoint cells) or when either is a crash delivery (a crash only
+//! flips the victim's liveness flags, which no operation reads, and
+//! leaves every other process's enabledness and own-step clock
+//! untouched). As with the read-read rule, only the canonical
+//! (pid-ascending) order of each adjacent commuting pair is explored —
+//! the persistent-set-style backtracking of DPOR collapsed onto the
+//! layered frontier. Soundness is *differentially tested* against the
+//! unreduced enumeration on random programs (`tests/proptests.rs`) and
+//! against the non-DPOR reduction on the agreement fixtures, in the
+//! spirit of testing reductions against the unreduced semantics rather
+//! than assuming them.
+//!
+//! # Observation quotient ([`Reduction::quotient_obs`])
+//!
+//! State fingerprints normally fold every process's full observation
+//! history — required while the process is running, because a
+//! deterministic closure's control state is exactly a function of the
+//! values its operations returned. Once a process has **finished or
+//! crashed** it has no futures: only its result and liveness flags can
+//! influence any future outcome report — except through the run's
+//! *total step count*, which the `max_steps` timeout reads. The
+//! quotiented fingerprint
+//! ([`Snapshot::fingerprint_quotient`](crate::model_world::Snapshot::fingerprint_quotient))
+//! therefore zeroes terminated processes' observation words and folds
+//! the path's total step count in their stead, merging states that
+//! differ only in *how* the terminated processes reached their outcomes
+//! while keeping the step budget's remaining headroom part of the state
+//! identity.
+//!
+//! **Invariant:** `fingerprint_quotient(s₁) = fingerprint_quotient(s₂)`
+//! implies (modulo 64-bit collisions) equal shared memory, equal
+//! observation histories for every *alive* process, equal
+//! `(finished, crashed, result)` triples for every process, and equal
+//! total step counts — hence equal futures under equal schedule suffixes
+//! *and* equal outcome reports for every suffix, timeout cuts included
+//! (property-tested with a deliberately binding `max_steps` in
+//! `tests/proptests.rs`). This is exactly the contract prefix pruning
+//! needs, so the quotient composes with [`Reduction::prune_visited`]
+//! without weakening it; it merges, among others, order-equivalent poll
+//! histories (commuting poll results that fold into different histories
+//! en route to the same decided value) the moment the poller returns.
+//! Checkers must remain outcome-only — the same contract pruning already
+//! imposes.
+//!
+//! # Bounded-memory frontier ([`Explorer::resident_ceiling`])
+//!
+//! Wide layers at `n ≥ 4` can hold hundreds of thousands of live
+//! snapshots. Under a resident ceiling only the first `ceiling` nodes
+//! admitted per layer keep their snapshot; colder nodes are evicted down
+//! to scheduling metadata and deterministically rehydrated from the
+//! root's operation-log cursors when a worker expands them — reports are
+//! byte-identical to the unbounded run (tested in
+//! `crates/agreement/tests/explore_sweeps.rs`).
+//!
 //! # Crashes and bounds
 //!
 //! Crash plans compose orthogonally: [`Crashes::AtOwnStep`] is expressed
@@ -131,18 +193,35 @@ pub struct Reduction {
     pub prune_visited: bool,
     /// Keep only the canonical order of adjacent commuting pure reads.
     pub sleep_reads: bool,
+    /// Generalize the commuting-reads rule to full dependency footprints
+    /// and crash commutation (DPOR-style persistent-set pruning; see the
+    /// [module docs](self)). Subsumes [`Reduction::sleep_reads`].
+    pub dpor: bool,
+    /// Quotient state fingerprints by the observation abstraction:
+    /// finished and crashed processes' observation histories are dropped
+    /// from the state identity (their results and flags remain). Only
+    /// meaningful with [`Reduction::prune_visited`].
+    pub quotient_obs: bool,
 }
 
 impl Reduction {
-    /// Both reductions (the default).
+    /// All reductions (the default).
     pub fn full() -> Self {
-        Reduction { prune_visited: true, sleep_reads: true }
+        Reduction { prune_visited: true, sleep_reads: true, dpor: true, quotient_obs: true }
     }
 
     /// Plain exhaustive enumeration — the reference the reductions are
     /// validated against.
     pub fn none() -> Self {
-        Reduction { prune_visited: false, sleep_reads: false }
+        Reduction { prune_visited: false, sleep_reads: false, dpor: false, quotient_obs: false }
+    }
+
+    /// Visited-state pruning and commuting pure reads only — the
+    /// pre-DPOR reduction set, kept as the differential baseline the
+    /// DPOR-vs-off tests and the CI verdict gate compare
+    /// [`Reduction::full`] against.
+    pub fn no_dpor() -> Self {
+        Reduction { prune_visited: true, sleep_reads: true, dpor: false, quotient_obs: false }
     }
 }
 
@@ -185,6 +264,7 @@ pub struct Explorer {
     reduction: Reduction,
     collect_all: bool,
     threads: usize,
+    resident_ceiling: usize,
 }
 
 impl Explorer {
@@ -198,6 +278,7 @@ impl Explorer {
             reduction: Reduction::default(),
             collect_all: false,
             threads: 1,
+            resident_ceiling: usize::MAX,
         }
     }
 
@@ -240,6 +321,18 @@ impl Explorer {
         self
     }
 
+    /// Bounds the frontier's memory: at most `ceiling` nodes admitted per
+    /// layer keep their [`crate::model_world::Snapshot`] resident
+    /// (clamped to at least 1); colder nodes are evicted to scheduling
+    /// metadata and rehydrated by replaying their choice path from the
+    /// root when expanded. Reports are byte-identical to the unbounded
+    /// run; evicted expansions cost `O(depth)` extra resumes each. The
+    /// default is `usize::MAX` (never evict).
+    pub fn resident_ceiling(mut self, ceiling: usize) -> Self {
+        self.resident_ceiling = ceiling.max(1);
+        self
+    }
+
     /// Explores every schedule of the processes produced by `make_bodies`
     /// (re-invoked per expansion — bodies must be deterministic), running
     /// `check` on every completed run.
@@ -248,11 +341,21 @@ impl Explorer {
     /// run *outcomes* (decided values, crash/undecided status) for the
     /// violation set to be preserved — path statistics differ between a
     /// pruned schedule and its retained representative.
+    /// # Panics
+    ///
+    /// Panics if [`ExploreLimits::max_expansions`] is `0`: a zero work
+    /// budget would silently explore nothing and report an empty,
+    /// violation-free (but incomplete) sweep — an easy false green. Ask
+    /// for at least one expansion.
     pub fn run<F, C>(&self, make_bodies: F, check: C) -> ExploreReport
     where
         F: Fn() -> Vec<Body> + Sync,
         C: Fn(&RunReport) -> Result<(), String>,
     {
+        assert!(
+            self.limits.max_expansions > 0,
+            "ExploreLimits::max_expansions = 0 explores nothing; set a positive work budget"
+        );
         frontier::Engine::new(self, &make_bodies, &check).run()
     }
 }
@@ -267,6 +370,19 @@ pub fn threads_from_env(default: usize) -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|&k| k >= 1)
         .unwrap_or(default)
+}
+
+/// Reduction set for sweeps driven by benches and CI:
+/// [`Reduction::full`] unless the `MPCN_EXPLORE_DPOR` environment
+/// variable is `0`, which selects [`Reduction::no_dpor`]. The CI verdict
+/// gate runs the explore bench in both modes and asserts every common
+/// sweep reaches the same `complete`/`violations` verdict (state counts
+/// legitimately differ).
+pub fn reduction_from_env() -> Reduction {
+    match std::env::var("MPCN_EXPLORE_DPOR").as_deref() {
+        Ok("0") => Reduction::no_dpor(),
+        _ => Reduction::full(),
+    }
 }
 
 /// Exhaustively explores every schedule with **no reductions** — the
@@ -477,7 +593,7 @@ mod tests {
         };
         let unpruned = explore(2, Crashes::None, ExploreLimits::default(), bodies, |_r| Ok(()));
         let pruned = Explorer::new(2)
-            .reduction(Reduction { prune_visited: true, sleep_reads: false })
+            .reduction(Reduction { prune_visited: true, ..Reduction::none() })
             .run(bodies, |_r| Ok(()));
         assert!(unpruned.complete && pruned.complete);
         assert_eq!(unpruned.runs(), 6);
@@ -504,7 +620,7 @@ mod tests {
         };
         let unpruned = explore(2, Crashes::None, ExploreLimits::default(), bodies, |_r| Ok(()));
         let sleep = Explorer::new(2)
-            .reduction(Reduction { prune_visited: false, sleep_reads: true })
+            .reduction(Reduction { sleep_reads: true, ..Reduction::none() })
             .run(bodies, |_r| Ok(()));
         assert_eq!(unpruned.runs(), 6, "C(4,2) interleavings");
         assert!(sleep.complete);
@@ -585,6 +701,108 @@ mod tests {
         assert_eq!(out.runs(), 2, "behaves as plain enumeration");
     }
 
+    /// The DPOR footprint rule skips transposed adjacent *writes to
+    /// disjoint objects* — pairs the pure-read rule cannot touch — and
+    /// reaches the same verdict over strictly less work.
+    #[test]
+    fn dpor_skips_commuting_writes_before_execution() {
+        let bodies = || {
+            (0..3)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        env.reg_write(REG.with_b(40 + i), i);
+                        env.reg_write(REG.with_b(50 + i), i);
+                        i
+                    }) as Body
+                })
+                .collect()
+        };
+        let without = Explorer::new(3).reduction(Reduction::no_dpor()).run(bodies, |_r| Ok(()));
+        let with = Explorer::new(3).run(bodies, |_r| Ok(()));
+        assert!(without.complete && with.complete);
+        assert!(with.stats.dpor_skips > 0, "disjoint-register writes must be skipped");
+        assert!(
+            with.stats.expansions < without.stats.expansions,
+            "{} !< {}",
+            with.stats.expansions,
+            without.stats.expansions
+        );
+        assert_eq!(with.violations.len(), without.violations.len());
+    }
+
+    /// The observation quotient merges states that differ only in a
+    /// *finished* process's history: readers that observe different
+    /// interleavings but decide the same value collapse on return.
+    #[test]
+    fn observation_quotient_merges_terminated_histories() {
+        // p0/p1 write disjoint registers; p2 reads both (its view varies
+        // with the interleaving) but always decides 7.
+        let bodies = || {
+            let mut v: Vec<Body> = (0..2)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        env.reg_write(REG.with_b(70 + i), i);
+                        i
+                    }) as Body
+                })
+                .collect();
+            v.push(Box::new(move |env: Env<ModelWorld>| {
+                env.reg_read::<u64>(REG.with_b(70));
+                env.reg_read::<u64>(REG.with_b(71));
+                7u64
+            }) as Body);
+            v
+        };
+        let sweep = |quotient_obs: bool| {
+            Explorer::new(3)
+                .reduction(Reduction { dpor: false, quotient_obs, ..Reduction::full() })
+                .run(bodies, |_r| Ok(()))
+        };
+        let raw = sweep(false);
+        let quotiented = sweep(true);
+        assert!(raw.complete && quotiented.complete);
+        assert!(quotiented.stats.quotient_hits > 0, "the quotient must merge states");
+        assert!(
+            quotiented.stats.states_visited < raw.stats.states_visited,
+            "{} !< {}",
+            quotiented.stats.states_visited,
+            raw.stats.states_visited
+        );
+        assert!(quotiented.runs() <= raw.runs());
+    }
+
+    /// A resident ceiling changes memory policy, not results: the report
+    /// is byte-identical to the unbounded run, with evictions recorded.
+    #[test]
+    fn resident_ceiling_is_invisible_in_the_report() {
+        let bodies = || {
+            (0..3u64)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        env.snap_write(ObjKey::new(66, 0, 0), 3, i as usize, i + 1);
+                        let view = env.snap_scan::<u64>(ObjKey::new(66, 0, 0), 3);
+                        view.into_iter().flatten().sum()
+                    }) as Body
+                })
+                .collect()
+        };
+        let sweep =
+            |ceiling: usize| Explorer::new(3).resident_ceiling(ceiling).run(bodies, |_r| Ok(()));
+        let unbounded = sweep(usize::MAX);
+        let bounded = sweep(2);
+        assert!(bounded.stats.evicted > 0, "a ceiling of 2 must evict");
+        assert_eq!(unbounded.stats.summary(), bounded.stats.summary());
+        assert_eq!(unbounded.complete, bounded.complete);
+        assert_eq!(unbounded.violations, bounded.violations);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_expansions = 0 explores nothing")]
+    fn zero_expansion_budget_panics_instead_of_reporting_empty() {
+        let limits = ExploreLimits { max_expansions: 0, ..ExploreLimits::default() };
+        Explorer::new(2).limits(limits).run(tas_bodies, one_winner);
+    }
+
     /// Every thread count must produce the byte-identical report — the
     /// parallel engine's core contract (random small-program coverage
     /// lives in `tests/proptests.rs`).
@@ -608,6 +826,9 @@ mod tests {
         let sequential = sweep(1);
         assert_eq!(sequential, sweep(2));
         assert_eq!(sequential, sweep(4));
-        assert!(sequential.0.states_pruned > 0, "the sweep must exercise pruning");
+        assert!(
+            sequential.0.states_pruned + sequential.0.dpor_skips > 0,
+            "the sweep must exercise the reductions"
+        );
     }
 }

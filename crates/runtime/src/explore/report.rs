@@ -37,6 +37,23 @@ pub struct ExploreStats {
     /// Sibling subtrees skipped — before execution — by the
     /// commuting-reads (sleep-set-style) reduction.
     pub sleep_skips: u64,
+    /// Sibling subtrees skipped — before execution — by the DPOR
+    /// footprint rule beyond the pure-read special case: adjacent
+    /// operations on disjoint objects, snapshot writes to disjoint
+    /// cells, and crash commutations, explored in canonical pid order
+    /// only ([`super::Reduction::dpor`]).
+    pub dpor_skips: u64,
+    /// Pruned expansions whose state identity was coarsened by the
+    /// observation quotient (the raw fingerprint differed from the
+    /// quotiented one): merges only the observation abstraction
+    /// achieves ([`super::Reduction::quotient_obs`]).
+    pub quotient_hits: u64,
+    /// Frontier nodes evicted down to scheduling metadata by
+    /// [`super::Explorer::resident_ceiling`] and rehydrated on demand.
+    /// Deliberately **not** part of [`ExploreStats::summary`]: the
+    /// ceiling is a memory policy, not a search-shape parameter, and
+    /// bounded and unbounded runs must print byte-identical lines.
+    pub evicted: u64,
     /// Deepest completed run (in picks) seen.
     pub max_depth: usize,
     /// Depth-bounded completion runs: frontier nodes at
@@ -56,6 +73,9 @@ impl ExploreStats {
             states_visited: 0,
             states_pruned: 0,
             sleep_skips: 0,
+            dpor_skips: 0,
+            quotient_hits: 0,
+            evicted: 0,
             max_depth: 0,
             depth_limited_runs: 0,
             branching_histogram: vec![0; n + 1],
@@ -73,12 +93,15 @@ impl ExploreStats {
         let hist =
             self.branching_histogram.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         format!(
-            "runs={} expansions={} visited={} pruned={} sleep={} max_depth={} depth_limited={} branching=[{}]",
+            "runs={} expansions={} visited={} pruned={} sleep={} dpor={} qhits={} max_depth={} \
+             depth_limited={} branching=[{}]",
             self.runs,
             self.expansions,
             self.states_visited,
             self.states_pruned,
             self.sleep_skips,
+            self.dpor_skips,
+            self.quotient_hits,
             self.max_depth,
             self.depth_limited_runs,
             hist
@@ -173,12 +196,15 @@ mod tests {
         stats.runs = 6;
         stats.expansions = 14;
         stats.states_visited = 12;
+        stats.dpor_skips = 3;
+        stats.quotient_hits = 2;
+        stats.evicted = 5;
         stats.max_depth = 4;
         stats.branching_histogram = vec![0, 4, 8];
         assert_eq!(
             stats.summary(),
-            "runs=6 expansions=14 visited=12 pruned=0 sleep=0 max_depth=4 depth_limited=0 \
-             branching=[0,4,8]"
+            "runs=6 expansions=14 visited=12 pruned=0 sleep=0 dpor=3 qhits=2 max_depth=4 \
+             depth_limited=0 branching=[0,4,8]"
         );
         assert_eq!(stats.decisions(), 12);
     }

@@ -69,6 +69,40 @@ pub fn mix(state: u64, word: u64) -> u64 {
     h.finish()
 }
 
+/// Folds a memory accumulator and every process's `(observation
+/// fingerprint, liveness flags, result)` triple into one global-state
+/// fingerprint — shared by the gated world's per-pick state hashes and
+/// [`crate::model_world::Snapshot::fingerprint`], so the two execution
+/// engines agree on state identity word for word.
+///
+/// # The observation quotient
+///
+/// Callers may pass a **quotiented** observation word: a process that has
+/// *finished or crashed* takes no further steps, so its observation
+/// history is not part of any reachable future — only its result,
+/// liveness flags, and its contribution to the global step count (which
+/// the explorer's timeout bound reads) are. Zeroing such a process's
+/// observation fingerprint while folding the path's *total step count*
+/// in its stead therefore merges exactly the states that differ only in
+/// *how* the terminated processes reached their outcomes, and the
+/// pruning invariant (equal fingerprint ⇒ equal futures and equal
+/// outcome reports) still holds — including under a binding step budget. This is the canonical
+/// observation abstraction [`crate::explore`] uses to collapse
+/// order-equivalent poll histories: commuting poll results that fold into
+/// different histories en route to the same decided value become one
+/// state the moment the poller returns. See
+/// [`crate::model_world::Snapshot::fingerprint_quotient`].
+pub fn fold_state_fp(mem: u64, per_proc: impl Iterator<Item = (u64, u64, u64)>) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write_u64(mem);
+    for (obs, flags, result) in per_proc {
+        h.write_u64(obs);
+        h.write_u64(flags);
+        h.write_u64(result);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +125,16 @@ mod tests {
         let s = fp_of(&0u8);
         assert_ne!(mix(mix(s, 1), 2), mix(mix(s, 2), 1));
         assert_eq!(mix(mix(s, 1), 2), mix(mix(s, 1), 2));
+    }
+
+    #[test]
+    fn fold_state_fp_is_order_sensitive_and_obs_sensitive() {
+        let a = fold_state_fp(1, [(10, 0, 0), (20, 0, 0)].into_iter());
+        let b = fold_state_fp(1, [(20, 0, 0), (10, 0, 0)].into_iter());
+        assert_ne!(a, b, "per-process words are positional (pid identity)");
+        let quotiented = fold_state_fp(1, [(0, 0, 0), (20, 0, 0)].into_iter());
+        assert_ne!(a, quotiented, "zeroing an observation changes the fold");
+        assert_eq!(quotiented, fold_state_fp(1, [(0, 0, 0), (20, 0, 0)].into_iter()));
     }
 
     #[test]

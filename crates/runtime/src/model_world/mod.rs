@@ -43,7 +43,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::fingerprint::{fp_of, mix, Fnv1a};
+use crate::fingerprint::{fold_state_fp, fp_of, mix, Fnv1a};
 use crate::sched::{CrashState, Crashes, Schedule, ScheduleState};
 use crate::world::{Env, MemVal, ObjKey, Pid, Stored, World};
 use std::hash::Hasher;
@@ -446,6 +446,59 @@ const OP_SNAP_SCAN: u64 = 4;
 const OP_TAS: u64 = 5;
 const OP_XCONS: u64 = 6;
 
+/// The dependency footprint of one shared-memory operation: which object
+/// it touches, at what granularity, and whether it can change memory.
+///
+/// A [`Snapshot`] records the footprint of the operation each parked
+/// process is about to execute ([`Snapshot::pending_footprint`]); the
+/// exhaustive explorer's DPOR-style reduction ([`crate::explore`]) uses
+/// [`Footprint::commutes`] to recognize adjacent independent actions and
+/// explore them in canonical order only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Operation tag (the `OP_*` log-entry tag).
+    op: u64,
+    /// The object accessed.
+    pub key: ObjKey,
+    /// For `snap_write`: the cell written. Writes to distinct cells of
+    /// the same snapshot object commute.
+    pub cell: Option<u64>,
+    /// Pure read (`reg_read` / `snap_scan`): cannot change shared memory.
+    pub pure_read: bool,
+}
+
+impl Footprint {
+    const fn new(op: u64, key: ObjKey, cell: Option<u64>, pure_read: bool) -> Self {
+        Footprint { op, key, cell, pure_read }
+    }
+
+    /// `true` when the two operations, executed adjacently by two
+    /// *different* processes, commute as actions: either order yields the
+    /// same shared memory, and each operation returns the same value
+    /// either way (so both processes' observation histories — and hence
+    /// their control states — also agree across the two orders).
+    ///
+    /// Conservative by construction: `false` never loses soundness, it
+    /// only costs reduction. The recognized independent pairs are
+    ///
+    /// * two pure reads (any objects),
+    /// * operations on different objects,
+    /// * `snap_write`s to *distinct cells* of the same snapshot object
+    ///   (each writer observes only its own completion).
+    pub fn commutes(&self, other: &Footprint) -> bool {
+        if self.pure_read && other.pure_read {
+            return true;
+        }
+        if self.key != other.key {
+            return true;
+        }
+        match (self.cell, other.cell) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
+    }
+}
+
 /// `hash(key, object-content)` — the per-key word XOR-folded into
 /// [`State::mem_fp`].
 fn key_obj_fp(key: ObjKey, obj: &Object) -> u64 {
@@ -454,22 +507,6 @@ fn key_obj_fp(key: ObjKey, obj: &Object) -> u64 {
     h.write_u64(key.a);
     h.write_u64(key.b);
     h.write_u64(obj.fp());
-    h.finish()
-}
-
-/// Folds the memory accumulator and every process's (observation
-/// fingerprint, liveness flags, result) triple into one global-state
-/// fingerprint — shared by the gated [`State::fingerprint`] and
-/// [`Snapshot::fingerprint`] so the two execution engines agree on state
-/// identity word for word.
-fn fold_state_fp(mem: u64, per_proc: impl Iterator<Item = (u64, u64, u64)>) -> u64 {
-    let mut h = Fnv1a::default();
-    h.write_u64(mem);
-    for (obs, flags, result) in per_proc {
-        h.write_u64(obs);
-        h.write_u64(flags);
-        h.write_u64(result);
-    }
     h.finish()
 }
 
@@ -830,41 +867,33 @@ impl ModelWorld {
     /// In the gated mode this waits for the scheduler's grant, runs `op`
     /// on the state (object map + fingerprint bookkeeping), signals
     /// completion, and accounts the operation to its object-kind
-    /// namespace. `pure_read` marks operations that cannot change shared
-    /// memory (published while parked, for the explorer's commuting-reads
-    /// reduction).
+    /// namespace. `footprint` describes the operation's dependency
+    /// surface (object, cell granularity, purity — published while
+    /// parked, for the explorer's reductions).
     ///
     /// In the resume mode ([`Snapshot`]) the first `log.len()` operations
     /// are answered from the recorded log without executing `op`; the
     /// granted fresh operations execute and are appended to the log; one
     /// operation past the budget unwinds with [`StopSignal`] — the
-    /// process is then parked at its next gate, purity recorded.
-    ///
-    /// `op_tag` is the operation's [`LogEntry`] tag (`OP_*`).
-    fn step<R>(
-        &self,
-        pid: Pid,
-        op_tag: u64,
-        key: ObjKey,
-        pure_read: bool,
-        op: impl FnOnce(&mut State) -> R,
-    ) -> R
+    /// process is then parked at its next gate, footprint recorded.
+    fn step<R>(&self, pid: Pid, footprint: Footprint, op: impl FnOnce(&mut State) -> R) -> R
     where
         R: Clone + Send + Sync + 'static,
     {
+        let key = footprint.key;
         let mut st = self.inner.st.lock();
         if st.resume.is_some() {
-            match snapshot::resume_gate::<R>(&mut st, pid, op_tag, key) {
+            match snapshot::resume_gate::<R>(&mut st, pid, footprint.op, key) {
                 snapshot::ResumeGate::Replayed(out) => return out,
                 snapshot::ResumeGate::Park => {
-                    st.resume.as_mut().expect("resume mode").park_at(pure_read);
+                    st.resume.as_mut().expect("resume mode").park_at(footprint);
                     drop(st);
                     std::panic::panic_any(StopSignal);
                 }
                 snapshot::ResumeGate::Fresh => {}
             }
         } else if !st.free {
-            st.pending_read[pid] = pure_read;
+            st.pending_read[pid] = footprint.pure_read;
             st.waiting[pid] = true;
             self.inner.sched_cv.notify_one();
             loop {
@@ -887,7 +916,7 @@ impl ModelWorld {
         *st.op_counts.entry(key.kind).or_insert(0) += 1;
         if st.resume.is_some() {
             st.own_steps[pid] += 1;
-            let entry = LogEntry::new(op_tag, key, Arc::new(out.clone()));
+            let entry = LogEntry::new(footprint.op, key, Arc::new(out.clone()));
             st.resume.as_mut().expect("resume mode").push_fresh(entry);
         } else if !st.free {
             st.op_done = true;
@@ -916,7 +945,7 @@ fn downcast<T: MemVal>(stored: &Stored, key: ObjKey, what: &str) -> T {
 
 impl World for ModelWorld {
     fn reg_write<T: MemVal>(&self, pid: Pid, key: ObjKey, val: T) {
-        self.step(pid, OP_REG_WRITE, key, false, |st| {
+        self.step(pid, Footprint::new(OP_REG_WRITE, key, None, false), |st| {
             let cell = Cell::new(val, st.track);
             let fp = cell.fp;
             st.with_obj(
@@ -934,7 +963,7 @@ impl World for ModelWorld {
     }
 
     fn reg_read<T: MemVal>(&self, pid: Pid, key: ObjKey) -> Option<T> {
-        self.step(pid, OP_REG_READ, key, true, |st| {
+        self.step(pid, Footprint::new(OP_REG_READ, key, None, true), |st| {
             let out = st.with_obj(
                 key,
                 || Object::Register(None),
@@ -954,7 +983,7 @@ impl World for ModelWorld {
 
     fn snap_write<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize, idx: usize, val: T) {
         assert!(idx < len, "snapshot cell index {idx} out of range (len {len})");
-        self.step(pid, OP_SNAP_WRITE, key, false, |st| {
+        self.step(pid, Footprint::new(OP_SNAP_WRITE, key, Some(idx as u64), false), |st| {
             let cell = Cell::new(val, st.track);
             let fp = cell.fp;
             st.with_obj(
@@ -975,7 +1004,7 @@ impl World for ModelWorld {
     }
 
     fn snap_scan<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize) -> Vec<Option<T>> {
-        self.step(pid, OP_SNAP_SCAN, key, true, |st| {
+        self.step(pid, Footprint::new(OP_SNAP_SCAN, key, None, true), |st| {
             let out: Vec<Option<T>> = st.with_obj(
                 key,
                 || Object::Snapshot(vec![None; len]),
@@ -998,7 +1027,7 @@ impl World for ModelWorld {
     }
 
     fn tas(&self, pid: Pid, key: ObjKey) -> bool {
-        self.step(pid, OP_TAS, key, false, |st| {
+        self.step(pid, Footprint::new(OP_TAS, key, None, false), |st| {
             let won = st.with_obj(
                 key,
                 || Object::Tas(false),
@@ -1023,7 +1052,7 @@ impl World for ModelWorld {
             ports.contains(&pid),
             "process {pid} is not a port of consensus object {key} (ports {ports:?})"
         );
-        self.step(pid, OP_XCONS, key, false, |st| {
+        self.step(pid, Footprint::new(OP_XCONS, key, None, false), |st| {
             let track = st.track;
             let out = st.with_obj(
                 key,

@@ -40,9 +40,10 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use super::{
-    fold_state_fp, install_crash_hook, panic_message, Body, Inner, ModelWorld, Outcome, Permit,
+    install_crash_hook, panic_message, Body, Footprint, Inner, ModelWorld, Outcome, Permit,
     RunReport, State, StopSignal,
 };
+use crate::fingerprint::{fold_state_fp, mix};
 use crate::world::{Env, ObjKey, Pid, Stored};
 
 /// One completed shared-memory operation of a process: operation tag
@@ -72,8 +73,8 @@ pub(super) struct ResumeCtl {
     budget: usize,
     /// Fresh operations completed this resume, in order.
     fresh: Vec<LogEntry>,
-    /// Purity of the operation the body parked at, once stopped.
-    next_op_pure: Option<bool>,
+    /// Footprint of the operation the body parked at, once stopped.
+    next_op: Option<Footprint>,
 }
 
 impl ResumeCtl {
@@ -81,9 +82,10 @@ impl ResumeCtl {
         self.fresh.push(entry);
     }
 
-    /// Records the purity of the operation the body is about to park at.
-    pub(super) fn park_at(&mut self, pure_read: bool) {
-        self.next_op_pure = Some(pure_read);
+    /// Records the footprint of the operation the body is about to park
+    /// at.
+    pub(super) fn park_at(&mut self, footprint: Footprint) {
+        self.next_op = Some(footprint);
     }
 }
 
@@ -94,7 +96,8 @@ pub(super) enum ResumeGate<R> {
     Replayed(R),
     /// A granted fresh operation — execute it.
     Fresh,
-    /// Budget exhausted — record purity and unwind with [`StopSignal`].
+    /// Budget exhausted — record the footprint and unwind with
+    /// [`StopSignal`].
     Park,
 }
 
@@ -153,7 +156,7 @@ pub struct Snapshot {
     finished: Vec<bool>,
     crashed: Vec<bool>,
     results: Vec<Option<u64>>,
-    pending_read: Vec<bool>,
+    pending_op: Vec<Option<Footprint>>,
     own_steps: Vec<u64>,
     op_counts: HashMap<u32, u64>,
     steps: u64,
@@ -201,7 +204,16 @@ impl Snapshot {
     /// `true` if alive `pid` is parked before a pure read (`reg_read` or
     /// `snap_scan`) — a function of its own operation log only.
     pub fn pending_read(&self, pid: Pid) -> bool {
-        self.pending_read[pid]
+        self.pending_op[pid].is_some_and(|f| f.pure_read)
+    }
+
+    /// The dependency footprint of the operation alive `pid` is parked
+    /// before (`None` once `pid` finished or crashed) — like the purity
+    /// bit, a function of its own operation log only. The explorer's
+    /// DPOR-style reduction reads every enabled step's footprint from
+    /// here.
+    pub fn pending_footprint(&self, pid: Pid) -> Option<Footprint> {
+        self.pending_op[pid]
     }
 
     /// The global-state fingerprint of this snapshot — word-for-word the
@@ -213,12 +225,56 @@ impl Snapshot {
     ///
     /// Panics in debug builds if the snapshot was built without tracking.
     pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_with(false)
+    }
+
+    /// The **observation-quotiented** state fingerprint: identical to
+    /// [`Snapshot::fingerprint`] except that terminated (finished or
+    /// crashed) processes contribute `0` in place of their observation
+    /// histories, and the path's **total step count** is folded in their
+    /// stead.
+    ///
+    /// Sound for visited-state pruning because a terminated process has
+    /// no futures: only its result and liveness flags (both still
+    /// folded) plus the run's total step count — which the explorer's
+    /// `max_steps` timeout reads, and which the dropped histories
+    /// contributed to — can influence any reachable outcome report.
+    /// Folding the total keeps the budget's remaining headroom part of
+    /// the state identity without distinguishing *how* the terminated
+    /// processes split it. States that differ only in how a terminated
+    /// process reached its outcome — e.g. order-equivalent poll
+    /// histories that decided the same value — collapse into one
+    /// equivalence-class representative. See
+    /// [`crate::fingerprint::fold_state_fp`] and the pruning argument in
+    /// [`crate::explore`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the snapshot was built without tracking.
+    pub fn fingerprint_quotient(&self) -> u64 {
+        self.fingerprint_with(true)
+    }
+
+    /// `true` when [`Snapshot::fingerprint_quotient`] coarsens this
+    /// state's identity relative to [`Snapshot::fingerprint`]: some
+    /// terminated process has a nonempty observation history the
+    /// quotient drops. Cheap `O(n)` flag check — no fingerprint fold.
+    pub fn quotient_coarsens(&self) -> bool {
+        (0..self.n).any(|p| (self.finished[p] || self.crashed[p]) && self.obs_fp[p] != 0)
+    }
+
+    fn fingerprint_with(&self, quotient_obs: bool) -> u64 {
         debug_assert!(self.track, "fingerprints require tracking (snapshot_root track=true)");
+        // The quotient folds the path's total step count in place of the
+        // terminated processes' histories: the `max_steps` timeout reads
+        // the total, never a terminated process's share of it.
+        let mem = if quotient_obs { mix(self.mem_fp, self.steps) } else { self.mem_fp };
         fold_state_fp(
-            self.mem_fp,
+            mem,
             (0..self.n).map(|p| {
+                let terminated = self.finished[p] || self.crashed[p];
                 (
-                    self.obs_fp[p],
+                    if quotient_obs && terminated { 0 } else { self.obs_fp[p] },
                     // Resume crashes are always adversary crashes, so the
                     // crashed bit fills both flag positions the gated
                     // fingerprint reserves for crashed/adversary_crash.
@@ -293,7 +349,7 @@ impl ModelWorld {
             own_steps: snap.own_steps.clone(),
             trace: Vec::new(),
             obs_fp: snap.obs_fp.clone(),
-            pending_read: snap.pending_read.clone(),
+            pending_read: (0..n).map(|p| snap.pending_read(p)).collect(),
             mem_fp: snap.mem_fp,
             track: snap.track,
             free: false,
@@ -343,7 +399,7 @@ impl ModelWorld {
             finished: vec![false; n],
             crashed: vec![false; n],
             results: vec![None; n],
-            pending_read: vec![false; n],
+            pending_op: vec![None; n],
             own_steps: vec![0; n],
             op_counts: HashMap::new(),
             steps: 0,
@@ -357,7 +413,7 @@ impl ModelWorld {
                 cursor: 0,
                 budget: 0,
                 fresh: Vec::new(),
-                next_op_pure: None,
+                next_op: None,
             };
             let world = ModelWorld::from_snapshot(&snap, ctl);
             match world.drive_resumed(pid, body) {
@@ -368,7 +424,7 @@ impl ModelWorld {
                 Resumed::Parked => {
                     let st = world.inner.st.lock();
                     let ctl = st.resume.as_ref().expect("resume mode");
-                    snap.pending_read[pid] = ctl.next_op_pure.expect("parked at a gate");
+                    snap.pending_op[pid] = Some(ctl.next_op.expect("parked at a gate"));
                 }
             }
         }
@@ -397,7 +453,7 @@ impl ModelWorld {
             cursor: 0,
             budget: 1,
             fresh: Vec::new(),
-            next_op_pure: None,
+            next_op: None,
         };
         let world = ModelWorld::from_snapshot(snap, ctl);
         let resumed = world.drive_resumed(pid, body);
@@ -424,11 +480,11 @@ impl ModelWorld {
         let mut full = (*ctl.log).clone();
         full.extend(ctl.fresh);
         logs[pid] = Arc::new(full);
-        let mut pending_read = std::mem::take(&mut st.pending_read);
-        pending_read[pid] = if st.finished[pid] {
-            false
+        let mut pending_op = snap.pending_op.clone();
+        pending_op[pid] = if st.finished[pid] {
+            None
         } else {
-            ctl.next_op_pure.expect("a live body parks at its next gate")
+            Some(ctl.next_op.expect("a live body parks at its next gate"))
         };
         Snapshot {
             n: snap.n,
@@ -440,7 +496,7 @@ impl ModelWorld {
             finished: std::mem::take(&mut st.finished),
             crashed: std::mem::take(&mut st.crashed),
             results: std::mem::take(&mut st.results),
-            pending_read,
+            pending_op,
             own_steps: std::mem::take(&mut st.own_steps),
             op_counts: std::mem::take(&mut st.op_counts),
             steps: snap.steps + 1,
@@ -462,7 +518,7 @@ impl ModelWorld {
         );
         let mut out = snap.clone();
         out.crashed[pid] = true;
-        out.pending_read[pid] = false;
+        out.pending_op[pid] = None;
         out
     }
 }

@@ -194,6 +194,192 @@ proptest! {
         prop_assert!(reduced_runs <= reference_runs, "reductions never add work");
     }
 
+    /// Differential DPOR test in the spirit of testing reductions against
+    /// the unreduced semantics: on random small programs (n ≤ 3, schedule
+    /// depth ≤ 8), DPOR-on exploration (footprint commutation + the
+    /// observation quotient) and DPOR-off exploration (the pre-DPOR
+    /// reduction set) must produce identical violation *sets* and
+    /// identical *replay verdicts* — every reported schedule, replayed
+    /// through the gated reference engine, must still trip the checker —
+    /// under one and two expansion workers alike. DPOR never adds work.
+    #[test]
+    fn dpor_preserves_violation_sets_and_replay_verdicts(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 1usize..3,
+    ) {
+        let make = move || small_program(seed, n, ops);
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            if fp_of(&vals).wrapping_add(seed) % 3 == 0 {
+                return Err(format!("flagged outcome {vals:?}"));
+            }
+            Ok(())
+        };
+        let limits = ExploreLimits { max_expansions: 100_000, max_steps: 1_000, ..Default::default() };
+        for threads in [1usize, 2] {
+            let collect = |reduction: Reduction| {
+                let out = Explorer::new(n)
+                    .limits(limits)
+                    .reduction(reduction)
+                    .threads(threads)
+                    .collect_all(true)
+                    .run(make, check);
+                prop_assert!(
+                    out.complete || !out.violations.is_empty(),
+                    "small trees must be exhausted"
+                );
+                // Replay verdict: every reported schedule reproduces its
+                // violation through the gated reference engine.
+                for v in &out.violations {
+                    let replayed =
+                        mpcn_runtime::explore::replay(n, Crashes::None, 1_000, make, &v.choices);
+                    prop_assert!(
+                        check(&replayed).is_err(),
+                        "replay verdict lost (seed {seed}, choices {:?})",
+                        v.choices
+                    );
+                }
+                let mut msgs: Vec<String> =
+                    out.violations.iter().map(|v| v.message.clone()).collect();
+                msgs.sort();
+                msgs.dedup();
+                Ok((out.stats.expansions, msgs))
+            };
+            let (dpor_work, dpor) = collect(Reduction::full())?;
+            let (reference_work, reference) = collect(Reduction::no_dpor())?;
+            prop_assert_eq!(
+                dpor, reference,
+                "DPOR must preserve the violation set (seed {}, threads {})", seed, threads
+            );
+            prop_assert!(dpor_work <= reference_work, "DPOR never adds work");
+        }
+    }
+
+    /// The crash-and-timeout differential: the same DPOR-on vs DPOR-off
+    /// equivalence, but with a generated single-crash plan (exercising
+    /// the crash-commutes-with-everything rule on random programs) and a
+    /// deliberately *binding* step budget (exercising the observation
+    /// quotient's interaction with timeout cuts — a terminated process's
+    /// step-count contribution must stay part of the state identity, or
+    /// the reduced search would merge states with different remaining
+    /// budgets and mis-report timed-out runs).
+    #[test]
+    fn dpor_preserves_verdicts_under_crashes_and_tight_budgets(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 1usize..3,
+        victim in 0usize..3,
+        crash_step in 0u64..3,
+        max_steps in 1u64..6,
+    ) {
+        let make = move || small_program(seed, n, ops);
+        let crashes = Crashes::AtOwnStep(vec![(victim % n, crash_step)]);
+        // Outcome-only checker over decided values *and* the undecided
+        // set, so timeout placement differences are visible verdicts.
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            let key = (vals, r.undecided_pids());
+            if fp_of(&key).wrapping_add(seed) % 3 == 0 {
+                return Err(format!("flagged outcome {key:?}"));
+            }
+            Ok(())
+        };
+        let collect = |reduction: Reduction| {
+            let out = Explorer::new(n)
+                .limits(ExploreLimits {
+                    max_expansions: 100_000,
+                    max_steps,
+                    ..Default::default()
+                })
+                .crashes(crashes.clone())
+                .reduction(reduction)
+                .collect_all(true)
+                .run(make, check);
+            prop_assert!(
+                out.complete || !out.violations.is_empty(),
+                "small trees must be exhausted"
+            );
+            for v in &out.violations {
+                let replayed = mpcn_runtime::explore::replay(
+                    n,
+                    crashes.clone(),
+                    max_steps,
+                    make,
+                    &v.choices,
+                );
+                prop_assert!(
+                    check(&replayed).is_err(),
+                    "replay verdict lost (seed {seed}, choices {:?})",
+                    v.choices
+                );
+            }
+            let mut msgs: Vec<String> =
+                out.violations.iter().map(|v| v.message.clone()).collect();
+            msgs.sort();
+            msgs.dedup();
+            Ok(msgs)
+        };
+        let dpor = collect(Reduction::full())?;
+        let reference = collect(Reduction::no_dpor())?;
+        prop_assert_eq!(
+            dpor, reference,
+            "DPOR must preserve crash/timeout verdicts (seed {})", seed
+        );
+    }
+
+    /// The bounded-memory frontier is invisible in results: a tiny
+    /// resident ceiling (evict nearly every snapshot, rehydrate from the
+    /// operation-log cursors on demand) yields byte-identical summaries
+    /// and violation lists on random small programs, under one and two
+    /// expansion workers alike.
+    #[test]
+    fn bounded_frontier_reports_are_byte_identical(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 1usize..3,
+    ) {
+        let make = move || small_program(seed, n, ops);
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            if fp_of(&vals).wrapping_add(seed) % 5 == 0 {
+                return Err(format!("flagged outcome {vals:?}"));
+            }
+            Ok(())
+        };
+        for threads in [1usize, 2] {
+            let sweep = |ceiling: usize| {
+                let out = Explorer::new(n)
+                    .limits(ExploreLimits {
+                        max_expansions: 100_000,
+                        max_steps: 1_000,
+                        ..Default::default()
+                    })
+                    .threads(threads)
+                    .resident_ceiling(ceiling)
+                    .collect_all(true)
+                    .run(make, check);
+                let violations: Vec<(Vec<usize>, String)> = out
+                    .violations
+                    .iter()
+                    .map(|v| (v.choices.clone(), v.message.clone()))
+                    .collect();
+                (out.stats.summary(), out.complete, violations, out.stats.evicted)
+            };
+            let unbounded = sweep(usize::MAX);
+            let bounded = sweep(1);
+            prop_assert_eq!(unbounded.3, 0u64, "unbounded run must not evict");
+            prop_assert_eq!(
+                (&unbounded.0, unbounded.1, &unbounded.2),
+                (&bounded.0, bounded.1, &bounded.2),
+                "the resident ceiling must be invisible (seed {}, threads {})", seed, threads
+            );
+        }
+    }
+
     /// Parallel frontier expansion is invisible: `threads = 1` and
     /// `threads = 4` produce byte-identical statistics (visited/pruned
     /// counts included) and identical violation lists — messages *and*
