@@ -13,6 +13,18 @@
 //! poll as `0` = `None`, `v + 1` = `Some(v)`. Checkers read only run
 //! *outcomes*, the contract under which the explorer's reductions
 //! preserve violation sets (see [`mpcn_runtime::explore`]).
+//!
+//! **View summaries:** the Figure 1 bodies inherit their declared view
+//! summaries from [`SafeAgreement`] itself (the propose scan returns
+//! only `saw_stable`, the poll only its `Option` result) — that is what
+//! makes the `n = 5` sweep exhaustible. The Figure 5/6 bodies have
+//! nothing to declare: every operation they perform (`tas`,
+//! `xcons_propose`, `reg_read`/`reg_write`) already returns a
+//! minimal-width result the body consumes whole, so the summary
+//! reduction is, correctly, a no-op on them: running the bench
+//! catalogue with and without `MPCN_EXPLORE_VIEWSUM=0` prints
+//! byte-identical fig5/fig6 lines (the CI gate itself compares only the
+//! `complete=`/`violations=` verdict fields).
 
 use mpcn_runtime::model_world::{Body, ModelWorld, RunReport};
 use mpcn_runtime::Env;

@@ -46,15 +46,22 @@ impl SafeAgreement {
     /// `sa_propose(v)` — Figure 1 lines 01–03. Three shared-memory steps;
     /// a crash between the first write and the final write leaves this
     /// process's entry unstable and blocks the instance forever.
+    ///
+    /// The line-02 snapshot is taken through a **declared view summary**
+    /// ([`mpcn_runtime::world::World::snap_scan_via`]): line 03 consumes
+    /// only `saw_stable`, so that one bit is all the scan returns — which
+    /// licenses the exhaustive explorer to fold the bit, not the `O(n)`
+    /// view, into this process's mid-flight state identity.
     pub fn propose<T: MemVal, W: World>(&self, env: &Env<W>, v: T) {
         let i = env.pid();
         let key = self.sm_key();
         // (01) SM[i] ← (v, 1)
         env.snap_write(key, self.n, i, (v.clone(), UNSTABLE));
-        // (02) sm ← SM.snapshot()
-        let sm = env.snap_scan::<(T, u8)>(key, self.n);
-        // (03) if ∃x: sm[x].level = 2 then SM[i] ← (v, 0) else SM[i] ← (v, 2)
-        let saw_stable = sm.iter().flatten().any(|(_, lvl)| *lvl == STABLE);
+        // (02+03a) sm ← SM.snapshot(), summarized to ∃x: sm[x].level = 2
+        let saw_stable = env.snap_scan_via::<(T, u8), bool>(key, self.n, |sm| {
+            sm.iter().flatten().any(|(_, lvl)| *lvl == STABLE)
+        });
+        // (03b) if saw_stable then SM[i] ← (v, 0) else SM[i] ← (v, 2)
         let level = if saw_stable { MEANINGLESS } else { STABLE };
         env.snap_write(key, self.n, i, (v, level));
     }
@@ -63,15 +70,18 @@ impl SafeAgreement {
     ///
     /// Returns `None` while some entry is unstable (level 1) or while no
     /// stable value exists yet; otherwise the stable value of the
-    /// smallest-index process.
+    /// smallest-index process. The scan is summarized to exactly that
+    /// `Option` — the poll's entire observable effect — under the same
+    /// declared-view-summary contract as [`SafeAgreement::propose`].
     pub fn try_decide<T: MemVal, W: World>(&self, env: &Env<W>) -> Option<T> {
-        let sm = env.snap_scan::<(T, u8)>(self.sm_key(), self.n);
-        // (04) repeat until ∀x: sm[x].level ≠ 1
-        if sm.iter().flatten().any(|(_, lvl)| *lvl == UNSTABLE) {
-            return None;
-        }
-        // (05) res ← value of min { k | sm[k].level = 2 }
-        sm.into_iter().flatten().find(|(_, lvl)| *lvl == STABLE).map(|(v, _)| v)
+        env.snap_scan_via::<(T, u8), Option<T>>(self.sm_key(), self.n, |sm| {
+            // (04) repeat until ∀x: sm[x].level ≠ 1
+            if sm.iter().flatten().any(|(_, lvl)| *lvl == UNSTABLE) {
+                return None;
+            }
+            // (05) res ← value of min { k | sm[k].level = 2 }
+            sm.iter().flatten().find(|(_, lvl)| *lvl == STABLE).map(|(v, _)| v.clone())
+        })
     }
 
     /// Blocking `sa_decide` (spins on [`Self::try_decide`]).

@@ -8,11 +8,13 @@
 //!   levels, *and explorer thread counts*. The CI determinism gate runs
 //!   the benches twice and diffs exactly these lines, and additionally
 //!   diffs an `MPCN_EXPLORE_THREADS=1` run against an
-//!   `MPCN_EXPLORE_THREADS=2` run; a further gate re-runs the catalogue
+//!   `MPCN_EXPLORE_THREADS=2` run; further gates re-run the catalogue
 //!   under `MPCN_EXPLORE_DPOR=0` (the pre-DPOR reduction set) and
-//!   asserts the *verdict* fields (`complete=…/violations=…`) of every
-//!   common label match — state counts legitimately differ between the
-//!   two reduction sets. Baselines are recorded in ROADMAP.md.
+//!   `MPCN_EXPLORE_VIEWSUM=0` (summaries off) and assert the *verdict*
+//!   fields (`complete=…/violations=…`) of every common label match —
+//!   state counts legitimately differ between reduction sets. Baselines
+//!   are recorded in ROADMAP.md; `docs/EXPLORER.md` catalogues every
+//!   environment knob and stderr counter.
 //! * **Wall time** of pruned sweeps under `threads = 1` and
 //!   `threads = k` — the parallel-speedup measure (the vendored
 //!   criterion shim reports mean/min/p50/p99, so tail latency is
@@ -20,12 +22,15 @@
 //!   deterministic lines above are identical either way.
 //!
 //! Worker count for the catalogued sweeps: `MPCN_EXPLORE_THREADS`
-//! (default 2); reduction set: `MPCN_EXPLORE_DPOR` (default full — DPOR
-//! footprints + observation quotient). The flagship `fig1 n=4 pruned`
-//! exhaustive sweep (the ROADMAP "Figure 1 at n = 4" milestone, ~4 s
-//! release) is catalogued only under the full reduction: without DPOR it
-//! is a 4.58M-expansion, minutes-long sweep that CI cannot afford per
-//! gate run.
+//! (default 2); reduction set: `MPCN_EXPLORE_DPOR` /
+//! `MPCN_EXPLORE_VIEWSUM` (default full — DPOR footprints, observation
+//! quotient, view summaries). The `fig1 n=4 pruned` exhaustive sweep is
+//! catalogued only under DPOR: without it, it is a 4.58M-expansion,
+//! minutes-long sweep CI cannot afford per gate run. The flagship
+//! `fig1 n=5 pruned` sweep (the ROADMAP "Figure 1 at n = 5" milestone,
+//! ~1 s release under a deliberately binding 2 048-node resident
+//! ceiling with 8-layer checkpoints) is likewise catalogued only under
+//! the view summaries that make it tractable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpcn_agreement::fixtures::{
@@ -107,10 +112,11 @@ fn catalogue(threads: usize, reduction: Reduction) -> Vec<(&'static str, Explore
         ),
     ];
     if reduction.dpor {
-        // The ROADMAP "Figure 1 at n = 4" milestone: exhaustive only
-        // under DPOR + observation quotient (pre-DPOR it is a
-        // 4.58M-expansion sweep — minutes per run, unaffordable per CI
-        // gate invocation). `explore_sweeps.rs` pins this exact line.
+        // The PR 4 "Figure 1 at n = 4" milestone: exhaustive only under
+        // DPOR + observation quotient (pre-DPOR it is a 4.58M-expansion
+        // sweep — minutes per run, unaffordable per CI gate invocation).
+        // `explore_sweeps.rs` pins this exact line in both summary
+        // modes.
         sweeps.push((
             "fig1 n=4 pruned",
             Explorer::new(4)
@@ -118,6 +124,26 @@ fn catalogue(threads: usize, reduction: Reduction) -> Vec<(&'static str, Explore
                 .reduction(reduction)
                 .limits(limits(2_000_000, usize::MAX))
                 .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
+        ));
+    }
+    if reduction.view_summaries {
+        // The ROADMAP "Figure 1 at n = 5" milestone: exhaustive only
+        // under the declared view summaries (summary-off it blows the
+        // expansion budget by orders of magnitude). Runs the
+        // bounded-memory frontier with a binding ceiling + 8-layer
+        // checkpoints, so eviction and anchored rehydration are
+        // exercised on every CI gate run; eviction is a memory policy,
+        // so the printed line is identical to an unbounded sweep's.
+        // `explore_sweeps.rs` pins this exact line.
+        sweeps.push((
+            "fig1 n=5 pruned",
+            Explorer::new(5)
+                .threads(threads)
+                .reduction(reduction)
+                .limits(limits(60_000_000, usize::MAX))
+                .resident_ceiling(2_048)
+                .checkpoint_every(8)
+                .run(|| fig1_bodies(5, 1), |r| check_agreement(r, 5, false)),
         ));
     }
     sweeps

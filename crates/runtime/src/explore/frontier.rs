@@ -51,11 +51,22 @@
 //! the first `ceiling` nodes admitted per layer stay resident; colder
 //! nodes are **evicted** down to their scheduling metadata (choice path,
 //! alive set, pending footprints, own-step counters), and a worker that
-//! expands one first **rehydrates** it by replaying the choice path from
-//! the root through the snapshot engine — the operation-log cursors make
-//! every replayed decision a deterministic `O(own log)` resume, so the
-//! rebuilt snapshot (and hence the whole report) is byte-identical to the
-//! never-evicted run, at `O(depth)` extra resumes per evicted expansion.
+//! expands one first **rehydrates** it by replaying its choice path
+//! through the snapshot engine — the operation-log cursors make every
+//! replayed decision a deterministic `O(own log)` resume, so the rebuilt
+//! snapshot (and hence the whole report) is byte-identical to the
+//! never-evicted run.
+//!
+//! Rehydration does not start at the root: layers whose depth is a
+//! multiple of [`super::Explorer::checkpoint_every`]`= k` are **exempt
+//! from eviction**, and every node carries an [`Anchor`] — a shared
+//! `Arc` to its nearest such ancestor's snapshot plus that ancestor's
+//! adversary state — kept alive exactly as long as a frontier descendant
+//! references it. An evicted expansion therefore replays at most `k`
+//! decisions (`anchor.depth ..` of the node's path), turning the old
+//! `O(depth)` root replay into `O(k)`; the longest suffix actually
+//! replayed is reported as
+//! [`super::ExploreStats::max_rehydration_replay`].
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -135,11 +146,12 @@ enum SkipKind {
     Dpor,
 }
 
-/// A node's state payload: resident nodes carry their snapshot; evicted
-/// nodes keep only what the merge-phase reductions need and are
-/// rehydrated by the worker that expands them.
+/// A node's state payload: resident nodes carry their snapshot (shared —
+/// descendants anchor to checkpoint-layer snapshots); evicted nodes keep
+/// only what the merge-phase reductions need and are rehydrated by the
+/// worker that expands them.
 enum Store {
-    Resident(Box<Snapshot>),
+    Resident(Arc<Snapshot>),
     Evicted {
         /// Pending footprint per pid (what [`Engine::skip_kind`] reads).
         pending: Vec<Option<Footprint>>,
@@ -149,6 +161,23 @@ enum Store {
         /// [`Engine::skip_kind`] reads).
         steps: u64,
     },
+}
+
+/// A node's rehydration base: the nearest ancestor at a
+/// checkpoint-stride depth ([`super::Explorer::checkpoint_every`]),
+/// which is exempt from eviction. Shared by `Arc` among all descendants,
+/// so a checkpoint snapshot lives exactly as long as some frontier node
+/// still rehydrates through it.
+#[derive(Clone)]
+struct Anchor {
+    /// The ancestor's depth — rehydration replays `path[depth..]`.
+    depth: usize,
+    /// The ancestor's snapshot.
+    snap: Arc<Snapshot>,
+    /// The ancestor's post-path adversary state (so the replayed picks
+    /// make exactly the `should_crash` calls the original expansion
+    /// made — required for the stateful [`Crashes::Random`] policy).
+    crash: CrashState,
 }
 
 /// One frontier node: a reachable state plus everything path-dependent
@@ -164,9 +193,38 @@ struct Node {
     /// Adversary state after this node's path (one `should_crash` call
     /// per pick, as in a gated run).
     crash: CrashState,
+    /// Nearest checkpointed ancestor. `None` at the root (itself
+    /// checkpoint-depth 0 and never evicted) and throughout any
+    /// exploration without a resident ceiling — anchors exist only to
+    /// serve rehydration, so keeping them alive when nothing can ever be
+    /// evicted would pin a whole checkpoint layer's snapshots past their
+    /// layer's lifetime for no benefit.
+    anchor: Option<Anchor>,
 }
 
 impl Node {
+    /// The anchor a child of this node rehydrates from: this node itself
+    /// when it sits on a checkpoint layer (checkpoint layers are always
+    /// resident — [`Engine::maybe_evict`] exempts them), its own anchor
+    /// otherwise. `None` when `evictable` is off (no resident ceiling —
+    /// see the `anchor` field docs).
+    fn checkpoint_anchor(&self, checkpoint_every: usize, evictable: bool) -> Option<Anchor> {
+        if !evictable {
+            return None;
+        }
+        if self.path.len() % checkpoint_every == 0 {
+            if let Store::Resident(snap) = &self.store {
+                return Some(Anchor {
+                    depth: self.path.len(),
+                    snap: Arc::clone(snap),
+                    crash: self.crash.clone(),
+                });
+            }
+            debug_assert!(false, "checkpoint-layer nodes are never evicted");
+        }
+        self.anchor.clone()
+    }
+
     fn pending_footprint(&self, pid: Pid) -> Option<Footprint> {
         match &self.store {
             Store::Resident(snap) => snap.pending_footprint(pid),
@@ -212,6 +270,9 @@ struct Expanded {
     /// the child is pruned.
     coarsened: bool,
     pre_pruned: bool,
+    /// Choice-path suffix length a rehydration replayed (0 if the parent
+    /// was resident) — feeds `max_rehydration_replay`.
+    rehydration_replay: u64,
 }
 
 struct TailRun {
@@ -220,6 +281,8 @@ struct TailRun {
     choices: Vec<usize>,
     /// Total picks from the root (the run's schedule depth).
     depth: usize,
+    /// See [`Expanded::rehydration_replay`].
+    rehydration_replay: u64,
 }
 
 /// The read-only context expansion workers share.
@@ -233,6 +296,15 @@ struct Shared<'a, F> {
     prune: bool,
     /// Fingerprint children by the observation quotient.
     quotient: bool,
+    /// Fold declared view summaries into live observation histories
+    /// (fixed at the root snapshot; kept here for rehydration roots).
+    viewsum: bool,
+    /// Ancestor-checkpoint stride of the bounded-memory frontier
+    /// ([`super::Explorer::checkpoint_every`]).
+    checkpoint_every: usize,
+    /// A resident ceiling is set, so eviction (and hence rehydration)
+    /// can happen — the only situation anchors are worth carrying.
+    evictable: bool,
     max_steps: u64,
 }
 
@@ -247,6 +319,7 @@ pub(super) struct Engine<'a, F, C> {
     sleep: bool,
     dpor: bool,
     quotient: bool,
+    viewsum: bool,
     threads: usize,
     visited: VisitedShards,
     stats: ExploreStats,
@@ -282,6 +355,7 @@ where
             sleep: ex.reduction.sleep_reads && reducible,
             dpor: ex.reduction.dpor && reducible,
             quotient: ex.reduction.prune_visited && ex.reduction.quotient_obs && reducible,
+            viewsum: ex.reduction.prune_visited && ex.reduction.view_summaries && reducible,
             threads: ex.threads.max(1),
             visited: VisitedShards::new(),
             stats: ExploreStats::new(ex.n),
@@ -294,13 +368,15 @@ where
     }
 
     pub(super) fn run(mut self) -> ExploreReport {
-        let snap = ModelWorld::snapshot_root(self.ex.n, self.prune, (self.make_bodies)());
+        let snap =
+            ModelWorld::snapshot_root(self.ex.n, self.prune, self.viewsum, (self.make_bodies)());
         let root = Node {
             alive: snap.alive(),
-            store: Store::Resident(Box::new(snap)),
+            store: Store::Resident(Arc::new(snap)),
             path: Vec::new(),
             incoming: None,
             crash: CrashState::new(self.ex.crashes.clone()),
+            anchor: None,
         };
         let mut jobs = Vec::new();
         self.admit(root, &mut jobs);
@@ -369,7 +445,15 @@ where
     /// [`super::Explorer::resident_ceiling`] nodes admitted per layer
     /// keep their snapshot; colder ones are stripped down to scheduling
     /// metadata and rehydrated on demand by the expanding worker.
+    /// Checkpoint layers (depth a multiple of
+    /// [`super::Explorer::checkpoint_every`]) are exempt: their
+    /// snapshots are the anchors every descendant rehydrates from, so
+    /// evicting one would silently reintroduce the `O(depth)` root
+    /// replay this policy exists to avoid.
     fn maybe_evict(&mut self, node: Node) -> Node {
+        if node.path.len() % self.ex.checkpoint_every == 0 {
+            return node;
+        }
         if self.resident < self.ex.resident_ceiling {
             self.resident += 1;
             return node;
@@ -468,6 +552,9 @@ where
             visited: &self.visited,
             prune: self.prune,
             quotient: self.quotient,
+            viewsum: self.viewsum,
+            checkpoint_every: self.ex.checkpoint_every,
+            evictable: self.ex.resident_ceiling != usize::MAX,
             max_steps: self.ex.limits.max_steps,
         };
         let workers = self.threads.min(jobs.len());
@@ -506,9 +593,13 @@ where
             match result {
                 JobResult::Tail(tail) => {
                     self.stats.depth_limited_runs += 1;
+                    self.stats.max_rehydration_replay =
+                        self.stats.max_rehydration_replay.max(tail.rehydration_replay);
                     self.finish_run(tail.report, tail.choices, tail.depth);
                 }
                 JobResult::Expanded(child) => {
+                    self.stats.max_rehydration_replay =
+                        self.stats.max_rehydration_replay.max(child.rehydration_replay);
                     if self.prune && (child.pre_pruned || !self.visited.insert(child.fp)) {
                         self.stats.states_pruned += 1;
                         if child.coarsened {
@@ -592,31 +683,52 @@ fn step_snapshot<F: Fn() -> Vec<Body>>(
     }
 }
 
-/// Rebuilds an evicted node's snapshot by replaying its choice path from
-/// the root — every decision a deterministic resume, so the result is
-/// identical to the snapshot that was evicted. The adversary replay uses
-/// a fresh [`CrashState`] (the node keeps its own post-path state).
-fn rehydrate<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, path: &[usize]) -> Snapshot {
-    let mut snap = ModelWorld::snapshot_root(shared.n, shared.prune, (shared.make_bodies)());
-    let mut crash = CrashState::new(shared.crashes.clone());
-    for &choice in path {
+/// Rebuilds an evicted node's snapshot by replaying its choice-path
+/// suffix from its [`Anchor`] — every replayed decision a deterministic
+/// resume from a clone of the anchor's snapshot and adversary state, so
+/// the result is identical to the snapshot that was evicted. At most
+/// [`super::Explorer::checkpoint_every`] decisions are replayed (the
+/// anchor is the nearest checkpoint-depth ancestor, and those are never
+/// evicted). Falls back to a fresh root for anchorless nodes — only the
+/// root itself, which is never evicted, so the fallback is defensive.
+fn rehydrate<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node) -> (Snapshot, u64) {
+    let (mut snap, mut crash, from) = match &node.anchor {
+        Some(anchor) => ((*anchor.snap).clone(), anchor.crash.clone(), anchor.depth),
+        None => (
+            ModelWorld::snapshot_root(
+                shared.n,
+                shared.prune,
+                shared.viewsum,
+                (shared.make_bodies)(),
+            ),
+            CrashState::new(shared.crashes.clone()),
+            0,
+        ),
+    };
+    let suffix = &node.path[from..];
+    for &choice in suffix {
         let pid = snap.alive()[choice];
         let (next, _) = step_snapshot(shared, &snap, &mut crash, pid);
         snap = next;
     }
-    snap
+    (snap, suffix.len() as u64)
 }
 
 /// The node's snapshot: borrowed if resident, rebuilt into `slot` if
-/// evicted.
+/// evicted (also reporting the replayed suffix length).
 fn snapshot_of<'s, F: Fn() -> Vec<Body>>(
     shared: &Shared<'_, F>,
     node: &'s Node,
     slot: &'s mut Option<Snapshot>,
+    replayed: &mut u64,
 ) -> &'s Snapshot {
     match &node.store {
         Store::Resident(snap) => snap,
-        Store::Evicted { .. } => &*slot.insert(rehydrate(shared, &node.path)),
+        Store::Evicted { .. } => {
+            let (snap, suffix) = rehydrate(shared, node);
+            *replayed = suffix;
+            &*slot.insert(snap)
+        }
     }
 }
 
@@ -625,7 +737,8 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
     let pid = node.alive[choice];
     let mut crash = node.crash.clone();
     let mut rebuilt = None;
-    let parent = snapshot_of(shared, node, &mut rebuilt);
+    let mut rehydration_replay = 0;
+    let parent = snapshot_of(shared, node, &mut rebuilt, &mut rehydration_replay);
     let (snap, crashed_now) = step_snapshot(shared, parent, &mut crash, pid);
     let (fp, coarsened) = if shared.prune {
         if shared.quotient {
@@ -637,7 +750,7 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
         (0, false)
     };
     if shared.prune && shared.visited.contains(fp) {
-        return Expanded { node: None, fp, coarsened, pre_pruned: true };
+        return Expanded { node: None, fp, coarsened, pre_pruned: true, rehydration_replay };
     }
     let incoming = if crashed_now {
         Some((pid, Action::Crash))
@@ -648,15 +761,23 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
     let mut path = node.path.clone();
     path.push(choice);
     let alive = snap.alive();
-    let child = Node { store: Store::Resident(Box::new(snap)), path, alive, incoming, crash };
-    Expanded { node: Some(child), fp, coarsened, pre_pruned: false }
+    let child = Node {
+        store: Store::Resident(Arc::new(snap)),
+        path,
+        alive,
+        incoming,
+        crash,
+        anchor: node.checkpoint_anchor(shared.checkpoint_every, shared.evictable),
+    };
+    Expanded { node: Some(child), fp, coarsened, pre_pruned: false, rehydration_replay }
 }
 
 /// Resumes `node` to completion along the canonical choice-0 suffix —
 /// the depth-bounded sweep's "runs still execute to completion" path.
 fn run_tail<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node) -> TailRun {
     let mut rebuilt = None;
-    let mut snap = snapshot_of(shared, node, &mut rebuilt).clone();
+    let mut rehydration_replay = 0;
+    let mut snap = snapshot_of(shared, node, &mut rebuilt, &mut rehydration_replay).clone();
     let mut crash = node.crash.clone();
     let mut choices = node.path.clone();
     let report = loop {
@@ -672,5 +793,5 @@ fn run_tail<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node) -> TailRu
         let (next, _) = step_snapshot(shared, &snap, &mut crash, pid);
         snap = next;
     };
-    TailRun { report, depth: choices.len(), choices }
+    TailRun { report, depth: choices.len(), choices, rehydration_replay }
 }

@@ -118,15 +118,41 @@
 //! Checkers must remain outcome-only — the same contract pruning already
 //! imposes.
 //!
+//! # View summaries ([`Reduction::view_summaries`])
+//!
+//! The observation quotient only collapses *terminated* histories; a
+//! process still mid-protocol keeps its full poll history in the state
+//! identity — even when its program, by construction, consumed almost
+//! none of it. [`crate::world::World::snap_scan_via`] lets a program
+//! **declare** that at an operation: the scan returns only a summary
+//! (e.g. Figure 1's propose-scan returns just `saw_stable`), so the
+//! process's continuation is a function of the summary alone. With this
+//! reduction on, the model world folds the declared summary instead of
+//! the raw `O(n)` view into the live process's observation fingerprint —
+//! merging mid-flight states whose raw views differed but whose
+//! summaries (and memory, flags, results) agree. Soundness is by
+//! construction — nothing the fold drops was ever returned to the
+//! program — and is *differentially tested* like DPOR: summary-on vs
+//! summary-off violation sets and replay verdicts on random programs in
+//! `tests/proptests.rs`, plus a CI verdict gate over the bench catalogue
+//! (`MPCN_EXPLORE_VIEWSUM=0` selects [`Reduction::no_viewsum`], which
+//! reproduces the summary-free baselines byte for byte).
+//!
 //! # Bounded-memory frontier ([`Explorer::resident_ceiling`])
 //!
 //! Wide layers at `n ≥ 4` can hold hundreds of thousands of live
 //! snapshots. Under a resident ceiling only the first `ceiling` nodes
 //! admitted per layer keep their snapshot; colder nodes are evicted down
-//! to scheduling metadata and deterministically rehydrated from the
-//! root's operation-log cursors when a worker expands them — reports are
-//! byte-identical to the unbounded run (tested in
-//! `crates/agreement/tests/explore_sweeps.rs`).
+//! to scheduling metadata and deterministically rehydrated when a worker
+//! expands them — reports are byte-identical to the unbounded run
+//! (tested in `crates/agreement/tests/explore_sweeps.rs`). Rehydration
+//! replays the evicted node's choice path through the snapshot engine,
+//! starting not at the root but at the node's **anchor**: every node
+//! whose depth is a multiple of [`Explorer::checkpoint_every`]`= k` is
+//! exempt from eviction, and every descendant keeps an `Arc` to its
+//! nearest such ancestor's snapshot — so a rehydration replays at most
+//! `k` decisions instead of `O(depth)` (pinned by a unit test on
+//! [`ExploreStats::max_rehydration_replay`]).
 //!
 //! # Crashes and bounds
 //!
@@ -156,6 +182,12 @@ pub use report::{ExploreReport, ExploreStats, Violation};
 
 use crate::model_world::{Body, ModelWorld, RunConfig, RunReport};
 use crate::sched::Crashes;
+
+/// Default ancestor-checkpoint stride of the bounded-memory frontier
+/// ([`Explorer::checkpoint_every`]): under a resident ceiling, every
+/// 16th layer stays fully resident and rehydration replays at most 16
+/// decisions. Irrelevant without a ceiling (nothing is ever evicted).
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 16;
 
 /// Bounds for an exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,18 +234,38 @@ pub struct Reduction {
     /// from the state identity (their results and flags remain). Only
     /// meaningful with [`Reduction::prune_visited`].
     pub quotient_obs: bool,
+    /// Fold **declared view summaries**
+    /// ([`crate::world::World::snap_scan_via`]) instead of raw views into
+    /// *live* processes' observation histories — the mid-flight
+    /// counterpart of [`Reduction::quotient_obs`] (see the
+    /// [module docs](self)). Only meaningful with
+    /// [`Reduction::prune_visited`]; a no-op for programs that declare no
+    /// summaries.
+    pub view_summaries: bool,
 }
 
 impl Reduction {
     /// All reductions (the default).
     pub fn full() -> Self {
-        Reduction { prune_visited: true, sleep_reads: true, dpor: true, quotient_obs: true }
+        Reduction {
+            prune_visited: true,
+            sleep_reads: true,
+            dpor: true,
+            quotient_obs: true,
+            view_summaries: true,
+        }
     }
 
     /// Plain exhaustive enumeration — the reference the reductions are
     /// validated against.
     pub fn none() -> Self {
-        Reduction { prune_visited: false, sleep_reads: false, dpor: false, quotient_obs: false }
+        Reduction {
+            prune_visited: false,
+            sleep_reads: false,
+            dpor: false,
+            quotient_obs: false,
+            view_summaries: false,
+        }
     }
 
     /// Visited-state pruning and commuting pure reads only — the
@@ -221,7 +273,22 @@ impl Reduction {
     /// DPOR-vs-off tests and the CI verdict gate compare
     /// [`Reduction::full`] against.
     pub fn no_dpor() -> Self {
-        Reduction { prune_visited: true, sleep_reads: true, dpor: false, quotient_obs: false }
+        Reduction {
+            prune_visited: true,
+            sleep_reads: true,
+            dpor: false,
+            quotient_obs: false,
+            view_summaries: false,
+        }
+    }
+
+    /// Everything except view summaries — the differential baseline the
+    /// summary-on vs summary-off tests and the `MPCN_EXPLORE_VIEWSUM=0`
+    /// CI verdict gate compare [`Reduction::full`] against. Reproduces
+    /// the summary-free engine's state counts byte for byte (raw views
+    /// are folded exactly as plain scans fold them).
+    pub fn no_viewsum() -> Self {
+        Reduction { view_summaries: false, ..Reduction::full() }
     }
 }
 
@@ -265,6 +332,7 @@ pub struct Explorer {
     collect_all: bool,
     threads: usize,
     resident_ceiling: usize,
+    checkpoint_every: usize,
 }
 
 impl Explorer {
@@ -279,6 +347,7 @@ impl Explorer {
             collect_all: false,
             threads: 1,
             resident_ceiling: usize::MAX,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
         }
     }
 
@@ -324,12 +393,55 @@ impl Explorer {
     /// Bounds the frontier's memory: at most `ceiling` nodes admitted per
     /// layer keep their [`crate::model_world::Snapshot`] resident
     /// (clamped to at least 1); colder nodes are evicted to scheduling
-    /// metadata and rehydrated by replaying their choice path from the
-    /// root when expanded. Reports are byte-identical to the unbounded
-    /// run; evicted expansions cost `O(depth)` extra resumes each. The
-    /// default is `usize::MAX` (never evict).
+    /// metadata and rehydrated by replaying their choice path from their
+    /// nearest checkpointed ancestor ([`Explorer::checkpoint_every`])
+    /// when expanded. Reports are byte-identical to the unbounded run;
+    /// evicted expansions cost at most `checkpoint_every` extra resumes
+    /// each. The default is `usize::MAX` (never evict).
     pub fn resident_ceiling(mut self, ceiling: usize) -> Self {
         self.resident_ceiling = ceiling.max(1);
+        self
+    }
+
+    /// Sets the ancestor-checkpoint stride `k` of the bounded-memory
+    /// frontier (clamped to at least 1; default
+    /// [`DEFAULT_CHECKPOINT_EVERY`]): frontier layers whose depth is a
+    /// multiple of `k` are exempt from [`Explorer::resident_ceiling`]
+    /// eviction, and every node holds a shared reference to its nearest
+    /// such ancestor's snapshot — so rehydrating an evicted node replays
+    /// at most `k` scheduling decisions instead of its full choice path
+    /// from the root. Pure memory/time policy: reports are byte-identical
+    /// for every `k` (property-tested across `k ∈ {1, 4, 16}`). Smaller
+    /// `k` trades resident checkpoint memory for cheaper rehydration.
+    ///
+    /// ```
+    /// use mpcn_runtime::explore::Explorer;
+    /// use mpcn_runtime::model_world::{Body, ModelWorld};
+    /// use mpcn_runtime::world::{Env, ObjKey};
+    ///
+    /// let bodies = || {
+    ///     (0..2u64)
+    ///         .map(|i| {
+    ///             Box::new(move |env: Env<ModelWorld>| {
+    ///                 env.reg_write(ObjKey::new(902, i, 0), i);
+    ///                 env.reg_write(ObjKey::new(902, i, 1), i);
+    ///                 i
+    ///             }) as Body
+    ///         })
+    ///         .collect::<Vec<_>>()
+    /// };
+    /// let unbounded = Explorer::new(2).run(bodies, |_r| Ok(()));
+    /// // Evict aggressively, checkpointing every 2nd layer: identical
+    /// // report, and no rehydration replays more than 2 decisions.
+    /// let bounded = Explorer::new(2)
+    ///     .resident_ceiling(1)
+    ///     .checkpoint_every(2)
+    ///     .run(bodies, |_r| Ok(()));
+    /// assert_eq!(unbounded.stats.summary(), bounded.stats.summary());
+    /// assert!(bounded.stats.max_rehydration_replay <= 2);
+    /// ```
+    pub fn checkpoint_every(mut self, k: usize) -> Self {
+        self.checkpoint_every = k.max(1);
         self
     }
 
@@ -372,17 +484,24 @@ pub fn threads_from_env(default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Reduction set for sweeps driven by benches and CI:
-/// [`Reduction::full`] unless the `MPCN_EXPLORE_DPOR` environment
-/// variable is `0`, which selects [`Reduction::no_dpor`]. The CI verdict
-/// gate runs the explore bench in both modes and asserts every common
-/// sweep reaches the same `complete`/`violations` verdict (state counts
-/// legitimately differ).
+/// Reduction set for sweeps driven by benches and CI (the full env-knob
+/// catalogue lives in `docs/EXPLORER.md`): [`Reduction::full`] by
+/// default; the `MPCN_EXPLORE_DPOR=0` environment variable selects
+/// [`Reduction::no_dpor`] and `MPCN_EXPLORE_VIEWSUM=0` clears
+/// [`Reduction::view_summaries`] (so `DPOR=0` alone already implies
+/// summaries off — [`Reduction::no_dpor`] *is* the pre-DPOR baseline).
+/// The CI verdict gates run the explore bench in each mode and assert
+/// every common sweep reaches the same `complete`/`violations` verdict
+/// (state counts legitimately differ).
 pub fn reduction_from_env() -> Reduction {
-    match std::env::var("MPCN_EXPLORE_DPOR").as_deref() {
+    let mut r = match std::env::var("MPCN_EXPLORE_DPOR").as_deref() {
         Ok("0") => Reduction::no_dpor(),
         _ => Reduction::full(),
+    };
+    if std::env::var("MPCN_EXPLORE_VIEWSUM").as_deref() == Ok("0") {
+        r.view_summaries = false;
     }
+    r
 }
 
 /// Exhaustively explores every schedule with **no reductions** — the
@@ -794,6 +913,85 @@ mod tests {
         assert_eq!(unbounded.stats.summary(), bounded.stats.summary());
         assert_eq!(unbounded.complete, bounded.complete);
         assert_eq!(unbounded.violations, bounded.violations);
+    }
+
+    /// The checkpoint stride bounds rehydration work: with a ceiling of
+    /// 1 (evict everything evictable) and a stride of 4 over a depth-12
+    /// tree, evicted expansions replay at most 4 decisions from their
+    /// anchored ancestor — never the full path — and the report stays
+    /// byte-identical to the unbounded run.
+    #[test]
+    fn checkpoint_stride_bounds_rehydration_replay() {
+        let bodies = || {
+            (0..2)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        for b in 0..6 {
+                            env.reg_write(ObjKey::new(67, i, b), b);
+                        }
+                        i
+                    }) as Body
+                })
+                .collect()
+        };
+        let sweep = |ceiling: usize| {
+            Explorer::new(2).resident_ceiling(ceiling).checkpoint_every(4).run(bodies, |_r| Ok(()))
+        };
+        let unbounded = sweep(usize::MAX);
+        let bounded = sweep(1);
+        assert_eq!(unbounded.stats.max_rehydration_replay, 0);
+        assert!(bounded.stats.evicted > 0, "a ceiling of 1 must evict");
+        assert!(bounded.stats.max_rehydration_replay >= 1, "evicted expansions rehydrate");
+        assert!(
+            bounded.stats.max_rehydration_replay <= 4,
+            "rehydration must replay at most checkpoint_every = 4 decisions ({})",
+            bounded.stats.max_rehydration_replay
+        );
+        assert_eq!(unbounded.stats.summary(), bounded.stats.summary());
+    }
+
+    /// The view-summary reduction merges *live* histories: two readers
+    /// that scanned different views but consumed (and therefore
+    /// returned) the same declared summary collapse while still
+    /// mid-flight, where the terminated-history quotient cannot reach.
+    #[test]
+    fn view_summaries_merge_live_histories() {
+        // p0/p1 write distinct cells; p2 scans (summarized to the count
+        // of written cells) and then writes — so p2 is still *alive*
+        // when the summarized observation lands in its history.
+        let bodies = || {
+            let mut v: Vec<Body> = (0..2u64)
+                .map(|i| {
+                    Box::new(move |env: Env<ModelWorld>| {
+                        env.snap_write(ObjKey::new(68, 0, 0), 3, i as usize, 10 + i);
+                        i
+                    }) as Body
+                })
+                .collect();
+            v.push(Box::new(move |env: Env<ModelWorld>| {
+                let written = env.snap_scan_via::<u64, u64>(ObjKey::new(68, 0, 0), 3, |view| {
+                    view.iter().flatten().count() as u64
+                });
+                env.snap_write(ObjKey::new(68, 0, 0), 3, 2, 99);
+                written
+            }) as Body);
+            v
+        };
+        let sweep = |view_summaries: bool| {
+            Explorer::new(3)
+                .reduction(Reduction { view_summaries, ..Reduction::full() })
+                .run(bodies, |_r| Ok(()))
+        };
+        let raw = sweep(false);
+        let summarized = sweep(true);
+        assert!(raw.complete && summarized.complete);
+        assert!(
+            summarized.stats.states_visited < raw.stats.states_visited,
+            "summaries must merge live states ({} !< {})",
+            summarized.stats.states_visited,
+            raw.stats.states_visited
+        );
+        assert_eq!(summarized.violations, raw.violations);
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub struct ExploreStats {
     /// ceiling is a memory policy, not a search-shape parameter, and
     /// bounded and unbounded runs must print byte-identical lines.
     pub evicted: u64,
+    /// Longest choice-path suffix any single rehydration replayed —
+    /// bounded by [`super::Explorer::checkpoint_every`] (every node
+    /// anchors to its nearest checkpointed ancestor's resident
+    /// snapshot), and `0` when nothing was evicted. Like
+    /// [`ExploreStats::evicted`], a memory-policy observable excluded
+    /// from [`ExploreStats::summary`].
+    pub max_rehydration_replay: u64,
     /// Deepest completed run (in picks) seen.
     pub max_depth: usize,
     /// Depth-bounded completion runs: frontier nodes at
@@ -76,6 +83,7 @@ impl ExploreStats {
             dpor_skips: 0,
             quotient_hits: 0,
             evicted: 0,
+            max_rehydration_replay: 0,
             max_depth: 0,
             depth_limited_runs: 0,
             branching_histogram: vec![0; n + 1],

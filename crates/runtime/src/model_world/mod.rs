@@ -240,6 +240,7 @@ pub struct RunConfig {
     record_branching: bool,
     record_state_hashes: bool,
     record_decisions: bool,
+    view_summaries: bool,
 }
 
 impl RunConfig {
@@ -255,6 +256,7 @@ impl RunConfig {
             record_branching: false,
             record_state_hashes: false,
             record_decisions: false,
+            view_summaries: false,
         }
     }
 
@@ -315,6 +317,19 @@ impl RunConfig {
     /// pending pure reads, pick, crash flag. Requires `n ≤ 64`.
     pub fn record_decisions(mut self, yes: bool) -> Self {
         self.record_decisions = yes;
+        self
+    }
+
+    /// Folds **declared view summaries** ([`World::snap_scan_via`])
+    /// instead of raw views into the per-process observation histories
+    /// the state fingerprints hash. Only meaningful together with
+    /// [`RunConfig::record_state_hashes`]; run *behavior* is identical
+    /// either way (the calling process only ever receives the summary).
+    /// Off by default so recorded state hashes stay comparable with the
+    /// summary-free engine; the explorer switches it on under
+    /// [`crate::explore::Reduction::view_summaries`].
+    pub fn view_summaries(mut self, yes: bool) -> Self {
+        self.view_summaries = yes;
         self
     }
 
@@ -428,6 +443,11 @@ struct State {
     /// [`RunConfig::record_state_hashes`]); off for plain runs so the
     /// per-operation hashing costs nothing.
     track: bool,
+    /// Fold declared view summaries instead of raw views into
+    /// [`State::obs_fp`] (set by [`RunConfig::view_summaries`] / the
+    /// explorer's [`crate::explore::Reduction::view_summaries`]). Only
+    /// read where [`State::track`] is on; never changes behavior.
+    viewsum: bool,
     /// Free mode: no scheduler; every op proceeds immediately (used for
     /// direct unit tests of object semantics).
     free: bool,
@@ -613,7 +633,7 @@ impl std::fmt::Debug for ModelWorld {
 }
 
 impl ModelWorld {
-    fn new(n: usize, free: bool, track: bool) -> Self {
+    fn new(n: usize, free: bool, track: bool, viewsum: bool) -> Self {
         let st = State {
             permits: vec![Permit::Idle; n],
             op_done: false,
@@ -631,6 +651,7 @@ impl ModelWorld {
             pending_read: vec![false; n],
             mem_fp: 0,
             track,
+            viewsum,
             free,
             resume: None,
         };
@@ -649,7 +670,7 @@ impl ModelWorld {
     /// use would be linearizable (each op still runs under the world lock)
     /// but not deterministic.
     pub fn new_free(n: usize) -> Self {
-        ModelWorld::new(n, true, false)
+        ModelWorld::new(n, true, false, false)
     }
 
     /// Runs `bodies` (one per process) to completion under `cfg`.
@@ -672,7 +693,7 @@ impl ModelWorld {
         );
         install_crash_hook();
         let n = cfg.n();
-        let world = ModelWorld::new(n, false, cfg.record_state_hashes);
+        let world = ModelWorld::new(n, false, cfg.record_state_hashes, cfg.view_summaries);
         let mut sched = ScheduleState::new(cfg.schedule.clone());
         let mut crash = CrashState::new(cfg.crashes.clone());
 
@@ -943,6 +964,28 @@ fn downcast<T: MemVal>(stored: &Stored, key: ObjKey, what: &str) -> T {
         .clone()
 }
 
+/// The locked scan body shared by [`World::snap_scan`] and
+/// [`World::snap_scan_via`]: reads every cell of the `len`-cell snapshot
+/// object `key` (created on first access), with the usual
+/// algorithm-bug panics (kind mismatch, length mismatch, cell type
+/// mismatch).
+fn scan_cells<T: MemVal>(st: &mut State, key: ObjKey, len: usize) -> Vec<Option<T>> {
+    st.with_obj(
+        key,
+        || Object::Snapshot(vec![None; len]),
+        |obj| match obj {
+            Object::Snapshot(cells) => {
+                assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
+                cells
+                    .iter()
+                    .map(|c| c.as_ref().map(|c| downcast(&c.val, key, "snapshot cell")))
+                    .collect()
+            }
+            other => panic!("object {key} is not a snapshot object: {other:?}"),
+        },
+    )
+}
+
 impl World for ModelWorld {
     fn reg_write<T: MemVal>(&self, pid: Pid, key: ObjKey, val: T) {
         self.step(pid, Footprint::new(OP_REG_WRITE, key, None, false), |st| {
@@ -1005,22 +1048,38 @@ impl World for ModelWorld {
 
     fn snap_scan<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize) -> Vec<Option<T>> {
         self.step(pid, Footprint::new(OP_SNAP_SCAN, key, None, true), |st| {
-            let out: Vec<Option<T>> = st.with_obj(
-                key,
-                || Object::Snapshot(vec![None; len]),
-                |obj| match obj {
-                    Object::Snapshot(cells) => {
-                        assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
-                        cells
-                            .iter()
-                            .map(|c| c.as_ref().map(|c| downcast(&c.val, key, "snapshot cell")))
-                            .collect()
-                    }
-                    other => panic!("object {key} is not a snapshot object: {other:?}"),
-                },
-            );
+            let out: Vec<Option<T>> = scan_cells(st, key, len);
             if st.track {
                 st.observe(pid, OP_SNAP_SCAN, key, fp_of(&out));
+            }
+            out
+        })
+    }
+
+    /// The summarized scan. One atomic step with the *same* dependency
+    /// footprint as [`World::snap_scan`] (same key, pure read), so every
+    /// commutation argument carries over unchanged. What differs is the
+    /// observation fold: with [`RunConfig::view_summaries`] off, the **raw view** is
+    /// folded exactly as a plain scan folds it (byte-identical state
+    /// identity — recorded baselines cannot move); with it on, only the
+    /// **declared summary** is folded, so live processes whose raw views
+    /// differed but whose summaries agree become indistinguishable — which
+    /// is sound precisely because the summary is all the process ever saw.
+    /// The resume log records the summary either way (it is the value the
+    /// operation returned).
+    fn snap_scan_via<T: MemVal, S: MemVal>(
+        &self,
+        pid: Pid,
+        key: ObjKey,
+        len: usize,
+        summarize: fn(&[Option<T>]) -> S,
+    ) -> S {
+        self.step(pid, Footprint::new(OP_SNAP_SCAN, key, None, true), |st| {
+            let raw: Vec<Option<T>> = scan_cells(st, key, len);
+            let out = summarize(&raw);
+            if st.track {
+                let result_fp = if st.viewsum { fp_of(&out) } else { fp_of(&raw) };
+                st.observe(pid, OP_SNAP_SCAN, key, result_fp);
             }
             out
         })

@@ -144,11 +144,16 @@ pub(super) fn resume_gate<R: Clone + 'static>(
 
 /// A checkpoint of one reachable model-world state, from which execution
 /// can be resumed one scheduling decision at a time (see the
-/// [module docs](self)).
+/// [`crate::model_world`] module docs, "snapshot resumption").
 #[derive(Clone)]
 pub struct Snapshot {
     n: usize,
     track: bool,
+    /// Observation histories along this path fold declared view summaries
+    /// instead of raw views (see [`super::RunConfig::view_summaries`]);
+    /// fixed at the root and inherited by every successor, so a path
+    /// never mixes the two identities.
+    viewsum: bool,
     objects: HashMap<ObjKey, super::Object>,
     mem_fp: u64,
     obs_fp: Vec<u64>,
@@ -352,6 +357,7 @@ impl ModelWorld {
             pending_read: (0..n).map(|p| snap.pending_read(p)).collect(),
             mem_fp: snap.mem_fp,
             track: snap.track,
+            viewsum: snap.viewsum,
             free: false,
             resume: Some(ctl),
         };
@@ -381,17 +387,21 @@ impl ModelWorld {
     /// settled at its first shared-memory gate (or has already decided,
     /// for bodies that return without touching shared memory). With
     /// `track`, fingerprint bookkeeping is enabled for the whole path —
-    /// required for [`Snapshot::fingerprint`].
+    /// required for [`Snapshot::fingerprint`]. With `viewsum`, the
+    /// observation histories fold declared view summaries instead of raw
+    /// views ([`super::RunConfig::view_summaries`]) — a property of the
+    /// whole path, inherited by every resumed successor.
     ///
     /// # Panics
     ///
     /// Panics if `bodies.len() != n` or if a body fails with a real panic.
-    pub fn snapshot_root(n: usize, track: bool, bodies: Vec<Body>) -> Snapshot {
+    pub fn snapshot_root(n: usize, track: bool, viewsum: bool, bodies: Vec<Body>) -> Snapshot {
         assert_eq!(bodies.len(), n, "one body per process required");
         install_crash_hook();
         let mut snap = Snapshot {
             n,
             track,
+            viewsum,
             objects: HashMap::new(),
             mem_fp: 0,
             obs_fp: vec![0; n],
@@ -489,6 +499,7 @@ impl ModelWorld {
         Snapshot {
             n: snap.n,
             track: snap.track,
+            viewsum: snap.viewsum,
             objects: std::mem::take(&mut st.objects),
             mem_fp: st.mem_fp,
             obs_fp: std::mem::take(&mut st.obs_fp),
@@ -552,7 +563,7 @@ mod tests {
 
     #[test]
     fn root_settles_every_process_at_its_first_gate() {
-        let snap = ModelWorld::snapshot_root(3, true, writer_bodies(3, 2));
+        let snap = ModelWorld::snapshot_root(3, true, false, writer_bodies(3, 2));
         assert_eq!(snap.alive(), vec![0, 1, 2]);
         assert_eq!(snap.steps(), 0);
         assert!(!snap.pending_read(0), "first op is a snap_write");
@@ -562,7 +573,7 @@ mod tests {
     #[test]
     fn root_records_immediately_deciding_bodies() {
         let bodies: Vec<Body> = vec![body(|_env| 41), body(|env| u64::from(env.tas(REG)))];
-        let snap = ModelWorld::snapshot_root(2, false, bodies);
+        let snap = ModelWorld::snapshot_root(2, false, false, bodies);
         assert_eq!(snap.alive(), vec![1]);
         assert_eq!(snap.report(false).outcomes[0], Outcome::Decided(41));
     }
@@ -573,7 +584,7 @@ mod tests {
         // indexed schedule; outcomes, steps, and every per-pick
         // fingerprint must agree.
         let n = 2;
-        let mut snap = ModelWorld::snapshot_root(n, true, writer_bodies(n, 2));
+        let mut snap = ModelWorld::snapshot_root(n, true, false, writer_bodies(n, 2));
         let mut choices = Vec::new();
         let mut resumed_hashes = Vec::new();
         while !snap.is_terminal() {
@@ -600,7 +611,7 @@ mod tests {
     #[test]
     fn resume_crash_kills_without_consuming_steps() {
         let n = 2;
-        let snap = ModelWorld::snapshot_root(n, false, writer_bodies(n, 1));
+        let snap = ModelWorld::snapshot_root(n, false, false, writer_bodies(n, 1));
         let crashed = ModelWorld::resume_crash(&snap, 0);
         assert_eq!(crashed.alive(), vec![1]);
         assert_eq!(crashed.steps(), 0);
@@ -621,7 +632,7 @@ mod tests {
                 0
             })]
         };
-        let snap = ModelWorld::snapshot_root(n, false, bodies());
+        let snap = ModelWorld::snapshot_root(n, false, false, bodies());
         assert!(!snap.pending_read(0));
         let snap = ModelWorld::resume_from(&snap, 0, bodies().remove(0));
         assert!(snap.pending_read(0), "parked before the scan");
@@ -644,7 +655,7 @@ mod tests {
                 0
             })]
         };
-        let snap = ModelWorld::snapshot_root(1, false, make(0));
+        let snap = ModelWorld::snapshot_root(1, false, false, make(0));
         let snap = ModelWorld::resume_from(&snap, 0, make(0).remove(0));
         // Resuming with a *different* body: the log replay must detect it.
         ModelWorld::resume_from(&snap, 0, make(1).remove(0));
@@ -654,6 +665,6 @@ mod tests {
     #[should_panic(expected = "virtual process 0 failed")]
     fn real_panics_surface_through_resume() {
         let bodies: Vec<Body> = vec![body(|_env| panic!("algorithm bug"))];
-        ModelWorld::snapshot_root(1, false, bodies);
+        ModelWorld::snapshot_root(1, false, false, bodies);
     }
 }

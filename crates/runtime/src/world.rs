@@ -96,6 +96,51 @@ pub trait World: Clone + Send + Sync + 'static {
     /// Unwritten cells read as `None` (the paper's `⊥`).
     fn snap_scan<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize) -> Vec<Option<T>>;
 
+    /// Atomically scans the `len`-cell snapshot object `key` and returns
+    /// `summarize(view)` — a **program-declared view summary**: the caller
+    /// receives *only* the summary, never the raw view.
+    ///
+    /// Semantically identical to `summarize(&snap_scan(..))` (the default
+    /// implementation is exactly that), and still one atomic step. The
+    /// point of declaring the summary at the operation is what it licenses
+    /// the exhaustive explorer to do: because the calling process's
+    /// continuation is a deterministic function of the values its
+    /// operations *returned*, a scan that returns only `saw_stable` makes
+    /// the process's control state a function of that one bit — so the
+    /// model world may fold the summary, instead of the full `O(len)`
+    /// view, into the process's observation identity
+    /// ([`crate::explore::Reduction::view_summaries`]). Sound by
+    /// construction: nothing the abstraction drops was ever visible to
+    /// the program.
+    ///
+    /// `summarize` is a plain `fn` pointer on purpose: it cannot capture
+    /// mutable state, so it is structurally a pure function of the view
+    /// (plus the caller's type parameters) — the determinism the model
+    /// world's log-replay resumption requires.
+    ///
+    /// ```
+    /// use mpcn_runtime::model_world::ModelWorld;
+    /// use mpcn_runtime::world::{Env, ObjKey};
+    ///
+    /// let env = Env::new(ModelWorld::new_free(2), 0);
+    /// let key = ObjKey::new(901, 0, 0);
+    /// env.snap_write(key, 2, 0, 7u64);
+    /// // The caller receives only the declared summary — here, how many
+    /// // cells have been written — never the raw view.
+    /// let written =
+    ///     env.snap_scan_via::<u64, u64>(key, 2, |view| view.iter().flatten().count() as u64);
+    /// assert_eq!(written, 1);
+    /// ```
+    fn snap_scan_via<T: MemVal, S: MemVal>(
+        &self,
+        pid: Pid,
+        key: ObjKey,
+        len: usize,
+        summarize: fn(&[Option<T>]) -> S,
+    ) -> S {
+        summarize(&self.snap_scan::<T>(pid, key, len))
+    }
+
     /// One-shot test&set: `true` to the first invocation ever, `false` to
     /// all later ones.
     fn tas(&self, pid: Pid, key: ObjKey) -> bool;
@@ -153,6 +198,16 @@ impl<W: World> Env<W> {
     /// See [`World::snap_scan`].
     pub fn snap_scan<T: MemVal>(&self, key: ObjKey, len: usize) -> Vec<Option<T>> {
         self.world.snap_scan(self.pid, key, len)
+    }
+
+    /// See [`World::snap_scan_via`].
+    pub fn snap_scan_via<T: MemVal, S: MemVal>(
+        &self,
+        key: ObjKey,
+        len: usize,
+        summarize: fn(&[Option<T>]) -> S,
+    ) -> S {
+        self.world.snap_scan_via(self.pid, key, len, summarize)
     }
 
     /// See [`World::tas`].

@@ -27,10 +27,13 @@ fn counter_bodies(n: usize, rounds: u64) -> Vec<Body> {
 
 /// A deterministic "random" program: `n` processes, `ops` shared-memory
 /// operations each, drawn from a small alphabet (register writes/reads,
-/// snapshot writes/scans, test&set) by hashing `(seed, pid, op index)`.
-/// Bodies fold their observations into the decided value, so outcomes
-/// depend on the interleaving — the explorer equivalence tests need
-/// schedule-sensitive programs.
+/// snapshot writes/scans — raw and through a lossy declared view
+/// summary — test&set) by hashing `(seed, pid, op index)`. Bodies fold
+/// their observations into the decided value, so outcomes depend on the
+/// interleaving — the explorer equivalence tests need schedule-sensitive
+/// programs, and the summarized-scan arm makes the view-summary
+/// reduction actually coarsen state identities on a fair share of the
+/// generated cases.
 fn small_program(seed: u64, n: usize, ops: usize) -> Vec<Body> {
     (0..n)
         .map(|i| {
@@ -39,13 +42,23 @@ fn small_program(seed: u64, n: usize, ops: usize) -> Vec<Body> {
                 for j in 0..ops {
                     let h = fp_of(&(seed, i, j));
                     let key = ObjKey::new(74, 0, h % 2);
-                    match h % 5 {
+                    match h % 6 {
                         0 => env.reg_write(key, h % 16),
                         1 => acc = acc.wrapping_add(env.reg_read::<u64>(key).unwrap_or(7)),
                         2 => env.snap_write(ObjKey::new(75, 0, 0), n, i, h % 16),
                         3 => {
                             let view = env.snap_scan::<u64>(ObjKey::new(75, 0, 0), n);
                             acc = acc.wrapping_add(view.into_iter().flatten().sum::<u64>());
+                        }
+                        4 => {
+                            // Declared view summary, deliberately lossy:
+                            // the body consumes only the count of
+                            // written cells, not their values.
+                            let written =
+                                env.snap_scan_via::<u64, u64>(ObjKey::new(75, 0, 0), n, |view| {
+                                    view.iter().flatten().count() as u64
+                                });
+                            acc = acc.wrapping_add(written);
                         }
                         _ => acc = acc.wrapping_add(u64::from(env.tas(ObjKey::new(76, 0, h % 2)))),
                     }
@@ -257,6 +270,69 @@ proptest! {
         }
     }
 
+    /// Differential view-summary test — the same discipline as the DPOR
+    /// gate: on random small programs (whose alphabet includes scans
+    /// through a lossy declared summary), summary-on exploration
+    /// ([`Reduction::full`]) and summary-off exploration
+    /// ([`Reduction::no_viewsum`]) must produce identical violation
+    /// *sets* and identical *replay verdicts* — every reported schedule,
+    /// replayed through the gated reference engine, must still trip the
+    /// checker — under one and two expansion workers alike. Summaries
+    /// only merge states, never split them, so they never add work.
+    #[test]
+    fn view_summaries_preserve_violation_sets_and_replay_verdicts(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 1usize..3,
+    ) {
+        let make = move || small_program(seed, n, ops);
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            if fp_of(&vals).wrapping_add(seed) % 3 == 0 {
+                return Err(format!("flagged outcome {vals:?}"));
+            }
+            Ok(())
+        };
+        let limits = ExploreLimits { max_expansions: 100_000, max_steps: 1_000, ..Default::default() };
+        for threads in [1usize, 2] {
+            let collect = |reduction: Reduction| {
+                let out = Explorer::new(n)
+                    .limits(limits)
+                    .reduction(reduction)
+                    .threads(threads)
+                    .collect_all(true)
+                    .run(make, check);
+                prop_assert!(
+                    out.complete || !out.violations.is_empty(),
+                    "small trees must be exhausted"
+                );
+                for v in &out.violations {
+                    let replayed =
+                        mpcn_runtime::explore::replay(n, Crashes::None, 1_000, make, &v.choices);
+                    prop_assert!(
+                        check(&replayed).is_err(),
+                        "replay verdict lost (seed {seed}, choices {:?})",
+                        v.choices
+                    );
+                }
+                let mut msgs: Vec<String> =
+                    out.violations.iter().map(|v| v.message.clone()).collect();
+                msgs.sort();
+                msgs.dedup();
+                Ok((out.stats.expansions, msgs))
+            };
+            let (summarized_work, summarized) = collect(Reduction::full())?;
+            let (reference_work, reference) = collect(Reduction::no_viewsum())?;
+            prop_assert_eq!(
+                summarized, reference,
+                "view summaries must preserve the violation set (seed {}, threads {})",
+                seed, threads
+            );
+            prop_assert!(summarized_work <= reference_work, "summaries never add work");
+        }
+    }
+
     /// The crash-and-timeout differential: the same DPOR-on vs DPOR-off
     /// equivalence, but with a generated single-crash plan (exercising
     /// the crash-commutes-with-everything rule on random programs) and a
@@ -380,6 +456,72 @@ proptest! {
         }
     }
 
+    /// The checkpoint stride is pure memory/time policy: for every
+    /// `k ∈ {1, 4, 16}`, a ceiling-1 frontier (evict everything
+    /// evictable) produces byte-identical summaries, completeness, and
+    /// violation lists to the unbounded run on random small programs —
+    /// and no rehydration ever replays more than `k` decisions. `k = 1`
+    /// makes every layer a checkpoint layer, so nothing is evictable at
+    /// all (the stride-vs-ceiling interaction the eviction exemption
+    /// defines).
+    #[test]
+    fn checkpoint_stride_is_byte_identical_across_k(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 2usize..4,
+    ) {
+        let make = move || small_program(seed, n, ops);
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            if fp_of(&vals).wrapping_add(seed) % 5 == 0 {
+                return Err(format!("flagged outcome {vals:?}"));
+            }
+            Ok(())
+        };
+        let sweep = |ceiling: usize, k: usize| {
+            let out = Explorer::new(n)
+                .limits(ExploreLimits {
+                    max_expansions: 100_000,
+                    max_steps: 1_000,
+                    ..Default::default()
+                })
+                .resident_ceiling(ceiling)
+                .checkpoint_every(k)
+                .collect_all(true)
+                .run(make, check);
+            let violations: Vec<(Vec<usize>, String)> = out
+                .violations
+                .iter()
+                .map(|v| (v.choices.clone(), v.message.clone()))
+                .collect();
+            (out.stats.summary(), out.complete, violations, out.stats)
+        };
+        let unbounded = sweep(usize::MAX, 16);
+        prop_assert_eq!(unbounded.3.evicted, 0u64, "unbounded run must not evict");
+        prop_assert_eq!(unbounded.3.max_rehydration_replay, 0u64);
+        for k in [1usize, 4, 16] {
+            let bounded = sweep(1, k);
+            prop_assert_eq!(
+                (&unbounded.0, unbounded.1, &unbounded.2),
+                (&bounded.0, bounded.1, &bounded.2),
+                "checkpoint stride k = {} must be invisible (seed {})", k, seed
+            );
+            prop_assert!(
+                bounded.3.max_rehydration_replay <= k as u64,
+                "rehydration must replay at most k = {} decisions ({})",
+                k,
+                bounded.3.max_rehydration_replay
+            );
+            if k == 1 {
+                prop_assert_eq!(
+                    bounded.3.evicted, 0u64,
+                    "k = 1 checkpoints every layer — nothing is evictable"
+                );
+            }
+        }
+    }
+
     /// Parallel frontier expansion is invisible: `threads = 1` and
     /// `threads = 4` produce byte-identical statistics (visited/pruned
     /// counts included) and identical violation lists — messages *and*
@@ -414,7 +556,9 @@ proptest! {
     /// arbitrary schedule yields, pick for pick, the same state
     /// fingerprints — and finally the same outcomes, step count, and
     /// op accounting — as a gated replay-from-root of the same choice
-    /// vector.
+    /// vector. Checked in both observation modes: raw views and
+    /// declared view summaries must each agree *between the two
+    /// engines* (their identities legitimately differ from each other).
     #[test]
     fn snapshot_resume_matches_gated_replay(
         seed in 0u64..1_000_000,
@@ -423,27 +567,36 @@ proptest! {
         ops in 1usize..4,
     ) {
         let make = move || small_program(seed, n, ops);
-        let mut snap = ModelWorld::snapshot_root(n, true, make());
-        let mut choices = Vec::new();
-        let mut resumed_hashes = Vec::new();
-        while !snap.is_terminal() {
-            let alive = snap.alive();
-            let c = (fp_of(&(pick_seed, choices.len())) as usize) % alive.len();
-            let pid = alive[c];
-            choices.push(c);
-            let body = make().into_iter().nth(pid).expect("pid in range");
-            snap = ModelWorld::resume_from(&snap, pid, body);
-            resumed_hashes.push(snap.fingerprint());
+        for viewsum in [false, true] {
+            let mut snap = ModelWorld::snapshot_root(n, true, viewsum, make());
+            let mut choices = Vec::new();
+            let mut resumed_hashes = Vec::new();
+            while !snap.is_terminal() {
+                let alive = snap.alive();
+                let c = (fp_of(&(pick_seed, choices.len())) as usize) % alive.len();
+                let pid = alive[c];
+                choices.push(c);
+                let body = make().into_iter().nth(pid).expect("pid in range");
+                snap = ModelWorld::resume_from(&snap, pid, body);
+                resumed_hashes.push(snap.fingerprint());
+            }
+            let gated = ModelWorld::run(
+                RunConfig::replay(n, Crashes::None, 10_000, &choices)
+                    .record_state_hashes(true)
+                    .view_summaries(viewsum),
+                make(),
+            );
+            let report = snap.report(false);
+            prop_assert_eq!(report.outcomes, gated.outcomes);
+            prop_assert_eq!(report.steps, gated.steps);
+            prop_assert_eq!(report.ops_by_kind, gated.ops_by_kind);
+            prop_assert_eq!(
+                resumed_hashes,
+                gated.state_hashes.expect("requested"),
+                "engines disagree on state identity (viewsum {})",
+                viewsum
+            );
         }
-        let gated = ModelWorld::run(
-            RunConfig::replay(n, Crashes::None, 10_000, &choices).record_state_hashes(true),
-            make(),
-        );
-        let report = snap.report(false);
-        prop_assert_eq!(report.outcomes, gated.outcomes);
-        prop_assert_eq!(report.steps, gated.steps);
-        prop_assert_eq!(report.ops_by_kind, gated.ops_by_kind);
-        prop_assert_eq!(resumed_hashes, gated.state_hashes.expect("requested"));
     }
 
     /// Crash planning at own-step granularity: a process crashed at step s

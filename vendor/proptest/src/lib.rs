@@ -2,9 +2,10 @@
 //!
 //! Supports the subset this workspace's property tests use: the
 //! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
-//! header), integer range and tuple strategies, [`Strategy::prop_map`] /
-//! [`Strategy::prop_flat_map`], and the `prop_assert*!` / [`prop_assume!`]
-//! macros.
+//! header), integer range and tuple strategies,
+//! [`strategy::Strategy::prop_map`] /
+//! [`strategy::Strategy::prop_flat_map`], and the `prop_assert*!` /
+//! [`prop_assume!`] macros.
 //!
 //! Semantic deviations from upstream: generation is fully deterministic
 //! (case `i` of a test always sees the same inputs, across runs and
