@@ -8,14 +8,17 @@
 //!   `n = 5` sweeps pin exact state-count baselines, and a summary-off
 //!   sweep pins that `Reduction::no_viewsum` reproduces the PR 4
 //!   `n = 4` baseline byte for byte). `n = 6` is also exhaustible
-//!   (~18 s release) — pinned by an `#[ignore]`d release-scale test;
+//!   (~20 s release) — pinned by an `#[ignore]`d release-scale test
+//!   that runs through a disk-backed `SpillStore` under a binding
+//!   resident ceiling (the storage layer at its design scale);
 //! * Figure 5 `x_compete`, `n = 3..5` — exhaustive at `n = 3, 4`,
 //!   bounded-depth at `n = 5`;
 //! * Figure 6 x-safe agreement, `n = 3..5` — exhaustive at `n = 3, 4`
 //!   (the `n = 4` sweep additionally pins that `threads = 1` and
-//!   `threads = 2` produce byte-identical reports, and the bounded
-//!   frontier that an artificially tiny snapshot ceiling is invisible),
-//!   bounded-depth at `n = 5`;
+//!   `threads = 2` produce byte-identical reports, the bounded
+//!   frontier that an artificially tiny snapshot ceiling is invisible,
+//!   and the storage layer that a disk-spilled sweep reproduces the
+//!   in-memory line byte for byte), bounded-depth at `n = 5`;
 //! * a crash-schedule matrix: `fig1 n = 3` with a crash at every
 //!   `(process, step)` pair, DPOR-on vs DPOR-off, verdicts cross-checked
 //!   against the gated-replay oracle.
@@ -151,14 +154,22 @@ fn fig1_n5_exhaustive_viewsum_baseline() {
 }
 
 /// One scale step beyond the milestone: `n = 6` (depth 24) is also
-/// exhaustible under the view summaries — ~1.37M expansions, ~18 s
+/// exhaustible under the view summaries — ~1.37M expansions, ~20 s
 /// release — but too heavy for the debug-mode tier-1 suite, so the
-/// exact baseline is pinned behind `#[ignore]`. Reproduce with
+/// exact baseline is pinned behind `#[ignore]`. The sweep runs through
+/// a disk-backed `SpillStore` with a resident ceiling far below the
+/// widest layer: checkpoint snapshots live in the segment file (a
+/// spilling store drops the in-memory engine's checkpoint eviction
+/// exemption), so this is the storage layer at its design scale — and
+/// the pinned line proves the disk is invisible in the report.
+/// Reproduce with
 /// `cargo test --release -p mpcn-agreement --test explore_sweeps -- \
 /// --ignored fig1_n6`.
 #[test]
-#[ignore = "release-scale sweep (~18 s release, minutes debug); run explicitly with --ignored"]
-fn fig1_n6_exhaustive_viewsum_baseline() {
+#[ignore = "release-scale sweep (~20 s release, minutes debug); run explicitly with --ignored"]
+fn fig1_n6_exhaustive_viewsum_spill_baseline() {
+    let dir = std::env::temp_dir().join(format!("mpcn-fig1-n6-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     let out = Explorer::new(6)
         .threads(threads_from_env(2))
         .limits(ExploreLimits {
@@ -166,8 +177,10 @@ fn fig1_n6_exhaustive_viewsum_baseline() {
             max_steps: 5_000,
             ..Default::default()
         })
-        .resident_ceiling(200_000)
+        .resident_ceiling(50_000)
         .checkpoint_every(8)
+        .spill_to(&dir)
+        .fixture_id("fig1 n=6 viewsum")
         .run(|| fig1_bodies(6, 1), |r| check_agreement(r, 6, true));
     out.assert_no_violation();
     assert!(out.complete, "fig1 n = 6 must exhaust ({} runs)", out.runs());
@@ -178,6 +191,9 @@ fn fig1_n6_exhaustive_viewsum_baseline() {
          branching=[0,29916,94350,162840,169230,105882,31760]",
         "fig1 n = 6 view-summary baseline drifted"
     );
+    assert!(out.stats.spilled > 0, "checkpoint layers must spill to the segment file");
+    assert!(out.stats.store_reads > 0, "the binding ceiling must rehydrate from disk");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Figure 5 sweeps: exhaustive at `n = 3, 4`; depth bounded at `n = 5`.
@@ -324,6 +340,46 @@ fn fig6_n4_bounded_frontier_report_is_byte_identical() {
     assert_eq!(unbounded.complete, bounded.complete);
     assert_eq!(unbounded.violations, bounded.violations);
     unbounded.assert_no_violation();
+}
+
+/// The storage layer on the Figure 6 scale-up sweep: the same 64-node
+/// ceiling, but with checkpoints spilled to a disk-backed `SpillStore`
+/// (which also drops the checkpoint eviction exemption, so rehydration
+/// is served from the segment file). The report — every statistic of
+/// the summary line, completeness, violations — must be byte-identical
+/// to the in-memory run's; only the off-summary storage counters see
+/// the disk.
+#[test]
+fn fig6_n4_spilled_sweep_report_is_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("mpcn-fig6-n4-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sweep = |spill: bool| {
+        let ex = Explorer::new(4)
+            .threads(threads_from_env(2))
+            .resident_ceiling(64)
+            .checkpoint_every(8)
+            .limits(ExploreLimits {
+                max_expansions: 2_000_000,
+                max_steps: 2_000,
+                ..Default::default()
+            });
+        let ex = if spill { ex.spill_to(&dir).fixture_id("fig6 n=4 x=2") } else { ex };
+        ex.run(|| fig6_bodies(4, 2, 1), |r| check_agreement(r, 4, true))
+    };
+    let in_memory = sweep(false);
+    let spilled = sweep(true);
+    assert_eq!(
+        in_memory.stats.summary(),
+        spilled.stats.summary(),
+        "the storage layer must be invisible in the report"
+    );
+    assert_eq!(in_memory.complete, spilled.complete);
+    assert_eq!(in_memory.violations, spilled.violations);
+    assert!(spilled.stats.spilled > 0, "checkpoint layers must spill to the segment file");
+    assert!(spilled.stats.store_reads > 0, "the 64-node ceiling must rehydrate from disk");
+    assert_eq!(in_memory.stats.spilled, 0, "the in-memory run must not touch a disk");
+    in_memory.assert_no_violation();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A broken invariant on the real Figure 1 object produces a violation

@@ -12,9 +12,13 @@
 //!   under `MPCN_EXPLORE_DPOR=0` (the pre-DPOR reduction set) and
 //!   `MPCN_EXPLORE_VIEWSUM=0` (summaries off) and assert the *verdict*
 //!   fields (`complete=…/violations=…`) of every common label match —
-//!   state counts legitimately differ between reduction sets. Baselines
-//!   are recorded in ROADMAP.md; `docs/EXPLORER.md` catalogues every
-//!   environment knob and stderr counter.
+//!   state counts legitimately differ between reduction sets. The
+//!   storage gate re-runs the catalogue under `MPCN_EXPLORE_SPILL=1`
+//!   (every sweep through a disk-backed `SpillStore`) and diffs the
+//!   *whole* lines against the in-memory run — storage is policy and
+//!   must be invisible. Baselines are recorded in ROADMAP.md;
+//!   `docs/EXPLORER.md` catalogues every environment knob and stderr
+//!   counter.
 //! * **Wall time** of pruned sweeps under `threads = 1` and
 //!   `threads = k` — the parallel-speedup measure (the vendored
 //!   criterion shim reports mean/min/p50/p99, so tail latency is
@@ -37,13 +41,30 @@ use mpcn_agreement::fixtures::{
     check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies,
 };
 use mpcn_runtime::explore::{
-    reduction_from_env, threads_from_env, ExploreLimits, ExploreReport, Explorer, Reduction,
+    reduction_from_env, spill_from_env, threads_from_env, ExploreLimits, ExploreReport, Explorer,
+    Reduction,
 };
 use mpcn_runtime::sched::Crashes;
 use std::hint::black_box;
+use std::path::PathBuf;
 
 fn limits(max_expansions: u64, max_depth: usize) -> ExploreLimits {
     ExploreLimits { max_expansions, max_steps: 2_000, max_depth }
+}
+
+/// Under `MPCN_EXPLORE_SPILL=1`, route the sweep through a `SpillStore`
+/// in its own directory beneath `base`; otherwise leave it in memory.
+/// The CI spill gate diffs the resulting lines against the in-memory
+/// run — storage must be invisible in every printed field.
+fn maybe_spill(ex: Explorer, base: &Option<PathBuf>, label: &str) -> Explorer {
+    match base {
+        Some(b) => {
+            let slug: String =
+                label.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect();
+            ex.spill_to(b.join(slug)).fixture_id(label)
+        }
+        None => ex,
+    }
 }
 
 /// The catalogued sweeps under `reduction`. Every report's summary line
@@ -52,63 +73,90 @@ fn limits(max_expansions: u64, max_depth: usize) -> ExploreLimits {
 /// the reduction set; the DPOR verdict gate compares only the
 /// `complete=`/`violations=` fields across reduction modes.)
 fn catalogue(threads: usize, reduction: Reduction) -> Vec<(&'static str, ExploreReport)> {
+    let spill = spill_from_env()
+        .then(|| std::env::temp_dir().join(format!("mpcn-bench-spill-{}", std::process::id())));
     let mut sweeps = vec![
         (
             "fig1 n=3 pruned",
-            Explorer::new(3)
-                .threads(threads)
-                .reduction(reduction)
-                .limits(limits(2_000_000, usize::MAX))
-                .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
+            maybe_spill(
+                Explorer::new(3)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .limits(limits(2_000_000, usize::MAX)),
+                &spill,
+                "fig1 n=3 pruned",
+            )
+            .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
         ),
         (
             "fig1 n=3 unpruned",
-            Explorer::new(3)
-                .threads(threads)
-                .limits(limits(2_000_000, usize::MAX))
-                .reduction(Reduction::none())
-                .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
+            maybe_spill(
+                Explorer::new(3)
+                    .threads(threads)
+                    .limits(limits(2_000_000, usize::MAX))
+                    .reduction(Reduction::none()),
+                &spill,
+                "fig1 n=3 unpruned",
+            )
+            .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
         ),
         (
             "fig1 n=3 crash(0@1) pruned",
-            Explorer::new(3)
-                .threads(threads)
-                .reduction(reduction)
-                .crashes(Crashes::AtOwnStep(vec![(0, 1)]))
-                .limits(limits(2_000_000, usize::MAX))
-                .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
+            maybe_spill(
+                Explorer::new(3)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .crashes(Crashes::AtOwnStep(vec![(0, 1)]))
+                    .limits(limits(2_000_000, usize::MAX)),
+                &spill,
+                "fig1 n=3 crash(0@1) pruned",
+            )
+            .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
         ),
         (
             "fig1 n=4 depth<=9 pruned",
-            Explorer::new(4)
-                .threads(threads)
-                .reduction(reduction)
-                .limits(limits(2_000_000, 9))
-                .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
+            maybe_spill(
+                Explorer::new(4).threads(threads).reduction(reduction).limits(limits(2_000_000, 9)),
+                &spill,
+                "fig1 n=4 depth<=9 pruned",
+            )
+            .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
         ),
         (
             "fig5 n=4 x=2 pruned",
-            Explorer::new(4)
-                .threads(threads)
-                .reduction(reduction)
-                .limits(limits(500_000, usize::MAX))
-                .run(|| fig5_bodies(4, 2), |r| check_winners(r, 4, 2)),
+            maybe_spill(
+                Explorer::new(4)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .limits(limits(500_000, usize::MAX)),
+                &spill,
+                "fig5 n=4 x=2 pruned",
+            )
+            .run(|| fig5_bodies(4, 2), |r| check_winners(r, 4, 2)),
         ),
         (
             "fig6 n=3 x=2 pruned",
-            Explorer::new(3)
-                .threads(threads)
-                .reduction(reduction)
-                .limits(limits(1_000_000, usize::MAX))
-                .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, false)),
+            maybe_spill(
+                Explorer::new(3)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .limits(limits(1_000_000, usize::MAX)),
+                &spill,
+                "fig6 n=3 x=2 pruned",
+            )
+            .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, false)),
         ),
         (
             "fig6 n=4 x=2 pruned",
-            Explorer::new(4)
-                .threads(threads)
-                .reduction(reduction)
-                .limits(limits(2_000_000, usize::MAX))
-                .run(|| fig6_bodies(4, 2, 1), |r| check_agreement(r, 4, false)),
+            maybe_spill(
+                Explorer::new(4)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .limits(limits(2_000_000, usize::MAX)),
+                &spill,
+                "fig6 n=4 x=2 pruned",
+            )
+            .run(|| fig6_bodies(4, 2, 1), |r| check_agreement(r, 4, false)),
         ),
     ];
     if reduction.dpor {
@@ -119,11 +167,15 @@ fn catalogue(threads: usize, reduction: Reduction) -> Vec<(&'static str, Explore
         // modes.
         sweeps.push((
             "fig1 n=4 pruned",
-            Explorer::new(4)
-                .threads(threads)
-                .reduction(reduction)
-                .limits(limits(2_000_000, usize::MAX))
-                .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
+            maybe_spill(
+                Explorer::new(4)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .limits(limits(2_000_000, usize::MAX)),
+                &spill,
+                "fig1 n=4 pruned",
+            )
+            .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
         ));
     }
     if reduction.view_summaries {
@@ -137,14 +189,21 @@ fn catalogue(threads: usize, reduction: Reduction) -> Vec<(&'static str, Explore
         // `explore_sweeps.rs` pins this exact line.
         sweeps.push((
             "fig1 n=5 pruned",
-            Explorer::new(5)
-                .threads(threads)
-                .reduction(reduction)
-                .limits(limits(60_000_000, usize::MAX))
-                .resident_ceiling(2_048)
-                .checkpoint_every(8)
-                .run(|| fig1_bodies(5, 1), |r| check_agreement(r, 5, false)),
+            maybe_spill(
+                Explorer::new(5)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .limits(limits(60_000_000, usize::MAX))
+                    .resident_ceiling(2_048)
+                    .checkpoint_every(8),
+                &spill,
+                "fig1 n=5 pruned",
+            )
+            .run(|| fig1_bodies(5, 1), |r| check_agreement(r, 5, false)),
         ));
+    }
+    if let Some(base) = &spill {
+        let _ = std::fs::remove_dir_all(base);
     }
     sweeps
 }

@@ -57,16 +57,35 @@
 //! snapshot (and hence the whole report) is byte-identical to the
 //! never-evicted run.
 //!
-//! Rehydration does not start at the root: layers whose depth is a
-//! multiple of [`super::Explorer::checkpoint_every`]`= k` are **exempt
-//! from eviction**, and every node carries an [`Anchor`] — a shared
-//! `Arc` to its nearest such ancestor's snapshot plus that ancestor's
-//! adversary state — kept alive exactly as long as a frontier descendant
-//! references it. An evicted expansion therefore replays at most `k`
+//! Rehydration does not start at the root: every node carries an
+//! [`Anchor`] — a reference to its nearest checkpoint-depth ancestor's
+//! **stored** snapshot (depth a multiple of
+//! [`super::Explorer::checkpoint_every`]`= k`) plus that ancestor's
+//! adversary state. An evicted expansion therefore replays at most `k`
 //! decisions (`anchor.depth ..` of the node's path), turning the old
 //! `O(depth)` root replay into `O(k)`; the longest suffix actually
 //! replayed is reported as
 //! [`super::ExploreStats::max_rehydration_replay`].
+//!
+//! # Storage seam (see [`super::store`])
+//!
+//! *Where* a checkpoint snapshot lives is the [`SnapshotStore`]'s
+//! business, not the engine's: when a node is admitted on a
+//! checkpoint-depth layer (and eviction is possible at all), the engine
+//! hands its snapshot to [`SnapshotStore::put`] and anchors the node to
+//! the returned [`SnapRef`]; children inherit the parent's anchor. The
+//! in-memory store returns a shared `Arc` (and exempts checkpoint
+//! layers from eviction, since those `Arc`s *are* the anchors) —
+//! byte-for-byte the classic engine. The disk-spilling store appends
+//! the encoded snapshot to a segment file and returns a record locator,
+//! so checkpoint layers need no exemption: the resident ceiling really
+//! bounds RAM, and rehydration reads the anchor back from disk
+//! ([`super::ExploreStats::store_reads`]). The store also persists
+//! every layer boundary ([`SnapshotStore::barrier`], called by
+//! [`Engine::drive`] right after each merge — the point where the
+//! engine's state is exactly {committed stats, visited set, next job
+//! list}), which is what makes a killed sweep resumable
+//! ([`Engine::resume`]).
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,6 +98,7 @@ use crate::sched::{CrashState, Crashes};
 use crate::world::Pid;
 
 use super::report::{ExploreReport, ExploreStats, Violation};
+use super::store::{MemStore, PendingSweep, SnapRef, SnapshotStore, SpillStore, SweepCheckpoint};
 use super::Explorer;
 
 /// Number of visited-set shards (fingerprint modulo; must be a power of
@@ -115,7 +135,7 @@ impl VisitedShards {
 /// The scheduling decision that created a node, as an *action*: the
 /// dependency footprint of the completed operation, or a crash delivery.
 #[derive(Clone, Copy)]
-enum Action {
+pub(super) enum Action {
     Op(Footprint),
     Crash,
 }
@@ -150,7 +170,7 @@ enum SkipKind {
 /// descendants anchor to checkpoint-layer snapshots); evicted nodes keep
 /// only what the merge-phase reductions need and are rehydrated by the
 /// worker that expands them.
-enum Store {
+pub(super) enum Store {
     Resident(Arc<Snapshot>),
     Evicted {
         /// Pending footprint per pid (what [`Engine::skip_kind`] reads).
@@ -165,66 +185,45 @@ enum Store {
 
 /// A node's rehydration base: the nearest ancestor at a
 /// checkpoint-stride depth ([`super::Explorer::checkpoint_every`]),
-/// which is exempt from eviction. Shared by `Arc` among all descendants,
-/// so a checkpoint snapshot lives exactly as long as some frontier node
-/// still rehydrates through it.
+/// held as wherever the [`SnapshotStore`] put it — a shared in-memory
+/// `Arc`, kept alive exactly as long as some frontier descendant still
+/// rehydrates through it, or a disk record locator.
 #[derive(Clone)]
-struct Anchor {
+pub(super) struct Anchor {
     /// The ancestor's depth — rehydration replays `path[depth..]`.
-    depth: usize,
-    /// The ancestor's snapshot.
-    snap: Arc<Snapshot>,
+    pub(super) depth: usize,
+    /// The ancestor's stored snapshot.
+    pub(super) snap: SnapRef,
     /// The ancestor's post-path adversary state (so the replayed picks
     /// make exactly the `should_crash` calls the original expansion
-    /// made — required for the stateful [`Crashes::Random`] policy).
-    crash: CrashState,
+    /// made).
+    pub(super) crash: CrashState,
 }
 
 /// One frontier node: a reachable state plus everything path-dependent
 /// the engine needs to continue from it.
-struct Node {
-    store: Store,
+pub(super) struct Node {
+    pub(super) store: Store,
     /// Choice vector from the root (the replayable schedule prefix).
-    path: Vec<usize>,
+    pub(super) path: Vec<usize>,
     /// Cached alive set of the node's state.
-    alive: Vec<Pid>,
+    pub(super) alive: Vec<Pid>,
     /// The decision that created this node. `None` at the root.
-    incoming: Option<(Pid, Action)>,
+    pub(super) incoming: Option<(Pid, Action)>,
     /// Adversary state after this node's path (one `should_crash` call
     /// per pick, as in a gated run).
-    crash: CrashState,
-    /// Nearest checkpointed ancestor. `None` at the root (itself
-    /// checkpoint-depth 0 and never evicted) and throughout any
-    /// exploration without a resident ceiling — anchors exist only to
-    /// serve rehydration, so keeping them alive when nothing can ever be
-    /// evicted would pin a whole checkpoint layer's snapshots past their
+    pub(super) crash: CrashState,
+    /// Nearest checkpointed ancestor, installed by [`Engine::admit`]
+    /// when the node itself sits on a checkpoint-depth layer and
+    /// inherited from the parent otherwise. `None` throughout any
+    /// exploration where nothing can be evicted ([`Engine::evictable`])
+    /// — anchors exist only to serve rehydration, so keeping them alive
+    /// then would pin a whole checkpoint layer's snapshots past their
     /// layer's lifetime for no benefit.
-    anchor: Option<Anchor>,
+    pub(super) anchor: Option<Anchor>,
 }
 
 impl Node {
-    /// The anchor a child of this node rehydrates from: this node itself
-    /// when it sits on a checkpoint layer (checkpoint layers are always
-    /// resident — [`Engine::maybe_evict`] exempts them), its own anchor
-    /// otherwise. `None` when `evictable` is off (no resident ceiling —
-    /// see the `anchor` field docs).
-    fn checkpoint_anchor(&self, checkpoint_every: usize, evictable: bool) -> Option<Anchor> {
-        if !evictable {
-            return None;
-        }
-        if self.path.len() % checkpoint_every == 0 {
-            if let Store::Resident(snap) = &self.store {
-                return Some(Anchor {
-                    depth: self.path.len(),
-                    snap: Arc::clone(snap),
-                    crash: self.crash.clone(),
-                });
-            }
-            debug_assert!(false, "checkpoint-layer nodes are never evicted");
-        }
-        self.anchor.clone()
-    }
-
     fn pending_footprint(&self, pid: Pid) -> Option<Footprint> {
         match &self.store {
             Store::Resident(snap) => snap.pending_footprint(pid),
@@ -247,7 +246,7 @@ impl Node {
     }
 }
 
-enum Job {
+pub(super) enum Job {
     /// Execute one scheduling decision: pick `alive[choice]` at `node`.
     Expand { node: Arc<Node>, choice: usize },
     /// Resume `node` to completion along the canonical choice-0 suffix
@@ -273,6 +272,9 @@ struct Expanded {
     /// Choice-path suffix length a rehydration replayed (0 if the parent
     /// was resident) — feeds `max_rehydration_replay`.
     rehydration_replay: u64,
+    /// Checkpoint records this job read back from disk storage (0 under
+    /// the in-memory store) — feeds `store_reads`.
+    store_reads: u64,
 }
 
 struct TailRun {
@@ -283,6 +285,8 @@ struct TailRun {
     depth: usize,
     /// See [`Expanded::rehydration_replay`].
     rehydration_replay: u64,
+    /// See [`Expanded::store_reads`].
+    store_reads: u64,
 }
 
 /// The read-only context expansion workers share.
@@ -299,12 +303,6 @@ struct Shared<'a, F> {
     /// Fold declared view summaries into live observation histories
     /// (fixed at the root snapshot; kept here for rehydration roots).
     viewsum: bool,
-    /// Ancestor-checkpoint stride of the bounded-memory frontier
-    /// ([`super::Explorer::checkpoint_every`]).
-    checkpoint_every: usize,
-    /// A resident ceiling is set, so eviction (and hence rehydration)
-    /// can happen — the only situation anchors are worth carrying.
-    evictable: bool,
     max_steps: u64,
 }
 
@@ -335,6 +333,16 @@ pub(super) struct Engine<'a, F, C> {
     /// (reset per merge pass; compared against
     /// [`super::Explorer::resident_ceiling`]).
     resident: usize,
+    /// Where checkpoint snapshots live ([`super::store`]).
+    store: Box<dyn SnapshotStore>,
+    /// The store is the disk-spilling one — gates barrier bookkeeping
+    /// (visited-delta collection) that would be waste under [`MemStore`].
+    spilling: bool,
+    /// Completed layer barriers (the root admission is layer 0's).
+    layer: u64,
+    /// Fingerprints committed to the visited set since the last barrier,
+    /// in canonical merge order (collected only when spilling).
+    visited_delta: Vec<u64>,
 }
 
 impl<'a, F, C> Engine<'a, F, C>
@@ -343,6 +351,28 @@ where
     C: Fn(&RunReport) -> Result<(), String>,
 {
     pub(super) fn new(ex: &'a Explorer, make_bodies: &'a F, check: &'a C) -> Self {
+        let (store, spilling): (Box<dyn SnapshotStore>, bool) = match &ex.spill_dir {
+            Some(dir) => {
+                let store = SpillStore::create(dir).unwrap_or_else(|e| {
+                    panic!(
+                        "explore spill: cannot initialize sweep directory {}: {e}",
+                        dir.display()
+                    )
+                });
+                (Box::new(store), true)
+            }
+            None => (Box::new(MemStore), false),
+        };
+        Engine::with_store(ex, make_bodies, check, store, spilling)
+    }
+
+    fn with_store(
+        ex: &'a Explorer,
+        make_bodies: &'a F,
+        check: &'a C,
+        store: Box<dyn SnapshotStore>,
+        spilling: bool,
+    ) -> Self {
         // Random crashes are a sampling policy whose RNG state is a
         // function of the pick history, not of the reached state; no
         // reduction's argument applies, so all are disabled.
@@ -364,6 +394,10 @@ where
             stopped: false,
             queued: 0,
             resident: 0,
+            store,
+            spilling,
+            layer: 0,
+            visited_delta: Vec::new(),
         }
     }
 
@@ -380,15 +414,84 @@ where
         };
         let mut jobs = Vec::new();
         self.admit(root, &mut jobs);
+        self.drive(jobs)
+    }
+
+    /// Continues an interrupted spilled sweep from its persisted state:
+    /// the pending layer's jobs re-execute from the last barrier, which
+    /// is sound because the barrier committed *all* merge effects of
+    /// prior layers and *none* of the pending one.
+    pub(super) fn resume(
+        ex: &'a Explorer,
+        make_bodies: &'a F,
+        check: &'a C,
+        pending: PendingSweep,
+    ) -> ExploreReport {
+        let mut engine = Engine::with_store(ex, make_bodies, check, Box::new(pending.store), true);
+        for fp in pending.visited {
+            engine.visited.insert(fp);
+        }
+        engine.stats = pending.stats;
+        engine.violations = pending.violations;
+        engine.queued = pending.queued;
+        engine.complete = pending.complete;
+        engine.layer = pending.layer;
+        engine.drive(pending.jobs)
+    }
+
+    /// The layer loop, entered with layer `self.layer`'s job list (from
+    /// the root admission or a resumed manifest). Persists a barrier
+    /// after every merge; a configured [`super::Explorer::halt_after_layers`]
+    /// exits *between* barriers — leaving the sweep directory exactly as
+    /// a kill at that instant would — and reports incomplete.
+    fn drive(mut self, mut jobs: Vec<Job>) -> ExploreReport {
+        self.barrier(&jobs, false);
+        let mut halted = false;
         while !jobs.is_empty() && !self.stopped {
+            if self.ex.halt_after_layers.is_some_and(|h| self.layer >= h) {
+                halted = true;
+                break;
+            }
             let results = self.execute(&jobs);
             jobs = self.merge(results);
+            self.layer += 1;
+            self.barrier(&jobs, false);
+        }
+        if !halted {
+            self.barrier(&[], true);
         }
         ExploreReport {
-            complete: self.complete && self.violations.is_empty(),
+            complete: self.complete && self.violations.is_empty() && !halted,
             stats: self.stats,
             violations: self.violations,
         }
+    }
+
+    /// Persists one layer boundary through the store (a no-op in
+    /// memory). The engine's own state never depends on it — only a
+    /// future [`Engine::resume`] does.
+    fn barrier(&mut self, jobs: &[Job], done: bool) {
+        let ck = SweepCheckpoint {
+            ex: self.ex,
+            layer: self.layer,
+            jobs,
+            stats: &self.stats,
+            violations: &self.violations,
+            visited_delta: &self.visited_delta,
+            queued: self.queued,
+            complete: self.complete,
+            done,
+        };
+        if let Err(e) = self.store.barrier(&ck) {
+            panic!("explore spill: cannot persist the layer-{} barrier: {e}", self.layer);
+        }
+        self.visited_delta.clear();
+    }
+
+    /// Whether eviction (and hence rehydration) can happen at all — the
+    /// only situation node anchors are worth installing.
+    fn evictable(&self) -> bool {
+        self.ex.resident_ceiling != usize::MAX || self.spilling
     }
 
     /// Classifies a freshly retained node: terminal and timed-out nodes
@@ -396,7 +499,7 @@ where
     /// else queues one expansion job per non-redundant choice. A
     /// non-terminal node beyond the layer's resident ceiling is evicted
     /// to scheduling metadata before queueing.
-    fn admit(&mut self, node: Node, jobs: &mut Vec<Job>) {
+    fn admit(&mut self, mut node: Node, jobs: &mut Vec<Job>) {
         let Store::Resident(snap) = &node.store else {
             unreachable!("children are admitted resident");
         };
@@ -410,6 +513,16 @@ where
             let report = snap.report(true);
             self.finish_run(report, node.path, depth);
             return;
+        }
+        // Checkpoint-depth nodes anchor to themselves: their snapshot
+        // goes to the store, and every descendant down to the next
+        // checkpoint layer inherits the returned reference.
+        if self.evictable() && depth % self.ex.checkpoint_every == 0 {
+            let snap_ref = match self.store.put(snap, &mut self.stats) {
+                Ok(snap_ref) => snap_ref,
+                Err(e) => panic!("explore spill: cannot store a checkpoint snapshot: {e}"),
+            };
+            node.anchor = Some(Anchor { depth, snap: snap_ref, crash: node.crash.clone() });
         }
         let node = self.maybe_evict(node);
         if depth >= self.ex.limits.max_depth {
@@ -445,13 +558,15 @@ where
     /// [`super::Explorer::resident_ceiling`] nodes admitted per layer
     /// keep their snapshot; colder ones are stripped down to scheduling
     /// metadata and rehydrated on demand by the expanding worker.
-    /// Checkpoint layers (depth a multiple of
-    /// [`super::Explorer::checkpoint_every`]) are exempt: their
-    /// snapshots are the anchors every descendant rehydrates from, so
-    /// evicting one would silently reintroduce the `O(depth)` root
-    /// replay this policy exists to avoid.
+    /// Under the in-memory store, checkpoint layers (depth a multiple
+    /// of [`super::Explorer::checkpoint_every`]) are exempt: their
+    /// resident snapshots *are* the anchors every descendant rehydrates
+    /// from, so evicting one would silently reintroduce the `O(depth)`
+    /// root replay this policy exists to avoid. The disk store keeps
+    /// its anchors in the segment file and waives the exemption —
+    /// checkpoint nodes count against the ceiling like any other.
     fn maybe_evict(&mut self, node: Node) -> Node {
-        if node.path.len() % self.ex.checkpoint_every == 0 {
+        if self.store.exempts_checkpoints() && node.path.len() % self.ex.checkpoint_every == 0 {
             return node;
         }
         if self.resident < self.ex.resident_ceiling {
@@ -553,8 +668,6 @@ where
             prune: self.prune,
             quotient: self.quotient,
             viewsum: self.viewsum,
-            checkpoint_every: self.ex.checkpoint_every,
-            evictable: self.ex.resident_ceiling != usize::MAX,
             max_steps: self.ex.limits.max_steps,
         };
         let workers = self.threads.min(jobs.len());
@@ -595,17 +708,22 @@ where
                     self.stats.depth_limited_runs += 1;
                     self.stats.max_rehydration_replay =
                         self.stats.max_rehydration_replay.max(tail.rehydration_replay);
+                    self.stats.store_reads += tail.store_reads;
                     self.finish_run(tail.report, tail.choices, tail.depth);
                 }
                 JobResult::Expanded(child) => {
                     self.stats.max_rehydration_replay =
                         self.stats.max_rehydration_replay.max(child.rehydration_replay);
+                    self.stats.store_reads += child.store_reads;
                     if self.prune && (child.pre_pruned || !self.visited.insert(child.fp)) {
                         self.stats.states_pruned += 1;
                         if child.coarsened {
                             self.stats.quotient_hits += 1;
                         }
                         continue;
+                    }
+                    if self.prune && self.spilling {
+                        self.visited_delta.push(child.fp);
                     }
                     self.stats.states_visited += 1;
                     let node = child.node.expect("retained children carry their node");
@@ -685,15 +803,31 @@ fn step_snapshot<F: Fn() -> Vec<Body>>(
 
 /// Rebuilds an evicted node's snapshot by replaying its choice-path
 /// suffix from its [`Anchor`] — every replayed decision a deterministic
-/// resume from a clone of the anchor's snapshot and adversary state, so
-/// the result is identical to the snapshot that was evicted. At most
-/// [`super::Explorer::checkpoint_every`] decisions are replayed (the
-/// anchor is the nearest checkpoint-depth ancestor, and those are never
-/// evicted). Falls back to a fresh root for anchorless nodes — only the
-/// root itself, which is never evicted, so the fallback is defensive.
-fn rehydrate<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node) -> (Snapshot, u64) {
+/// resume from a copy of the anchor's snapshot (cloned from memory or
+/// read back and decoded from the segment file, counted in `reads`) and
+/// adversary state, so the result is identical to the snapshot that was
+/// evicted. At most [`super::Explorer::checkpoint_every`] decisions are
+/// replayed (the anchor is the nearest checkpoint-depth ancestor).
+/// Falls back to a fresh root for anchorless nodes — only the root
+/// itself, which is never evicted, so the fallback is defensive.
+fn rehydrate<F: Fn() -> Vec<Body>>(
+    shared: &Shared<'_, F>,
+    node: &Node,
+    reads: &mut u64,
+) -> (Snapshot, u64) {
     let (mut snap, mut crash, from) = match &node.anchor {
-        Some(anchor) => ((*anchor.snap).clone(), anchor.crash.clone(), anchor.depth),
+        Some(anchor) => {
+            let base = match &anchor.snap {
+                SnapRef::Mem(snap) => (**snap).clone(),
+                SnapRef::Disk(disk) => {
+                    *reads += 1;
+                    disk.read().unwrap_or_else(|e| {
+                        panic!("explore spill: cannot rehydrate a checkpoint snapshot: {e}")
+                    })
+                }
+            };
+            (base, anchor.crash.clone(), anchor.depth)
+        }
         None => (
             ModelWorld::snapshot_root(
                 shared.n,
@@ -715,17 +849,19 @@ fn rehydrate<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node) -> (Snap
 }
 
 /// The node's snapshot: borrowed if resident, rebuilt into `slot` if
-/// evicted (also reporting the replayed suffix length).
+/// evicted (also reporting the replayed suffix length and any disk
+/// reads).
 fn snapshot_of<'s, F: Fn() -> Vec<Body>>(
     shared: &Shared<'_, F>,
     node: &'s Node,
     slot: &'s mut Option<Snapshot>,
     replayed: &mut u64,
+    reads: &mut u64,
 ) -> &'s Snapshot {
     match &node.store {
         Store::Resident(snap) => snap,
         Store::Evicted { .. } => {
-            let (snap, suffix) = rehydrate(shared, node);
+            let (snap, suffix) = rehydrate(shared, node, reads);
             *replayed = suffix;
             &*slot.insert(snap)
         }
@@ -738,7 +874,8 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
     let mut crash = node.crash.clone();
     let mut rebuilt = None;
     let mut rehydration_replay = 0;
-    let parent = snapshot_of(shared, node, &mut rebuilt, &mut rehydration_replay);
+    let mut store_reads = 0;
+    let parent = snapshot_of(shared, node, &mut rebuilt, &mut rehydration_replay, &mut store_reads);
     let (snap, crashed_now) = step_snapshot(shared, parent, &mut crash, pid);
     let (fp, coarsened) = if shared.prune {
         if shared.quotient {
@@ -750,7 +887,14 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
         (0, false)
     };
     if shared.prune && shared.visited.contains(fp) {
-        return Expanded { node: None, fp, coarsened, pre_pruned: true, rehydration_replay };
+        return Expanded {
+            node: None,
+            fp,
+            coarsened,
+            pre_pruned: true,
+            rehydration_replay,
+            store_reads,
+        };
     }
     let incoming = if crashed_now {
         Some((pid, Action::Crash))
@@ -767,9 +911,18 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
         alive,
         incoming,
         crash,
-        anchor: node.checkpoint_anchor(shared.checkpoint_every, shared.evictable),
+        // The admit pass overwrites this with a self-anchor on
+        // checkpoint-depth layers.
+        anchor: node.anchor.clone(),
     };
-    Expanded { node: Some(child), fp, coarsened, pre_pruned: false, rehydration_replay }
+    Expanded {
+        node: Some(child),
+        fp,
+        coarsened,
+        pre_pruned: false,
+        rehydration_replay,
+        store_reads,
+    }
 }
 
 /// Resumes `node` to completion along the canonical choice-0 suffix —
@@ -777,7 +930,9 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
 fn run_tail<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node) -> TailRun {
     let mut rebuilt = None;
     let mut rehydration_replay = 0;
-    let mut snap = snapshot_of(shared, node, &mut rebuilt, &mut rehydration_replay).clone();
+    let mut store_reads = 0;
+    let mut snap =
+        snapshot_of(shared, node, &mut rebuilt, &mut rehydration_replay, &mut store_reads).clone();
     let mut crash = node.crash.clone();
     let mut choices = node.path.clone();
     let report = loop {
@@ -793,5 +948,5 @@ fn run_tail<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node) -> TailRu
         let (next, _) = step_snapshot(shared, &snap, &mut crash, pid);
         snap = next;
     };
-    TailRun { report, depth: choices.len(), choices, rehydration_replay }
+    TailRun { report, depth: choices.len(), choices, rehydration_replay, store_reads }
 }

@@ -177,8 +177,11 @@
 
 mod frontier;
 pub mod report;
+mod store;
 
 pub use report::{ExploreReport, ExploreStats, Violation};
+
+use std::path::{Path, PathBuf};
 
 use crate::model_world::{Body, ModelWorld, RunConfig, RunReport};
 use crate::sched::Crashes;
@@ -333,6 +336,17 @@ pub struct Explorer {
     threads: usize,
     resident_ceiling: usize,
     checkpoint_every: usize,
+    /// Spill checkpoint snapshots (and per-layer resume state) into this
+    /// sweep directory instead of holding them in memory.
+    spill_dir: Option<PathBuf>,
+    /// Stop the sweep between layer barriers after this many layers —
+    /// the deterministic stand-in for a mid-sweep kill, used by the
+    /// resume tests and the CI interrupt-then-resume gate. Not persisted
+    /// to the manifest (it is the driver's knob, not the sweep's).
+    halt_after_layers: Option<u64>,
+    /// Free-form sweep identifier recorded in the manifest, so a resumed
+    /// sweep can be matched to the fixture that produced it.
+    fixture: String,
 }
 
 impl Explorer {
@@ -348,6 +362,9 @@ impl Explorer {
             threads: 1,
             resident_ceiling: usize::MAX,
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            spill_dir: None,
+            halt_after_layers: None,
+            fixture: String::new(),
         }
     }
 
@@ -445,6 +462,96 @@ impl Explorer {
         self
     }
 
+    /// Spills checkpoint snapshots to disk and makes the sweep
+    /// **crash-resumable**: checkpoint layers' snapshots are serialized
+    /// (via the versioned codec of
+    /// [`crate::model_world::CODEC_VERSION`]) into an append-only
+    /// segment file under `dir`, and every layer boundary atomically
+    /// persists a manifest plus the frontier — so a killed sweep can be
+    /// continued with [`Explorer::resume_sweep`] and still produce the
+    /// byte-identical final report. Purely a storage policy:
+    /// [`ExploreStats::summary`] is byte-identical with spilling on or
+    /// off (the spill counters — [`ExploreStats::spilled`],
+    /// [`ExploreStats::spill_bytes`], [`ExploreStats::store_reads`] —
+    /// stay off the summary line, like [`ExploreStats::evicted`]).
+    ///
+    /// Unlike the in-memory store, spilled checkpoint layers are **not**
+    /// exempt from [`Explorer::resident_ceiling`] eviction (their
+    /// anchors live on disk), so the ceiling genuinely bounds resident
+    /// memory. The directory is created (or wiped) when the sweep
+    /// starts.
+    ///
+    /// # Panics (at [`Explorer::run`])
+    ///
+    /// [`Crashes::Random`] cannot be combined with spilling: its RNG
+    /// stream position is not serializable, so a resumed sweep could
+    /// not reconstruct the adversary. Use [`Crashes::None`] or
+    /// [`Crashes::AtOwnStep`] for spilled sweeps.
+    pub fn spill_to(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Stops a spilled sweep between layer barriers once `layers` layers
+    /// have been persisted, reporting incomplete — the deterministic
+    /// stand-in for a mid-sweep kill. The sweep directory is left
+    /// exactly as an interruption at that instant would leave it, ready
+    /// for [`Explorer::resume_sweep`]. Only meaningful with
+    /// [`Explorer::spill_to`] (without it, halting just truncates the
+    /// sweep).
+    pub fn halt_after_layers(mut self, layers: u64) -> Self {
+        self.halt_after_layers = Some(layers);
+        self
+    }
+
+    /// Records a free-form sweep identifier in the spill manifest (e.g.
+    /// `"fig1-n5"`), so an operator resuming a sweep directory can tell
+    /// which fixture it belongs to.
+    pub fn fixture_id(mut self, id: impl Into<String>) -> Self {
+        self.fixture = id.into();
+        self
+    }
+
+    /// Continues (or just reloads) a sweep from a directory written by
+    /// [`Explorer::spill_to`]. If the sweep already finished, its final
+    /// report is reconstructed from the manifest; otherwise the
+    /// interrupted layer is re-executed from the persisted frontier and
+    /// the sweep runs to completion — producing the **byte-identical**
+    /// summary, verdict, and violations an uninterrupted run yields
+    /// (kill-and-resume differential in `tests/proptests.rs`; the
+    /// storage-policy counters may legitimately differ, which is why
+    /// they are off the summary line).
+    ///
+    /// `make_bodies` and `check` must be the same fixture the original
+    /// sweep ran — the manifest records configuration and progress, not
+    /// code. Limits, reductions, and thread count are restored from the
+    /// manifest, **not** taken from a builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` has no readable manifest or its contents are
+    /// corrupt (a torn *tail* past the last barrier is fine — that is
+    /// the crash case this exists for; a damaged committed prefix is
+    /// not).
+    pub fn resume_sweep<F, C>(dir: impl AsRef<Path>, make_bodies: F, check: C) -> ExploreReport
+    where
+        F: Fn() -> Vec<Body> + Sync,
+        C: Fn(&RunReport) -> Result<(), String>,
+    {
+        let dir = dir.as_ref();
+        let opened = store::open_sweep(dir).unwrap_or_else(|e| {
+            panic!("explore spill: cannot resume sweep directory {}: {e}", dir.display())
+        });
+        match opened {
+            store::OpenedSweep::Done(report) => report,
+            store::OpenedSweep::Pending(pending) => {
+                let pending = *pending;
+                let ex = pending.ex.clone();
+                frontier::Engine::resume(&ex, &make_bodies, &check, pending)
+            }
+        }
+    }
+
     /// Explores every schedule of the processes produced by `make_bodies`
     /// (re-invoked per expansion — bodies must be deterministic), running
     /// `check` on every completed run.
@@ -467,6 +574,11 @@ impl Explorer {
         assert!(
             self.limits.max_expansions > 0,
             "ExploreLimits::max_expansions = 0 explores nothing; set a positive work budget"
+        );
+        assert!(
+            self.spill_dir.is_none() || !matches!(self.crashes, Crashes::Random { .. }),
+            "Explorer::spill_to cannot persist Crashes::Random (its RNG stream position is not \
+             serializable); use Crashes::None or Crashes::AtOwnStep for spilled sweeps"
         );
         frontier::Engine::new(self, &make_bodies, &check).run()
     }
@@ -502,6 +614,16 @@ pub fn reduction_from_env() -> Reduction {
         r.view_summaries = false;
     }
     r
+}
+
+/// Whether sweeps driven by benches and CI should spill to disk: `true`
+/// iff the `MPCN_EXPLORE_SPILL` environment variable is `1`. The CI
+/// spill gate runs the explore bench catalogue in this mode (each sweep
+/// in its own temporary directory) and diffs the summary lines against
+/// the in-memory run — spilling is a storage policy and must be
+/// invisible in the report.
+pub fn spill_from_env() -> bool {
+    std::env::var("MPCN_EXPLORE_SPILL").as_deref() == Ok("1")
 }
 
 /// Exhaustively explores every schedule with **no reductions** — the
@@ -999,6 +1121,173 @@ mod tests {
     fn zero_expansion_budget_panics_instead_of_reporting_empty() {
         let limits = ExploreLimits { max_expansions: 0, ..ExploreLimits::default() };
         Explorer::new(2).limits(limits).run(tas_bodies, one_winner);
+    }
+
+    /// A unique scratch sweep directory under the system temp dir (no
+    /// external tempdir dependency), wiped if a previous run left one.
+    fn sweep_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mpcn-sweep-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Three writers + scanners: deep enough (9 layers) to cross two
+    /// checkpoint strides at `checkpoint_every(4)`.
+    fn spill_bodies() -> Vec<Body> {
+        (0..3u64)
+            .map(|i| {
+                Box::new(move |env: Env<ModelWorld>| {
+                    env.snap_write(ObjKey::new(69, 0, 0), 3, i as usize, i + 1);
+                    let view = env.snap_scan::<u64>(ObjKey::new(69, 0, 0), 3);
+                    env.snap_write(ObjKey::new(69, 0, 1), 3, i as usize, i);
+                    view.into_iter().flatten().sum()
+                }) as Body
+            })
+            .collect()
+    }
+
+    /// Disk spilling is a storage policy: the report must be
+    /// byte-identical to the in-memory run, while the off-summary spill
+    /// counters record the disk traffic.
+    #[test]
+    fn spilled_sweep_reproduces_the_in_memory_report() {
+        let dir = sweep_dir("byte-identity");
+        let in_memory =
+            Explorer::new(3).resident_ceiling(1).checkpoint_every(4).run(spill_bodies, |_r| Ok(()));
+        let spilled = Explorer::new(3)
+            .resident_ceiling(1)
+            .checkpoint_every(4)
+            .spill_to(&dir)
+            .fixture_id("unit-byte-identity")
+            .run(spill_bodies, |_r| Ok(()));
+        assert_eq!(in_memory.stats.summary(), spilled.stats.summary());
+        assert_eq!(in_memory.complete, spilled.complete);
+        assert_eq!(in_memory.violations, spilled.violations);
+        assert!(spilled.stats.spilled > 0, "checkpoint layers must hit the segment file");
+        assert!(spilled.stats.spill_bytes > 0);
+        assert!(spilled.stats.store_reads > 0, "a ceiling of 1 must rehydrate from disk");
+        assert_eq!(in_memory.stats.spilled, 0);
+        assert_eq!(in_memory.stats.store_reads, 0);
+        // The finished sweep's manifest reconstructs the same report.
+        let reloaded = Explorer::resume_sweep(&dir, spill_bodies, |_r| Ok(()));
+        assert_eq!(reloaded.stats.summary(), spilled.stats.summary());
+        assert_eq!(reloaded.complete, spilled.complete);
+        assert_eq!(reloaded.violations, spilled.violations);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Halting a spilled sweep between barriers and resuming it must
+    /// reach the byte-identical final report — the kill-and-resume
+    /// contract (randomized coverage lives in `tests/proptests.rs`).
+    #[test]
+    fn halted_sweep_resumes_to_the_identical_report() {
+        let dir = sweep_dir("halt-resume");
+        let baseline =
+            Explorer::new(3).resident_ceiling(2).checkpoint_every(2).run(spill_bodies, |_r| Ok(()));
+        let halted = Explorer::new(3)
+            .resident_ceiling(2)
+            .checkpoint_every(2)
+            .spill_to(&dir)
+            .halt_after_layers(3)
+            .run(spill_bodies, |_r| Ok(()));
+        assert!(!halted.complete, "a halted sweep is not a proof");
+        assert!(
+            halted.stats.expansions < baseline.stats.expansions,
+            "the halt must actually interrupt the sweep"
+        );
+        let resumed = Explorer::resume_sweep(&dir, spill_bodies, |_r| Ok(()));
+        assert_eq!(baseline.stats.summary(), resumed.stats.summary());
+        assert_eq!(baseline.complete, resumed.complete);
+        assert_eq!(baseline.violations, resumed.violations);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two writers whose run length depends on the interleaving: a
+    /// process that scans before its peer writes takes one extra step,
+    /// so terminal runs land on different layers.
+    fn uneven_bodies() -> Vec<Body> {
+        (0..2u64)
+            .map(|i| {
+                Box::new(move |env: Env<ModelWorld>| {
+                    env.snap_write(ObjKey::new(70, 0, 0), 2, i as usize, i + 1);
+                    let view = env.snap_scan::<u64>(ObjKey::new(70, 0, 0), 2);
+                    let seen = view.iter().flatten().count() as u64;
+                    if seen < 2 {
+                        env.snap_write(ObjKey::new(70, 0, 1), 2, i as usize, seen);
+                    }
+                    seen
+                }) as Body
+            })
+            .collect()
+    }
+
+    /// Violations found *before* the interruption ride through the
+    /// persisted state: the halt lands between the shallow terminals
+    /// (already flagged) and the deeper runs (still queued), and the
+    /// resumed sweep reports exactly the uninterrupted violation list.
+    #[test]
+    fn resume_preserves_recorded_violations() {
+        let check = |_r: &RunReport| Err("flagged".to_string());
+        let baseline = Explorer::new(2).collect_all(true).run(uneven_bodies, check);
+        let dir = sweep_dir("violations");
+        let halted = Explorer::new(2)
+            .collect_all(true)
+            .spill_to(&dir)
+            .halt_after_layers(4)
+            .run(uneven_bodies, check);
+        assert!(!halted.violations.is_empty(), "depth-4 terminals are flagged before the halt");
+        assert!(
+            halted.violations.len() < baseline.violations.len(),
+            "deeper runs must still be outstanding at the halt"
+        );
+        let resumed = Explorer::resume_sweep(&dir, uneven_bodies, check);
+        assert_eq!(baseline.stats.summary(), resumed.stats.summary());
+        assert_eq!(baseline.violations, resumed.violations);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A kill mid-layer leaves torn tails past the last barrier in the
+    /// segment and visited files; resume must truncate them back to the
+    /// manifest's recorded lengths and still finish byte-identically.
+    #[test]
+    fn resume_truncates_torn_file_tails() {
+        use std::io::Write as _;
+        let baseline =
+            Explorer::new(3).resident_ceiling(1).checkpoint_every(2).run(spill_bodies, |_r| Ok(()));
+        let dir = sweep_dir("torn-tail");
+        Explorer::new(3)
+            .resident_ceiling(1)
+            .checkpoint_every(2)
+            .spill_to(&dir)
+            .halt_after_layers(2)
+            .run(spill_bodies, |_r| Ok(()));
+        for file in ["segments.bin", "visited.bin"] {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join(file))
+                .expect("sweep file exists");
+            f.write_all(&[0xAB; 13]).expect("append torn tail");
+        }
+        let resumed = Explorer::resume_sweep(&dir, spill_bodies, |_r| Ok(()));
+        assert_eq!(baseline.stats.summary(), resumed.stats.summary());
+        assert_eq!(baseline.complete, resumed.complete);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot persist Crashes::Random")]
+    fn spilling_rejects_random_crashes() {
+        let dir = sweep_dir("random-reject");
+        Explorer::new(2)
+            .crashes(Crashes::Random { seed: 1, p: 0.0, max: 0 })
+            .spill_to(&dir)
+            .run(tas_bodies, one_winner);
     }
 
     /// Every thread count must produce the byte-identical report — the

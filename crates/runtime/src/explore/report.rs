@@ -61,6 +61,21 @@ pub struct ExploreStats {
     /// [`ExploreStats::evicted`], a memory-policy observable excluded
     /// from [`ExploreStats::summary`].
     pub max_rehydration_replay: u64,
+    /// Checkpoint snapshots serialized to the sweep directory's segment
+    /// file by the disk-spilling store ([`super::Explorer::spill_to`]);
+    /// `0` under the in-memory store. A storage-policy observable
+    /// excluded from [`ExploreStats::summary`], like
+    /// [`ExploreStats::evicted`]: spilled and in-memory sweeps must
+    /// print byte-identical lines.
+    pub spilled: u64,
+    /// Total encoded snapshot bytes appended to the segment file —
+    /// the sweep's bulk-storage footprint. Excluded from
+    /// [`ExploreStats::summary`].
+    pub spill_bytes: u64,
+    /// Checkpoint records read back and decoded from the segment file
+    /// to rehydrate evicted nodes (one per disk-anchored rehydration).
+    /// Excluded from [`ExploreStats::summary`].
+    pub store_reads: u64,
     /// Deepest completed run (in picks) seen.
     pub max_depth: usize,
     /// Depth-bounded completion runs: frontier nodes at
@@ -84,6 +99,9 @@ impl ExploreStats {
             quotient_hits: 0,
             evicted: 0,
             max_rehydration_replay: 0,
+            spilled: 0,
+            spill_bytes: 0,
+            store_reads: 0,
             max_depth: 0,
             depth_limited_runs: 0,
             branching_histogram: vec![0; n + 1],
@@ -207,6 +225,9 @@ mod tests {
         stats.dpor_skips = 3;
         stats.quotient_hits = 2;
         stats.evicted = 5;
+        stats.spilled = 9;
+        stats.spill_bytes = 4096;
+        stats.store_reads = 3;
         stats.max_depth = 4;
         stats.branching_histogram = vec![0, 4, 8];
         assert_eq!(

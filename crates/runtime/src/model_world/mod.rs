@@ -29,8 +29,10 @@
 //! scheduler handshakes. The exhaustive explorer ([`crate::explore`]) is
 //! built on it.
 
+pub(crate) mod codec;
 mod snapshot;
 
+pub use codec::{CodecError, CODEC_VERSION};
 pub use snapshot::Snapshot;
 
 use snapshot::{LogEntry, ResumeCtl};

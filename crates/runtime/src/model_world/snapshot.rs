@@ -50,9 +50,9 @@ use crate::world::{Env, ObjKey, Pid, Stored};
 /// (`OP_*`), key, and the (type-erased) value the operation returned.
 #[derive(Clone)]
 pub(super) struct LogEntry {
-    op: u64,
-    key: ObjKey,
-    result: Stored,
+    pub(super) op: u64,
+    pub(super) key: ObjKey,
+    pub(super) result: Stored,
 }
 
 impl LogEntry {
@@ -147,24 +147,27 @@ pub(super) fn resume_gate<R: Clone + 'static>(
 /// [`crate::model_world`] module docs, "snapshot resumption").
 #[derive(Clone)]
 pub struct Snapshot {
-    n: usize,
-    track: bool,
+    // Fields are `pub(super)` (not private) for exactly one reader/writer
+    // besides this module: the byte codec in [`super::codec`], which must
+    // see every field to guarantee exact roundtrips.
+    pub(super) n: usize,
+    pub(super) track: bool,
     /// Observation histories along this path fold declared view summaries
     /// instead of raw views (see [`super::RunConfig::view_summaries`]);
     /// fixed at the root and inherited by every successor, so a path
     /// never mixes the two identities.
-    viewsum: bool,
-    objects: HashMap<ObjKey, super::Object>,
-    mem_fp: u64,
-    obs_fp: Vec<u64>,
-    logs: Vec<Arc<Vec<LogEntry>>>,
-    finished: Vec<bool>,
-    crashed: Vec<bool>,
-    results: Vec<Option<u64>>,
-    pending_op: Vec<Option<Footprint>>,
-    own_steps: Vec<u64>,
-    op_counts: HashMap<u32, u64>,
-    steps: u64,
+    pub(super) viewsum: bool,
+    pub(super) objects: HashMap<ObjKey, super::Object>,
+    pub(super) mem_fp: u64,
+    pub(super) obs_fp: Vec<u64>,
+    pub(super) logs: Vec<Arc<Vec<LogEntry>>>,
+    pub(super) finished: Vec<bool>,
+    pub(super) crashed: Vec<bool>,
+    pub(super) results: Vec<Option<u64>>,
+    pub(super) pending_op: Vec<Option<Footprint>>,
+    pub(super) own_steps: Vec<u64>,
+    pub(super) op_counts: HashMap<u32, u64>,
+    pub(super) steps: u64,
 }
 
 impl std::fmt::Debug for Snapshot {

@@ -124,7 +124,11 @@ mod tests {
                 SimResponse::Snapshot(view) => {
                     let seen: Vec<u64> = view.into_iter().flatten().collect();
                     if seen.len() >= self.quorum {
-                        SimStep::Decide(seen.into_iter().min().unwrap())
+                        let min = seen
+                            .into_iter()
+                            .min()
+                            .expect("quorum >= 1 guarantees a non-empty view");
+                        SimStep::Decide(min)
                     } else {
                         SimStep::Invoke(SimOp::Snapshot)
                     }

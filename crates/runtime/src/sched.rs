@@ -75,7 +75,11 @@ impl ScheduleState {
             Schedule::RandomSeed(_) => alive[self.rng.gen_range(0..alive.len())],
             Schedule::RoundRobin => {
                 // Find the first alive pid at or after rr_next, cyclically.
-                let max = alive.iter().copied().max().unwrap();
+                let max = alive
+                    .iter()
+                    .copied()
+                    .max()
+                    .expect("pick is only called with a non-empty alive set");
                 for off in 0..=max + 1 {
                     let cand = (self.rr_next + off) % (max + 1);
                     if alive.contains(&cand) {
@@ -146,6 +150,29 @@ impl CrashState {
             _ => 0,
         };
         CrashState { policy, rng: StdRng::seed_from_u64(seed), crashes_so_far: 0 }
+    }
+
+    /// Reconstructs the adversary state a fresh [`CrashState::new`] would
+    /// reach after delivering `crashes_so_far` crashes — exact for the
+    /// replayable policies ([`Crashes::None`] / [`Crashes::AtOwnStep`]),
+    /// whose decisions depend only on the policy and the crash count. The
+    /// explorer's persisted sweeps use this to rehydrate adversary state
+    /// from a manifest; [`Crashes::Random`] is rejected *before* any
+    /// spill (its RNG stream position is not serializable), so this
+    /// constructor never sees it.
+    pub(crate) fn restore(policy: Crashes, crashes_so_far: usize) -> Self {
+        debug_assert!(
+            !matches!(policy, Crashes::Random { .. }),
+            "Crashes::Random carries RNG state and cannot be restored from a count"
+        );
+        let mut st = CrashState::new(policy);
+        st.crashes_so_far = crashes_so_far;
+        st
+    }
+
+    /// Crashes delivered so far along this path.
+    pub(crate) fn crashes_so_far(&self) -> usize {
+        self.crashes_so_far
     }
 
     /// Decides whether `pid`, about to take its `own_step`-th step, crashes

@@ -1,0 +1,84 @@
+//! Doc-drift gate: every `MPCN_EXPLORE_*` environment knob mentioned in
+//! the runtime sources must have a row in the knob table of
+//! `docs/EXPLORER.md`, and the table must not advertise knobs the code
+//! no longer reads. The scan is textual on purpose — a knob is "in the
+//! sources" the moment its name appears anywhere under
+//! `crates/runtime/src`, doc comments included, so renaming or removing
+//! one without touching the docs fails this test.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+const KNOB_PREFIX: &str = "MPCN_EXPLORE_";
+
+/// Every `MPCN_EXPLORE_<NAME>` token in `text` (longest match: the name
+/// extends over uppercase letters, digits, and underscores).
+fn knobs_in(text: &str, out: &mut BTreeSet<String>) {
+    for (at, _) in text.match_indices(KNOB_PREFIX) {
+        let tail = &text[at + KNOB_PREFIX.len()..];
+        let name_len = tail
+            .find(|c: char| !(c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_'))
+            .unwrap_or(tail.len());
+        if name_len > 0 {
+            out.insert(format!("{KNOB_PREFIX}{}", &tail[..name_len]));
+        }
+    }
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("source tree is readable") {
+        let path = entry.expect("directory entry is readable").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_explorer_env_knob_is_documented() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    rust_sources(&manifest.join("src"), &mut sources);
+    assert!(!sources.is_empty(), "the runtime source tree must not be empty");
+
+    let mut in_code = BTreeSet::new();
+    for path in &sources {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        knobs_in(&text, &mut in_code);
+    }
+    assert!(
+        in_code.contains("MPCN_EXPLORE_THREADS"),
+        "sanity: the scan must see the worker-count knob; found {in_code:?}"
+    );
+
+    let doc_path = manifest.join("../../docs/EXPLORER.md");
+    let doc = std::fs::read_to_string(&doc_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc_path.display()));
+    // A knob is *documented* only by a knob-table row, i.e. a table line
+    // whose first cell is the backticked knob name — prose mentions
+    // elsewhere don't count.
+    let mut in_table = BTreeSet::new();
+    for line in doc.lines() {
+        if let Some(rest) = line.strip_prefix("| `") {
+            if let Some(name_len) = rest.find('`') {
+                let mut row = BTreeSet::new();
+                knobs_in(&rest[..name_len], &mut row);
+                in_table.extend(row);
+            }
+        }
+    }
+
+    let undocumented: Vec<_> = in_code.difference(&in_table).collect();
+    assert!(
+        undocumented.is_empty(),
+        "env knobs missing from the docs/EXPLORER.md knob table: {undocumented:?}"
+    );
+    let stale: Vec<_> = in_table.difference(&in_code).collect();
+    assert!(
+        stale.is_empty(),
+        "docs/EXPLORER.md documents knobs the runtime no longer mentions: {stale:?}"
+    );
+}

@@ -625,4 +625,125 @@ proptest! {
         let p0_steps = trace.iter().filter(|&&p| p == 0).count() as u64;
         prop_assert_eq!(p0_steps, s, "p0 must take exactly {} steps", s);
     }
+
+    /// The snapshot byte codec is faithful on arbitrary reachable
+    /// states: walking a random program down a random schedule — in both
+    /// observation modes, with a mid-walk crash on a seed-dependent
+    /// subset of cases — every intermediate snapshot decodes back to a
+    /// state with the same fingerprints and observables, and re-encoding
+    /// the decoded state reproduces the bytes exactly.
+    #[test]
+    fn snapshot_codec_roundtrips_reachable_states(
+        seed in 0u64..1_000_000,
+        pick_seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 1usize..4,
+    ) {
+        let make = move || small_program(seed, n, ops);
+        for viewsum in [false, true] {
+            let mut snap = ModelWorld::snapshot_root(n, true, viewsum, make());
+            let crash_at = (fp_of(&(pick_seed, viewsum)) as usize) % 8;
+            let mut step = 0usize;
+            loop {
+                let bytes = snap.encode().expect("reachable states encode");
+                let decoded = mpcn_runtime::model_world::Snapshot::decode(&bytes)
+                    .expect("own bytes decode");
+                prop_assert_eq!(decoded.fingerprint(), snap.fingerprint());
+                prop_assert_eq!(decoded.fingerprint_quotient(), snap.fingerprint_quotient());
+                prop_assert_eq!(decoded.alive(), snap.alive());
+                prop_assert_eq!(decoded.steps(), snap.steps());
+                for p in 0..n {
+                    prop_assert_eq!(decoded.own_steps(p), snap.own_steps(p));
+                    prop_assert_eq!(decoded.pending_footprint(p), snap.pending_footprint(p));
+                }
+                prop_assert_eq!(
+                    decoded.report(false).outcomes,
+                    snap.report(false).outcomes
+                );
+                prop_assert_eq!(
+                    decoded.encode().expect("decoded states re-encode"),
+                    bytes,
+                    "re-encoding must be byte-stable (viewsum {})",
+                    viewsum
+                );
+                if snap.is_terminal() {
+                    break;
+                }
+                let alive = snap.alive();
+                if step == crash_at && alive.len() > 1 {
+                    snap = ModelWorld::resume_crash(&snap, alive[0]);
+                } else {
+                    let c = (fp_of(&(pick_seed, step)) as usize) % alive.len();
+                    let pid = alive[c];
+                    let body = make().into_iter().nth(pid).expect("pid in range");
+                    snap = ModelWorld::resume_from(&snap, pid, body);
+                }
+                step += 1;
+            }
+        }
+    }
+
+    /// The kill-and-resume contract on random programs: a spilled sweep
+    /// halted after an arbitrary number of layer barriers and then
+    /// resumed from its manifest reaches the byte-identical summary,
+    /// verdict, and violation list of the uninterrupted in-memory run —
+    /// including the degenerate case where the sweep finishes before the
+    /// halt (resume then just reloads the done manifest).
+    #[test]
+    fn killed_sweeps_resume_to_identical_reports(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 1usize..3,
+        halt in 1u64..5,
+    ) {
+        let make = move || small_program(seed, n, ops);
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            if fp_of(&vals).wrapping_add(seed) % 4 == 0 {
+                return Err(format!("flagged outcome {vals:?}"));
+            }
+            Ok(())
+        };
+        let limits =
+            ExploreLimits { max_expansions: 100_000, max_steps: 1_000, ..Default::default() };
+        let sweep = |ex: Explorer| {
+            let out = ex
+                .limits(limits)
+                .resident_ceiling(1)
+                .checkpoint_every(2)
+                .collect_all(true)
+                .run(make, check);
+            let violations: Vec<(Vec<usize>, String)> =
+                out.violations.iter().map(|v| (v.choices.clone(), v.message.clone())).collect();
+            (out.stats.summary(), out.complete, violations)
+        };
+        let baseline = sweep(Explorer::new(n));
+        let dir = sweep_dir("prop-resume");
+        let _ = sweep(Explorer::new(n).spill_to(&dir).halt_after_layers(halt));
+        let out = Explorer::resume_sweep(&dir, make, check);
+        let resumed: (String, bool, Vec<(Vec<usize>, String)>) = (
+            out.stats.summary(),
+            out.complete,
+            out.violations.iter().map(|v| (v.choices.clone(), v.message.clone())).collect(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(
+            baseline, resumed,
+            "resume must be invisible (seed {}, halt {})", seed, halt
+        );
+    }
+}
+
+/// A unique scratch sweep directory under the system temp dir.
+fn sweep_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "mpcn-prop-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
