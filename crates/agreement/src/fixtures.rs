@@ -26,7 +26,7 @@
 //! byte-identical fig5/fig6 lines (the CI gate itself compares only the
 //! `complete=`/`violations=` verdict fields).
 
-use mpcn_runtime::model_world::{Body, ModelWorld, RunReport};
+use mpcn_runtime::model_world::{Body, ModelWorld, RunReport, Symmetry};
 use mpcn_runtime::Env;
 
 use crate::safe::SafeAgreement;
@@ -53,6 +53,35 @@ pub fn fig1_bodies(n: usize, polls: usize) -> Vec<Body> {
         })
         .collect()
 }
+
+/// The Figure 1 bodies' pid-symmetry declaration: process `p` is
+/// distinguishable only through its proposal `100 + p` (stored in
+/// safe-agreement cells and surfaced in poll summaries) and its encoded
+/// decision `101 + k` (the decided proposal plus one), so renaming `p`
+/// to `perm[p]` relabels exactly those ranges. `check_agreement` is
+/// closed under both maps (it compares decided values for equality and
+/// range membership only), and every fig1 operation result — `()`
+/// writes, `bool` propose summaries, `Option<u64>` poll summaries — is
+/// in the codec value universe, as `Snapshot::fingerprint_symmetric`
+/// requires. The fig5/fig6 fixtures deliberately declare **no** spec:
+/// they are the "asymmetric programs are unaffected" half of the
+/// symmetry tests.
+pub const FIG1_SYMMETRY: Symmetry = Symmetry {
+    relabel_value: |v, perm| {
+        if (100..100 + perm.len() as u64).contains(&v) {
+            100 + perm[(v - 100) as usize] as u64
+        } else {
+            v
+        }
+    },
+    relabel_result: |r, perm| {
+        if (101..101 + perm.len() as u64).contains(&r) {
+            101 + perm[(r - 101) as usize] as u64
+        } else {
+            r
+        }
+    },
+};
 
 /// Figure 5 bodies: `x_compete`, return 1 on winning.
 pub fn fig5_bodies(n: usize, x: u32) -> Vec<Body> {

@@ -31,7 +31,7 @@
 //! baselines are recorded in ROADMAP.md and EXPERIMENTS.md.
 
 use mpcn_agreement::fixtures::{
-    check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies,
+    check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies, FIG1_SYMMETRY,
 };
 use mpcn_runtime::explore::{explore, threads_from_env, ExploreLimits, Explorer, Reduction};
 use mpcn_runtime::model_world::RunReport;
@@ -71,25 +71,50 @@ fn fig1_n3_pruned_sweep_beats_unpruned_reference() {
 }
 
 /// The Figure 1 `n = 4` sweep under the full reduction set, now
-/// including the declared view summaries of `SafeAgreement` (propose's
-/// scan folds only `saw_stable`, the poll folds only its `Option`
-/// result): 10 212 expansions where the summary-free engine needed
-/// 397 070 — ~39× — with zero violations, the exact state counts pinned
-/// as the recorded baseline (the `explore_sweep` bench prints the same
-/// line; ROADMAP.md and EXPERIMENTS.md record it).
+/// including the pid-symmetry quotient declared by `FIG1_SYMMETRY`:
+/// 906 expansions where the symmetry-free engine needed 10 212 — ~11×,
+/// approaching the `4! = 24` orbit bound — with zero violations, the
+/// exact state counts pinned as the recorded baseline (the
+/// `explore_sweep` bench prints the same line; ROADMAP.md and
+/// EXPERIMENTS.md record it).
 #[test]
 fn fig1_n4_exhaustive_baseline() {
     let out = Explorer::new(4)
         .threads(threads_from_env(2))
+        .symmetry(FIG1_SYMMETRY)
         .limits(ExploreLimits { max_expansions: 2_000_000, max_steps: 2_000, ..Default::default() })
         .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, true));
     out.assert_no_violation();
     assert!(out.complete, "fig1 n = 4 must exhaust ({} runs)", out.runs());
     assert_eq!(
         out.stats.summary(),
+        "runs=29 expansions=906 visited=505 pruned=401 sleep=155 dpor=71 qhits=328 symm=327 \
+         max_depth=16 depth_limited=0 branching=[0,104,162,140,71]",
+        "fig1 n = 4 symmetry baseline drifted"
+    );
+}
+
+/// The symmetry-off differential anchor: [`Reduction::no_symm`] must
+/// reproduce the PR 5/6 `n = 4` baseline **byte for byte** even with
+/// the spec supplied — the quotient changes only state *identity*, so
+/// switching it off restores the pre-symmetry engine's exact search
+/// shape, `symm=` field absent and all (the mode `MPCN_EXPLORE_SYMM=0`
+/// selects for the whole bench catalogue).
+#[test]
+fn fig1_n4_symm_off_reproduces_pr5_baseline() {
+    let out = Explorer::new(4)
+        .threads(threads_from_env(2))
+        .reduction(Reduction::no_symm())
+        .symmetry(FIG1_SYMMETRY)
+        .limits(ExploreLimits { max_expansions: 2_000_000, max_steps: 2_000, ..Default::default() })
+        .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, true));
+    out.assert_no_violation();
+    assert!(out.complete, "fig1 n = 4 must exhaust without symmetry too");
+    assert_eq!(
+        out.stats.summary(),
         "runs=221 expansions=10212 visited=6248 pruned=3964 sleep=2807 dpor=1361 qhits=3549 \
          max_depth=16 depth_limited=0 branching=[0,1136,2184,1956,752]",
-        "fig1 n = 4 view-summary baseline drifted"
+        "symmetry-off mode must reproduce the PR 5/6 fig1 n = 4 baseline"
     );
 }
 
@@ -118,17 +143,18 @@ fn fig1_n4_viewsum_off_reproduces_pr4_baseline() {
 
 /// The Figure 1 scale-up milestone (ROADMAP "Figure 1 at `n = 5`"):
 /// safe agreement at `n = 5` — 5 proposers, schedule depth 20 — is
-/// **exhausted**. The mid-flight view summaries are what makes it
-/// tractable (the summary-free reduction set exceeds the expansion
-/// budget by orders of magnitude); the bounded-memory frontier runs
-/// with a deliberately binding 2 048-node resident ceiling and an
-/// 8-layer checkpoint stride, so mass eviction, anchored rehydration
-/// (at most 8 replayed decisions), and the exact state counts are all
-/// pinned together (the `explore_sweep` bench prints the same line).
+/// **exhausted** in 3 345 expansions under the full reduction set with
+/// the pid-symmetry quotient (~37× below the 122 727 of the symmetry-
+/// free engine, approaching the `5! = 120` orbit bound). Runs under the
+/// same 2 048-node resident ceiling and 8-layer checkpoint stride as
+/// the bench catalogue — no longer binding at this size (the symmetry-
+/// off anchor below keeps the mass-eviction pin) — and the exact state
+/// counts are pinned (the `explore_sweep` bench prints the same line).
 #[test]
-fn fig1_n5_exhaustive_viewsum_baseline() {
+fn fig1_n5_exhaustive_symm_baseline() {
     let out = Explorer::new(5)
         .threads(threads_from_env(2))
+        .symmetry(FIG1_SYMMETRY)
         .limits(ExploreLimits {
             max_expansions: 60_000_000,
             max_steps: 2_000,
@@ -141,15 +167,75 @@ fn fig1_n5_exhaustive_viewsum_baseline() {
     assert!(out.complete, "fig1 n = 5 must exhaust ({} runs)", out.runs());
     assert_eq!(
         out.stats.summary(),
+        "runs=54 expansions=3345 visited=1542 pruned=1803 sleep=616 dpor=324 qhits=1599 \
+         symm=1601 max_depth=20 depth_limited=0 branching=[0,208,380,434,320,147]",
+        "fig1 n = 5 symmetry baseline drifted"
+    );
+    assert!(
+        out.stats.max_rehydration_replay <= 8,
+        "anchored rehydration must replay at most checkpoint_every decisions ({})",
+        out.stats.max_rehydration_replay
+    );
+}
+
+/// The symmetry-off `n = 5` anchor: [`Reduction::no_symm`] reproduces
+/// the PR 5 view-summary milestone line byte for byte, under the same
+/// deliberately binding 2 048-node resident ceiling and 8-layer
+/// checkpoint stride — so mass eviction and anchored rehydration stay
+/// pinned at a width where the ceiling actually binds.
+#[test]
+fn fig1_n5_symm_off_reproduces_pr5_baseline() {
+    let out = Explorer::new(5)
+        .threads(threads_from_env(2))
+        .reduction(Reduction::no_symm())
+        .symmetry(FIG1_SYMMETRY)
+        .limits(ExploreLimits {
+            max_expansions: 60_000_000,
+            max_steps: 2_000,
+            ..Default::default()
+        })
+        .resident_ceiling(2_048)
+        .checkpoint_every(8)
+        .run(|| fig1_bodies(5, 1), |r| check_agreement(r, 5, true));
+    out.assert_no_violation();
+    assert!(out.complete, "fig1 n = 5 must exhaust without symmetry too");
+    assert_eq!(
+        out.stats.summary(),
         "runs=956 expansions=122727 visited=62464 pruned=60263 sleep=38869 dpor=19999 \
          qhits=56216 max_depth=20 depth_limited=0 branching=[0,6055,15390,20390,14780,4894]",
-        "fig1 n = 5 view-summary baseline drifted"
+        "symmetry-off mode must reproduce the PR 5 fig1 n = 5 baseline"
     );
     assert!(out.stats.evicted > 10_000, "the 2 048-node ceiling must evict en masse");
     assert!(
         out.stats.max_rehydration_replay <= 8,
         "anchored rehydration must replay at most checkpoint_every decisions ({})",
         out.stats.max_rehydration_replay
+    );
+}
+
+/// One scale step past the milestone under the symmetry quotient:
+/// `n = 6` (depth 24) exhausts in seconds even in debug — where the
+/// symmetry-free engine needs ~1.37M expansions and `#[ignore]`d
+/// release scale (the test below) — so the exact line is pinned in the
+/// tier-1 suite.
+#[test]
+fn fig1_n6_exhaustive_symm_baseline() {
+    let out = Explorer::new(6)
+        .threads(threads_from_env(2))
+        .symmetry(FIG1_SYMMETRY)
+        .limits(ExploreLimits {
+            max_expansions: 60_000_000,
+            max_steps: 5_000,
+            ..Default::default()
+        })
+        .run(|| fig1_bodies(6, 1), |r| check_agreement(r, 6, true));
+    out.assert_no_violation();
+    assert!(out.complete, "fig1 n = 6 must exhaust ({} runs)", out.runs());
+    assert_eq!(
+        out.stats.summary(),
+        "runs=90 expansions=10399 visited=4062 pruned=6337 sleep=1967 dpor=1165 qhits=5846 \
+         symm=5890 max_depth=24 depth_limited=0 branching=[0,365,738,992,956,642,280]",
+        "fig1 n = 6 symmetry baseline drifted"
     );
 }
 
@@ -190,6 +276,48 @@ fn fig1_n6_exhaustive_viewsum_spill_baseline() {
          qhits=737210 max_depth=24 depth_limited=0 \
          branching=[0,29916,94350,162840,169230,105882,31760]",
         "fig1 n = 6 view-summary baseline drifted"
+    );
+    assert!(out.stats.spilled > 0, "checkpoint layers must spill to the segment file");
+    assert!(out.stats.store_reads > 0, "the binding ceiling must rehydrate from disk");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two scale steps past the milestone: `n = 7` — 7 proposers, schedule
+/// depth 28, a tree the symmetry-free engine cannot touch (the `n = 6`
+/// sweep already needed 1.37M expansions; `n = 7` would be well beyond
+/// 10M) — is **exhausted** under the pid-symmetry quotient, through a
+/// disk-backed `SpillStore` with a deliberately binding 256-node
+/// resident ceiling: the storage layer and the symmetry quotient at
+/// their combined design scale, canonical fingerprints surviving
+/// spill-encode/decode byte-stably. Reproduce with
+/// `cargo test --release -p mpcn-agreement --test explore_sweeps -- \
+/// --ignored fig1_n7`.
+#[test]
+#[ignore = "release-scale sweep (seconds release, minutes debug); run explicitly with --ignored"]
+fn fig1_n7_exhaustive_symm_spill_baseline() {
+    let dir = std::env::temp_dir().join(format!("mpcn-fig1-n7-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = Explorer::new(7)
+        .threads(threads_from_env(2))
+        .symmetry(FIG1_SYMMETRY)
+        .limits(ExploreLimits {
+            max_expansions: 60_000_000,
+            max_steps: 5_000,
+            ..Default::default()
+        })
+        .resident_ceiling(256)
+        .checkpoint_every(8)
+        .spill_to(&dir)
+        .fixture_id("fig1 n=7 symm")
+        .run(|| fig1_bodies(7, 1), |r| check_agreement(r, 7, true));
+    out.assert_no_violation();
+    assert!(out.complete, "fig1 n = 7 must exhaust ({} runs)", out.runs());
+    assert_eq!(
+        out.stats.summary(),
+        "runs=139 expansions=28312 visited=9565 pruned=18747 sleep=5369 dpor=3527 qhits=17690 \
+         symm=17880 max_depth=28 depth_limited=0 \
+         branching=[0,586,1271,1898,2144,1856,1174,498]",
+        "fig1 n = 7 symmetry baseline drifted"
     );
     assert!(out.stats.spilled > 0, "checkpoint layers must spill to the segment file");
     assert!(out.stats.store_reads > 0, "the binding ceiling must rehydrate from disk");

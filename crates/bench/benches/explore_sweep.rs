@@ -9,36 +9,49 @@
 //!   the benches twice and diffs exactly these lines, and additionally
 //!   diffs an `MPCN_EXPLORE_THREADS=1` run against an
 //!   `MPCN_EXPLORE_THREADS=2` run; further gates re-run the catalogue
-//!   under `MPCN_EXPLORE_DPOR=0` (the pre-DPOR reduction set) and
-//!   `MPCN_EXPLORE_VIEWSUM=0` (summaries off) and assert the *verdict*
-//!   fields (`complete=…/violations=…`) of every common label match —
-//!   state counts legitimately differ between reduction sets. The
-//!   storage gate re-runs the catalogue under `MPCN_EXPLORE_SPILL=1`
-//!   (every sweep through a disk-backed `SpillStore`) and diffs the
-//!   *whole* lines against the in-memory run — storage is policy and
-//!   must be invisible. Baselines are recorded in ROADMAP.md;
-//!   `docs/EXPLORER.md` catalogues every environment knob and stderr
-//!   counter.
+//!   under `MPCN_EXPLORE_DPOR=0` (the pre-DPOR reduction set),
+//!   `MPCN_EXPLORE_VIEWSUM=0` (summaries off), and
+//!   `MPCN_EXPLORE_SYMM=0` (the pid-symmetry quotient off — the PR 5/6
+//!   baseline lines byte for byte) and assert the *verdict* fields
+//!   (`complete=…/violations=…`) of every common label match — state
+//!   counts legitimately differ between reduction sets. The storage
+//!   gate re-runs the catalogue under `MPCN_EXPLORE_SPILL=1` (every
+//!   sweep through a disk-backed `SpillStore`) and diffs the *whole*
+//!   lines against the in-memory run — storage is policy and must be
+//!   invisible. The CI golden-baseline gate additionally diffs a
+//!   `threads=1` run against the committed
+//!   `tests/golden/explore_catalogue.txt`. Baselines are recorded in
+//!   ROADMAP.md; `docs/EXPLORER.md` catalogues every environment knob
+//!   and stderr counter.
 //! * **Wall time** of pruned sweeps under `threads = 1` and
 //!   `threads = k` — the parallel-speedup measure (the vendored
 //!   criterion shim reports mean/min/p50/p99, so tail latency is
 //!   visible). On a single-core runner the thread counts tie; the
 //!   deterministic lines above are identical either way.
 //!
+//! With `MPCN_BENCH_JSON=<path>` set, the catalogue additionally
+//! appends one JSON object per sweep to `<path>` — label, every
+//! summary counter, verdict, and the sweep's wall-clock milliseconds
+//! (the only non-deterministic field) — the machine-readable
+//! trajectory CI uploads as the `BENCH_explore.json` artifact.
+//!
 //! Worker count for the catalogued sweeps: `MPCN_EXPLORE_THREADS`
 //! (default 2); reduction set: `MPCN_EXPLORE_DPOR` /
-//! `MPCN_EXPLORE_VIEWSUM` (default full — DPOR footprints, observation
-//! quotient, view summaries). The `fig1 n=4 pruned` exhaustive sweep is
-//! catalogued only under DPOR: without it, it is a 4.58M-expansion,
-//! minutes-long sweep CI cannot afford per gate run. The flagship
-//! `fig1 n=5 pruned` sweep (the ROADMAP "Figure 1 at n = 5" milestone,
-//! ~1 s release under a deliberately binding 2 048-node resident
-//! ceiling with 8-layer checkpoints) is likewise catalogued only under
-//! the view summaries that make it tractable.
+//! `MPCN_EXPLORE_VIEWSUM` / `MPCN_EXPLORE_SYMM` (default full — DPOR
+//! footprints, observation quotient, view summaries, pid-symmetry
+//! quotient). The fig1 sweeps declare `FIG1_SYMMETRY`; fig5/fig6
+//! declare no spec and print identical lines in every symmetry mode.
+//! The `fig1 n=4 pruned` exhaustive sweep is catalogued only under
+//! DPOR: without it, it is a 4.58M-expansion, minutes-long sweep CI
+//! cannot afford per gate run. The flagship `fig1 n=5 pruned` sweep
+//! (the ROADMAP "Figure 1 at n = 5" milestone, well under a second in
+//! release with the symmetry quotient, under a deliberately binding
+//! 2 048-node resident ceiling with 8-layer checkpoints) is likewise
+//! catalogued only under the view summaries that make it tractable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpcn_agreement::fixtures::{
-    check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies,
+    check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies, FIG1_SYMMETRY,
 };
 use mpcn_runtime::explore::{
     reduction_from_env, spill_from_env, threads_from_env, ExploreLimits, ExploreReport, Explorer,
@@ -46,6 +59,7 @@ use mpcn_runtime::explore::{
 };
 use mpcn_runtime::sched::Crashes;
 use std::hint::black_box;
+use std::io::Write;
 use std::path::PathBuf;
 
 fn limits(max_expansions: u64, max_depth: usize) -> ExploreLimits {
@@ -67,116 +81,132 @@ fn maybe_spill(ex: Explorer, base: &Option<PathBuf>, label: &str) -> Explorer {
     }
 }
 
+/// One catalogued sweep: its deterministic report plus its wall-clock
+/// milliseconds (reported only through the `MPCN_BENCH_JSON` trajectory
+/// — never on the determinism-gated stderr lines).
+struct Sweep {
+    label: &'static str,
+    report: ExploreReport,
+    wall_ms: u128,
+}
+
+fn run_timed(sweeps: &mut Vec<Sweep>, label: &'static str, f: impl FnOnce() -> ExploreReport) {
+    let t0 = std::time::Instant::now();
+    let report = f();
+    sweeps.push(Sweep { label, report, wall_ms: t0.elapsed().as_millis() });
+}
+
 /// The catalogued sweeps under `reduction`. Every report's summary line
 /// must be identical on every invocation — no timing, no randomness, no
 /// pointers, no thread-count dependence. (State counts *do* depend on
-/// the reduction set; the DPOR verdict gate compares only the
-/// `complete=`/`violations=` fields across reduction modes.)
-fn catalogue(threads: usize, reduction: Reduction) -> Vec<(&'static str, ExploreReport)> {
+/// the reduction set; the DPOR/VIEWSUM/SYMM verdict gates compare only
+/// the `complete=`/`violations=` fields across reduction modes.)
+fn catalogue(threads: usize, reduction: Reduction) -> Vec<Sweep> {
     let spill = spill_from_env()
         .then(|| std::env::temp_dir().join(format!("mpcn-bench-spill-{}", std::process::id())));
-    let mut sweeps = vec![
-        (
+    let mut sweeps = Vec::new();
+    run_timed(&mut sweeps, "fig1 n=3 pruned", || {
+        maybe_spill(
+            Explorer::new(3)
+                .threads(threads)
+                .reduction(reduction)
+                .symmetry(FIG1_SYMMETRY)
+                .limits(limits(2_000_000, usize::MAX)),
+            &spill,
             "fig1 n=3 pruned",
-            maybe_spill(
-                Explorer::new(3)
-                    .threads(threads)
-                    .reduction(reduction)
-                    .limits(limits(2_000_000, usize::MAX)),
-                &spill,
-                "fig1 n=3 pruned",
-            )
-            .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
-        ),
-        (
+        )
+        .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false))
+    });
+    run_timed(&mut sweeps, "fig1 n=3 unpruned", || {
+        maybe_spill(
+            Explorer::new(3)
+                .threads(threads)
+                .limits(limits(2_000_000, usize::MAX))
+                .reduction(Reduction::none()),
+            &spill,
             "fig1 n=3 unpruned",
-            maybe_spill(
-                Explorer::new(3)
-                    .threads(threads)
-                    .limits(limits(2_000_000, usize::MAX))
-                    .reduction(Reduction::none()),
-                &spill,
-                "fig1 n=3 unpruned",
-            )
-            .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
-        ),
-        (
+        )
+        .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false))
+    });
+    run_timed(&mut sweeps, "fig1 n=3 crash(0@1) pruned", || {
+        // The crash plan names a pid, so the symmetry quotient gates
+        // itself off even though the spec is supplied: this line is
+        // identical in every `MPCN_EXPLORE_SYMM` mode.
+        maybe_spill(
+            Explorer::new(3)
+                .threads(threads)
+                .reduction(reduction)
+                .symmetry(FIG1_SYMMETRY)
+                .crashes(Crashes::AtOwnStep(vec![(0, 1)]))
+                .limits(limits(2_000_000, usize::MAX)),
+            &spill,
             "fig1 n=3 crash(0@1) pruned",
-            maybe_spill(
-                Explorer::new(3)
-                    .threads(threads)
-                    .reduction(reduction)
-                    .crashes(Crashes::AtOwnStep(vec![(0, 1)]))
-                    .limits(limits(2_000_000, usize::MAX)),
-                &spill,
-                "fig1 n=3 crash(0@1) pruned",
-            )
-            .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false)),
-        ),
-        (
+        )
+        .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false))
+    });
+    run_timed(&mut sweeps, "fig1 n=4 depth<=9 pruned", || {
+        maybe_spill(
+            Explorer::new(4)
+                .threads(threads)
+                .reduction(reduction)
+                .symmetry(FIG1_SYMMETRY)
+                .limits(limits(2_000_000, 9)),
+            &spill,
             "fig1 n=4 depth<=9 pruned",
-            maybe_spill(
-                Explorer::new(4).threads(threads).reduction(reduction).limits(limits(2_000_000, 9)),
-                &spill,
-                "fig1 n=4 depth<=9 pruned",
-            )
-            .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
-        ),
-        (
+        )
+        .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false))
+    });
+    run_timed(&mut sweeps, "fig5 n=4 x=2 pruned", || {
+        maybe_spill(
+            Explorer::new(4)
+                .threads(threads)
+                .reduction(reduction)
+                .limits(limits(500_000, usize::MAX)),
+            &spill,
             "fig5 n=4 x=2 pruned",
-            maybe_spill(
-                Explorer::new(4)
-                    .threads(threads)
-                    .reduction(reduction)
-                    .limits(limits(500_000, usize::MAX)),
-                &spill,
-                "fig5 n=4 x=2 pruned",
-            )
-            .run(|| fig5_bodies(4, 2), |r| check_winners(r, 4, 2)),
-        ),
-        (
+        )
+        .run(|| fig5_bodies(4, 2), |r| check_winners(r, 4, 2))
+    });
+    run_timed(&mut sweeps, "fig6 n=3 x=2 pruned", || {
+        maybe_spill(
+            Explorer::new(3)
+                .threads(threads)
+                .reduction(reduction)
+                .limits(limits(1_000_000, usize::MAX)),
+            &spill,
             "fig6 n=3 x=2 pruned",
-            maybe_spill(
-                Explorer::new(3)
-                    .threads(threads)
-                    .reduction(reduction)
-                    .limits(limits(1_000_000, usize::MAX)),
-                &spill,
-                "fig6 n=3 x=2 pruned",
-            )
-            .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, false)),
-        ),
-        (
+        )
+        .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, false))
+    });
+    run_timed(&mut sweeps, "fig6 n=4 x=2 pruned", || {
+        maybe_spill(
+            Explorer::new(4)
+                .threads(threads)
+                .reduction(reduction)
+                .limits(limits(2_000_000, usize::MAX)),
+            &spill,
             "fig6 n=4 x=2 pruned",
-            maybe_spill(
-                Explorer::new(4)
-                    .threads(threads)
-                    .reduction(reduction)
-                    .limits(limits(2_000_000, usize::MAX)),
-                &spill,
-                "fig6 n=4 x=2 pruned",
-            )
-            .run(|| fig6_bodies(4, 2, 1), |r| check_agreement(r, 4, false)),
-        ),
-    ];
+        )
+        .run(|| fig6_bodies(4, 2, 1), |r| check_agreement(r, 4, false))
+    });
     if reduction.dpor {
         // The PR 4 "Figure 1 at n = 4" milestone: exhaustive only under
         // DPOR + observation quotient (pre-DPOR it is a 4.58M-expansion
         // sweep — minutes per run, unaffordable per CI gate invocation).
         // `explore_sweeps.rs` pins this exact line in both summary
         // modes.
-        sweeps.push((
-            "fig1 n=4 pruned",
+        run_timed(&mut sweeps, "fig1 n=4 pruned", || {
             maybe_spill(
                 Explorer::new(4)
                     .threads(threads)
                     .reduction(reduction)
+                    .symmetry(FIG1_SYMMETRY)
                     .limits(limits(2_000_000, usize::MAX)),
                 &spill,
                 "fig1 n=4 pruned",
             )
-            .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false)),
-        ));
+            .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false))
+        });
     }
     if reduction.view_summaries {
         // The ROADMAP "Figure 1 at n = 5" milestone: exhaustive only
@@ -187,20 +217,20 @@ fn catalogue(threads: usize, reduction: Reduction) -> Vec<(&'static str, Explore
         // exercised on every CI gate run; eviction is a memory policy,
         // so the printed line is identical to an unbounded sweep's.
         // `explore_sweeps.rs` pins this exact line.
-        sweeps.push((
-            "fig1 n=5 pruned",
+        run_timed(&mut sweeps, "fig1 n=5 pruned", || {
             maybe_spill(
                 Explorer::new(5)
                     .threads(threads)
                     .reduction(reduction)
+                    .symmetry(FIG1_SYMMETRY)
                     .limits(limits(60_000_000, usize::MAX))
                     .resident_ceiling(2_048)
                     .checkpoint_every(8),
                 &spill,
                 "fig1 n=5 pruned",
             )
-            .run(|| fig1_bodies(5, 1), |r| check_agreement(r, 5, false)),
-        ));
+            .run(|| fig1_bodies(5, 1), |r| check_agreement(r, 5, false))
+        });
     }
     if let Some(base) = &spill {
         let _ = std::fs::remove_dir_all(base);
@@ -208,12 +238,47 @@ fn catalogue(threads: usize, reduction: Reduction) -> Vec<(&'static str, Explore
     sweeps
 }
 
+/// One machine-readable trajectory record: the sweep's label, every
+/// summary counter, the verdict fields, and wall-clock milliseconds.
+/// Labels contain no characters that need JSON escaping.
+fn json_line(sweep: &Sweep) -> String {
+    let s = &sweep.report.stats;
+    format!(
+        "{{\"label\":\"{}\",\"runs\":{},\"expansions\":{},\"visited\":{},\"pruned\":{},\
+         \"sleep\":{},\"dpor\":{},\"qhits\":{},\"symm_enabled\":{},\"symm\":{},\
+         \"max_depth\":{},\"depth_limited\":{},\"complete\":{},\"violations\":{},\
+         \"wall_ms\":{}}}",
+        sweep.label,
+        s.runs,
+        s.expansions,
+        s.states_visited,
+        s.states_pruned,
+        s.sleep_skips,
+        s.dpor_skips,
+        s.quotient_hits,
+        s.symm_enabled,
+        s.symm_hits,
+        s.max_depth,
+        s.depth_limited_runs,
+        sweep.report.complete,
+        sweep.report.violations.len(),
+        sweep.wall_ms
+    )
+}
+
 fn sweeps(c: &mut Criterion) {
     let threads = threads_from_env(2);
     let reduction = reduction_from_env();
-    for (label, report) in catalogue(threads, reduction) {
-        report.assert_no_violation();
-        eprintln!("{}", report.summary_line(label));
+    let mut json = std::env::var_os("MPCN_BENCH_JSON").map(|p| {
+        std::fs::File::create(&p)
+            .unwrap_or_else(|e| panic!("MPCN_BENCH_JSON: cannot create {p:?}: {e}"))
+    });
+    for sweep in catalogue(threads, reduction) {
+        sweep.report.assert_no_violation();
+        eprintln!("{}", sweep.report.summary_line(sweep.label));
+        if let Some(f) = &mut json {
+            writeln!(f, "{}", json_line(&sweep)).expect("MPCN_BENCH_JSON: write failed");
+        }
     }
 
     let mut g = c.benchmark_group("explore");

@@ -93,7 +93,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::model_world::{Body, Footprint, ModelWorld, RunConfig, RunReport, Snapshot};
+use crate::model_world::{Body, Footprint, ModelWorld, RunConfig, RunReport, Snapshot, Symmetry};
 use crate::sched::{CrashState, Crashes};
 use crate::world::Pid;
 
@@ -268,6 +268,11 @@ struct Expanded {
     /// fingerprint differs from `fp`) — feeds the `qhits` counter when
     /// the child is pruned.
     coarsened: bool,
+    /// The symmetry quotient's canonical permutation moved a process
+    /// (the child's identity was folded under a nontrivial pid
+    /// relabeling) — feeds the `symm=` counter when the child is
+    /// pruned.
+    symm_coarsened: bool,
     pre_pruned: bool,
     /// Choice-path suffix length a rehydration replayed (0 if the parent
     /// was resident) — feeds `max_rehydration_replay`.
@@ -303,6 +308,10 @@ struct Shared<'a, F> {
     /// Fold declared view summaries into live observation histories
     /// (fixed at the root snapshot; kept here for rehydration roots).
     viewsum: bool,
+    /// Fingerprint children by the pid-symmetry canonical form (`Some`
+    /// only when the reduction is on, the program declared a spec, and
+    /// the adversary is [`Crashes::None`] — see [`Engine::with_store`]).
+    symmetry: Option<Symmetry>,
     max_steps: u64,
 }
 
@@ -318,6 +327,8 @@ pub(super) struct Engine<'a, F, C> {
     dpor: bool,
     quotient: bool,
     viewsum: bool,
+    /// See [`Shared::symmetry`].
+    symmetry: Option<Symmetry>,
     threads: usize,
     visited: VisitedShards,
     stats: ExploreStats,
@@ -377,6 +388,20 @@ where
         // function of the pick history, not of the reached state; no
         // reduction's argument applies, so all are disabled.
         let reducible = !matches!(ex.crashes, Crashes::Random { .. });
+        // The symmetry quotient additionally requires a crash-free
+        // adversary: a crash plan names concrete pids, so delivering it
+        // breaks the permutation-closure the canonical fingerprint's
+        // soundness rests on. And, of course, a declared spec.
+        let symmetry = if ex.reduction.prune_visited
+            && ex.reduction.symmetry
+            && matches!(ex.crashes, Crashes::None)
+        {
+            ex.symmetry
+        } else {
+            None
+        };
+        let mut stats = ExploreStats::new(ex.n);
+        stats.symm_enabled = symmetry.is_some();
         Engine {
             ex,
             make_bodies,
@@ -386,9 +411,10 @@ where
             dpor: ex.reduction.dpor && reducible,
             quotient: ex.reduction.prune_visited && ex.reduction.quotient_obs && reducible,
             viewsum: ex.reduction.prune_visited && ex.reduction.view_summaries && reducible,
+            symmetry,
             threads: ex.threads.max(1),
             visited: VisitedShards::new(),
-            stats: ExploreStats::new(ex.n),
+            stats,
             violations: Vec::new(),
             complete: true,
             stopped: false,
@@ -428,6 +454,15 @@ where
         pending: PendingSweep,
     ) -> ExploreReport {
         let mut engine = Engine::with_store(ex, make_bodies, check, Box::new(pending.store), true);
+        assert_eq!(
+            engine.symmetry.is_some(),
+            pending.stats.symm_enabled,
+            "explore spill: the resumed configuration {} the symmetry quotient but the \
+             manifest says the original sweep {} it — the visited set would be in the wrong \
+             state space",
+            if engine.symmetry.is_some() { "enables" } else { "disables" },
+            if pending.stats.symm_enabled { "enabled" } else { "disabled" },
+        );
         for fp in pending.visited {
             engine.visited.insert(fp);
         }
@@ -668,6 +703,7 @@ where
             prune: self.prune,
             quotient: self.quotient,
             viewsum: self.viewsum,
+            symmetry: self.symmetry,
             max_steps: self.ex.limits.max_steps,
         };
         let workers = self.threads.min(jobs.len());
@@ -719,6 +755,9 @@ where
                         self.stats.states_pruned += 1;
                         if child.coarsened {
                             self.stats.quotient_hits += 1;
+                        }
+                        if child.symm_coarsened {
+                            self.stats.symm_hits += 1;
                         }
                         continue;
                     }
@@ -877,20 +916,25 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
     let mut store_reads = 0;
     let parent = snapshot_of(shared, node, &mut rebuilt, &mut rehydration_replay, &mut store_reads);
     let (snap, crashed_now) = step_snapshot(shared, parent, &mut crash, pid);
-    let (fp, coarsened) = if shared.prune {
-        if shared.quotient {
-            (snap.fingerprint_quotient(), snap.quotient_coarsens())
-        } else {
-            (snap.fingerprint(), false)
+    let (fp, coarsened, symm_coarsened) = if shared.prune {
+        let coarsened = shared.quotient && snap.quotient_coarsens();
+        match &shared.symmetry {
+            Some(spec) => {
+                let (fp, nontrivial) = snap.fingerprint_symmetric(shared.quotient, spec);
+                (fp, coarsened, nontrivial)
+            }
+            None if shared.quotient => (snap.fingerprint_quotient(), coarsened, false),
+            None => (snap.fingerprint(), false, false),
         }
     } else {
-        (0, false)
+        (0, false, false)
     };
     if shared.prune && shared.visited.contains(fp) {
         return Expanded {
             node: None,
             fp,
             coarsened,
+            symm_coarsened,
             pre_pruned: true,
             rehydration_replay,
             store_reads,
@@ -919,6 +963,7 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
         node: Some(child),
         fp,
         coarsened,
+        symm_coarsened,
         pre_pruned: false,
         rehydration_replay,
         store_reads,

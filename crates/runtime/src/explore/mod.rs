@@ -183,7 +183,7 @@ pub use report::{ExploreReport, ExploreStats, Violation};
 
 use std::path::{Path, PathBuf};
 
-use crate::model_world::{Body, ModelWorld, RunConfig, RunReport};
+use crate::model_world::{Body, ModelWorld, RunConfig, RunReport, Symmetry};
 use crate::sched::Crashes;
 
 /// Default ancestor-checkpoint stride of the bounded-memory frontier
@@ -245,6 +245,17 @@ pub struct Reduction {
     /// [`Reduction::prune_visited`]; a no-op for programs that declare no
     /// summaries.
     pub view_summaries: bool,
+    /// Canonicalize visited-state identity under **process-identity
+    /// permutation** for programs that declared a pid-symmetry spec
+    /// ([`Explorer::symmetry`],
+    /// [`crate::model_world::Snapshot::fingerprint_symmetric`]): the up
+    /// to `n!` pid-permuted copies of each state collapse to one
+    /// canonical representative. Only meaningful with
+    /// [`Reduction::prune_visited`]; a no-op for programs that declare
+    /// no spec, and automatically inactive under crash adversaries
+    /// (crash plans name concrete pids, so the transition system is not
+    /// permutation-closed — see [`Crashes::AtOwnStep`]).
+    pub symmetry: bool,
 }
 
 impl Reduction {
@@ -256,6 +267,7 @@ impl Reduction {
             dpor: true,
             quotient_obs: true,
             view_summaries: true,
+            symmetry: true,
         }
     }
 
@@ -268,6 +280,7 @@ impl Reduction {
             dpor: false,
             quotient_obs: false,
             view_summaries: false,
+            symmetry: false,
         }
     }
 
@@ -282,16 +295,36 @@ impl Reduction {
             dpor: false,
             quotient_obs: false,
             view_summaries: false,
+            symmetry: false,
         }
     }
 
-    /// Everything except view summaries — the differential baseline the
-    /// summary-on vs summary-off tests and the `MPCN_EXPLORE_VIEWSUM=0`
-    /// CI verdict gate compare [`Reduction::full`] against. Reproduces
-    /// the summary-free engine's state counts byte for byte (raw views
-    /// are folded exactly as plain scans fold them).
+    /// Everything except view summaries (and the later symmetry
+    /// quotient) — the differential baseline the summary-on vs
+    /// summary-off tests and the `MPCN_EXPLORE_VIEWSUM=0` CI verdict
+    /// gate compare [`Reduction::full`] against. Reproduces the
+    /// summary-free PR 4 engine's state counts byte for byte (raw views
+    /// are folded exactly as plain scans fold them), which is why
+    /// [`Reduction::symmetry`] — added after that baseline was recorded
+    /// — stays pinned off here.
     pub fn no_viewsum() -> Self {
-        Reduction { view_summaries: false, ..Reduction::full() }
+        Reduction {
+            prune_visited: true,
+            sleep_reads: true,
+            dpor: true,
+            quotient_obs: true,
+            view_summaries: false,
+            symmetry: false,
+        }
+    }
+
+    /// Everything except the process-identity symmetry quotient — the
+    /// differential baseline the symmetry-on vs symmetry-off tests and
+    /// the `MPCN_EXPLORE_SYMM=0` CI verdict gate compare
+    /// [`Reduction::full`] against. Reproduces the pre-symmetry (PR 5/6)
+    /// engine's state counts byte for byte.
+    pub fn no_symm() -> Self {
+        Reduction { symmetry: false, ..Reduction::full() }
     }
 }
 
@@ -347,6 +380,13 @@ pub struct Explorer {
     /// Free-form sweep identifier recorded in the manifest, so a resumed
     /// sweep can be matched to the fixture that produced it.
     fixture: String,
+    /// The program's pid-symmetry declaration, if any — required (in
+    /// addition to [`Reduction::symmetry`]) for the symmetry quotient to
+    /// activate. Like the bodies and the checker, the spec is code, not
+    /// state: the manifest records only its presence, and a resumed
+    /// symmetric sweep re-supplies it
+    /// ([`Explorer::resume_sweep_with_symmetry`]).
+    symmetry: Option<Symmetry>,
 }
 
 impl Explorer {
@@ -365,7 +405,25 @@ impl Explorer {
             spill_dir: None,
             halt_after_layers: None,
             fixture: String::new(),
+            symmetry: None,
         }
+    }
+
+    /// Declares the program **pid-symmetric**: permuting process
+    /// identities is an automorphism of its transition system (bodies
+    /// identical up to the values `spec` relabels, checker closed under
+    /// pid permutation and value relabeling — the full contract is
+    /// `docs/EXPLORER.md` §8). With the declaration in place and
+    /// [`Reduction::symmetry`] on (the default), the explorer prunes on
+    /// the **symmetry-canonical** state fingerprint
+    /// ([`crate::model_world::Snapshot::fingerprint_symmetric`]),
+    /// collapsing the up to `n!` pid-permuted copies of every state.
+    /// Programs that declare no spec are completely unaffected by the
+    /// reduction flag. Automatically inactive under a crash adversary
+    /// (crash plans name concrete pids).
+    pub fn symmetry(mut self, spec: Symmetry) -> Self {
+        self.symmetry = Some(spec);
+        self
     }
 
     /// Sets the crash adversary, exhausted alongside the schedules.
@@ -538,6 +596,33 @@ impl Explorer {
         F: Fn() -> Vec<Body> + Sync,
         C: Fn(&RunReport) -> Result<(), String>,
     {
+        Explorer::resume_sweep_with_symmetry(dir, None, make_bodies, check)
+    }
+
+    /// [`Explorer::resume_sweep`] for sweeps that were started with a
+    /// pid-symmetry declaration ([`Explorer::symmetry`]): like the
+    /// bodies and the checker, the [`Symmetry`] spec is code (a pair of
+    /// `fn` pointers), so the manifest records only *whether* the
+    /// original sweep had one — the resumer must re-supply the same
+    /// spec here.
+    ///
+    /// # Panics
+    ///
+    /// In addition to the [`Explorer::resume_sweep`] cases, panics if
+    /// `symmetry` disagrees with the manifest about the spec's presence
+    /// — silently resuming a symmetric sweep without its spec (or vice
+    /// versa) would fingerprint future layers in a different state
+    /// space than the persisted visited set.
+    pub fn resume_sweep_with_symmetry<F, C>(
+        dir: impl AsRef<Path>,
+        symmetry: Option<Symmetry>,
+        make_bodies: F,
+        check: C,
+    ) -> ExploreReport
+    where
+        F: Fn() -> Vec<Body> + Sync,
+        C: Fn(&RunReport) -> Result<(), String>,
+    {
         let dir = dir.as_ref();
         let opened = store::open_sweep(dir).unwrap_or_else(|e| {
             panic!("explore spill: cannot resume sweep directory {}: {e}", dir.display())
@@ -545,7 +630,18 @@ impl Explorer {
         match opened {
             store::OpenedSweep::Done(report) => report,
             store::OpenedSweep::Pending(pending) => {
-                let pending = *pending;
+                let mut pending = *pending;
+                assert_eq!(
+                    pending.symm_spec,
+                    symmetry.is_some(),
+                    "explore spill: sweep directory {} was started {} a pid-symmetry spec; \
+                     resume it through Explorer::resume_sweep_with_symmetry({}) with the \
+                     original fixture's spec",
+                    dir.display(),
+                    if pending.symm_spec { "with" } else { "without" },
+                    if pending.symm_spec { "Some(spec)" } else { "None" },
+                );
+                pending.ex.symmetry = symmetry;
                 let ex = pending.ex.clone();
                 frontier::Engine::resume(&ex, &make_bodies, &check, pending)
             }
@@ -601,10 +697,12 @@ pub fn threads_from_env(default: usize) -> usize {
 /// default; the `MPCN_EXPLORE_DPOR=0` environment variable selects
 /// [`Reduction::no_dpor`] and `MPCN_EXPLORE_VIEWSUM=0` clears
 /// [`Reduction::view_summaries`] (so `DPOR=0` alone already implies
-/// summaries off — [`Reduction::no_dpor`] *is* the pre-DPOR baseline).
-/// The CI verdict gates run the explore bench in each mode and assert
-/// every common sweep reaches the same `complete`/`violations` verdict
-/// (state counts legitimately differ).
+/// summaries off — [`Reduction::no_dpor`] *is* the pre-DPOR baseline),
+/// and `MPCN_EXPLORE_SYMM=0` clears [`Reduction::symmetry`] (under it
+/// the catalogue reproduces the pre-symmetry PR 5/6 lines byte for
+/// byte). The CI verdict gates run the explore bench in each mode and
+/// assert every common sweep reaches the same `complete`/`violations`
+/// verdict (state counts legitimately differ).
 pub fn reduction_from_env() -> Reduction {
     let mut r = match std::env::var("MPCN_EXPLORE_DPOR").as_deref() {
         Ok("0") => Reduction::no_dpor(),
@@ -612,6 +710,9 @@ pub fn reduction_from_env() -> Reduction {
     };
     if std::env::var("MPCN_EXPLORE_VIEWSUM").as_deref() == Ok("0") {
         r.view_summaries = false;
+    }
+    if std::env::var("MPCN_EXPLORE_SYMM").as_deref() == Ok("0") {
+        r.symmetry = false;
     }
     r
 }

@@ -48,6 +48,18 @@ pub struct ExploreStats {
     /// quotiented one): merges only the observation abstraction
     /// achieves ([`super::Reduction::quotient_obs`]).
     pub quotient_hits: u64,
+    /// Pruned expansions whose canonical pid permutation was
+    /// nontrivial: merges only the process-identity symmetry quotient
+    /// achieves ([`super::Reduction::symmetry`]). On the summary line
+    /// (as `symm=`) only while the quotient is active
+    /// ([`ExploreStats::symm_enabled`]), so symmetry-off sweeps print
+    /// the exact pre-symmetry baseline lines.
+    pub symm_hits: u64,
+    /// The symmetry quotient was active for this sweep: the reduction
+    /// flag was on, the program declared a [`crate::model_world::Symmetry`]
+    /// spec, and the adversary was crash-free. Controls whether
+    /// [`ExploreStats::summary`] prints the `symm=` field.
+    pub symm_enabled: bool,
     /// Frontier nodes evicted down to scheduling metadata by
     /// [`super::Explorer::resident_ceiling`] and rehydrated on demand.
     /// Deliberately **not** part of [`ExploreStats::summary`]: the
@@ -97,6 +109,8 @@ impl ExploreStats {
             sleep_skips: 0,
             dpor_skips: 0,
             quotient_hits: 0,
+            symm_hits: 0,
+            symm_enabled: false,
             evicted: 0,
             max_rehydration_replay: 0,
             spilled: 0,
@@ -114,13 +128,20 @@ impl ExploreStats {
     }
 
     /// One deterministic `key=value` line (no timing, no pointers), fit
-    /// for golden files and the CI determinism gate.
+    /// for golden files and the CI determinism gate. The `symm=` field
+    /// appears only when the symmetry quotient was active
+    /// ([`ExploreStats::symm_enabled`]): symmetry-off sweeps — every
+    /// asymmetric program, every crash sweep, every `no_symm()` /
+    /// `MPCN_EXPLORE_SYMM=0` baseline — print byte for byte what the
+    /// pre-symmetry engine printed.
     pub fn summary(&self) -> String {
         let hist =
             self.branching_histogram.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        let symm =
+            if self.symm_enabled { format!(" symm={}", self.symm_hits) } else { String::new() };
         format!(
-            "runs={} expansions={} visited={} pruned={} sleep={} dpor={} qhits={} max_depth={} \
-             depth_limited={} branching=[{}]",
+            "runs={} expansions={} visited={} pruned={} sleep={} dpor={} qhits={}{symm} \
+             max_depth={} depth_limited={} branching=[{}]",
             self.runs,
             self.expansions,
             self.states_visited,
@@ -236,6 +257,21 @@ mod tests {
              depth_limited=0 branching=[0,4,8]"
         );
         assert_eq!(stats.decisions(), 12);
+        // Even a nonzero symm_hits stays off the line while the quotient
+        // is inactive (the pre-symmetry baseline byte-identity contract);
+        // enabling it inserts the field between qhits and max_depth.
+        stats.symm_hits = 7;
+        assert_eq!(
+            stats.summary(),
+            "runs=6 expansions=14 visited=12 pruned=0 sleep=0 dpor=3 qhits=2 max_depth=4 \
+             depth_limited=0 branching=[0,4,8]"
+        );
+        stats.symm_enabled = true;
+        assert_eq!(
+            stats.summary(),
+            "runs=6 expansions=14 visited=12 pruned=0 sleep=0 dpor=3 qhits=2 symm=7 max_depth=4 \
+             depth_limited=0 branching=[0,4,8]"
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ use super::{ExploreLimits, Explorer, Reduction};
 /// Magic of the binary frontier/violations state file.
 const STATE_MAGIC: &[u8; 4] = b"MPSW";
 /// Version of the `MANIFEST` key set.
-const MANIFEST_VERSION: u64 = 1;
+const MANIFEST_VERSION: u64 = 2;
 
 /// Where a stored checkpoint snapshot lives — what [`SnapshotStore::put`]
 /// returns and a frontier anchor carries.
@@ -552,6 +552,12 @@ fn render_manifest(
     kv("dpor", ex.reduction.dpor.to_string());
     kv("quotient_obs", ex.reduction.quotient_obs.to_string());
     kv("view_summaries", ex.reduction.view_summaries.to_string());
+    kv("symmetry", ex.reduction.symmetry.to_string());
+    // The Symmetry spec itself is code (fn pointers) and cannot be
+    // persisted; the manifest records its presence so a resume can
+    // demand the original fixture re-supply it
+    // (`Explorer::resume_sweep_with_symmetry`).
+    kv("symm_spec", ex.symmetry.is_some().to_string());
     kv("resident_ceiling", (ex.resident_ceiling as u64).to_string());
     kv("checkpoint_every", (ex.checkpoint_every as u64).to_string());
     kv("crashes", encode_crashes(&ex.crashes)?);
@@ -567,6 +573,8 @@ fn render_manifest(
     kv("sleep_skips", stats.sleep_skips.to_string());
     kv("dpor_skips", stats.dpor_skips.to_string());
     kv("quotient_hits", stats.quotient_hits.to_string());
+    kv("symm_hits", stats.symm_hits.to_string());
+    kv("symm_enabled", stats.symm_enabled.to_string());
     kv("evicted", stats.evicted.to_string());
     kv("max_rehydration_replay", stats.max_rehydration_replay.to_string());
     kv("spilled", stats.spilled.to_string());
@@ -650,6 +658,9 @@ pub(super) struct PendingSweep {
     pub(super) queued: u64,
     pub(super) complete: bool,
     pub(super) layer: u64,
+    /// The original sweep was started with a pid-symmetry spec
+    /// (`Explorer::symmetry`) — the resumer must re-supply one.
+    pub(super) symm_spec: bool,
 }
 
 /// Opens a sweep directory written by the spill store: returns the final
@@ -683,6 +694,7 @@ pub(super) fn open_sweep(dir: &Path) -> io::Result<OpenedSweep> {
             dpor: m.bool("dpor")?,
             quotient_obs: m.bool("quotient_obs")?,
             view_summaries: m.bool("view_summaries")?,
+            symmetry: m.bool("symmetry")?,
         },
         collect_all: m.bool("collect_all")?,
         threads: m.usize("threads")?,
@@ -691,6 +703,10 @@ pub(super) fn open_sweep(dir: &Path) -> io::Result<OpenedSweep> {
         spill_dir: Some(dir.to_path_buf()),
         halt_after_layers: None,
         fixture: m.field("fixture")?.to_string(),
+        // Rebuilt without the (unserializable) spec; the resume entry
+        // point injects the caller-supplied one after checking it
+        // against `symm_spec` below.
+        symmetry: None,
     };
     let branching = {
         let s = m.field("branching")?;
@@ -710,6 +726,8 @@ pub(super) fn open_sweep(dir: &Path) -> io::Result<OpenedSweep> {
         sleep_skips: m.u64("sleep_skips")?,
         dpor_skips: m.u64("dpor_skips")?,
         quotient_hits: m.u64("quotient_hits")?,
+        symm_hits: m.u64("symm_hits")?,
+        symm_enabled: m.bool("symm_enabled")?,
         evicted: m.u64("evicted")?,
         max_rehydration_replay: m.u64("max_rehydration_replay")?,
         spilled: m.u64("spilled")?,
@@ -769,5 +787,6 @@ pub(super) fn open_sweep(dir: &Path) -> io::Result<OpenedSweep> {
         queued: m.u64("queued")?,
         complete,
         layer: m.u64("layer")?,
+        symm_spec: m.bool("symm_spec")?,
     })))
 }

@@ -103,9 +103,34 @@ pub fn fold_state_fp(mem: u64, per_proc: impl Iterator<Item = (u64, u64, u64)>) 
     h.finish()
 }
 
+/// Sorts process indices `0..keys.len()` by their **pid-erased** sort
+/// key, breaking ties by pid — the canonical enumeration order of the
+/// process-identity symmetry quotient
+/// ([`crate::model_world::Snapshot::fingerprint_symmetric`]). Returns
+/// `order` with `order[rank] = pid`: position `rank` of the canonical
+/// state description is filled by process `order[rank]`. The pid
+/// tie-break is the same canonical-pid seed DPOR's tie-break uses: on
+/// equal erased keys it is a *deterministic* (if arbitrary) choice, so
+/// two π-related states may canonicalize differently only when their
+/// erased keys collide — a reduction loss, never an unsoundness (both
+/// fingerprints still describe their states completely).
+pub fn canonical_order<K: Ord>(keys: &[K]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by(|&a, &b| keys[a].cmp(&keys[b]).then(a.cmp(&b)));
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonical_order_sorts_and_tie_breaks_by_pid() {
+        assert_eq!(canonical_order(&[3u64, 1, 2]), vec![1, 2, 0]);
+        assert_eq!(canonical_order(&[7u64, 7, 7]), vec![0, 1, 2]);
+        assert_eq!(canonical_order(&[(1u64, 9u64), (1, 2), (0, 5)]), vec![2, 1, 0]);
+        assert_eq!(canonical_order::<u64>(&[]), Vec::<usize>::new());
+    }
 
     #[test]
     fn deterministic_across_hasher_instances() {

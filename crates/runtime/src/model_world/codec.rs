@@ -357,6 +357,53 @@ fn decode_stored(r: &mut ByteReader<'_>, track: bool) -> Result<(Stored, u64), C
     }
 }
 
+/// Fingerprints one type-erased [`Stored`] value **after relabeling every
+/// `u64` leaf** through `relabel` under the pid map `perm` — the value
+/// half of the process-identity symmetry quotient
+/// ([`crate::model_world::Snapshot::fingerprint_symmetric`]). Walks the
+/// same closed universe as [`encode_stored`], rebuilds the relabeled
+/// concrete value, and returns its [`fp_of`] word — so a value that
+/// relabels to itself fingerprints exactly like its stored cell, and a
+/// decoded-from-disk snapshot (which re-packs the identical concrete
+/// values) produces the identical word, byte-stably.
+///
+/// Leaves are relabeled **in place**: element order of `Vec` values is
+/// preserved, so raw pid-indexed scan views do not canonicalize across
+/// their index permutation (a reduction loss for programs that log raw
+/// views, never an unsoundness — the map stays injective per `perm`).
+/// Returns `None` for values outside the universe; the caller decides
+/// whether a sound fallback exists (memory cells: yes, the cell's own
+/// fingerprint; log entries: no — see the §8 contract in
+/// `docs/EXPLORER.md`).
+pub(crate) fn stored_symm_fp(
+    v: &Stored,
+    perm: &[crate::world::Pid],
+    relabel: fn(u64, &[crate::world::Pid]) -> u64,
+) -> Option<u64> {
+    if v.downcast_ref::<()>().is_some() {
+        Some(fp_of(&()))
+    } else if let Some(&b) = v.downcast_ref::<bool>() {
+        Some(fp_of(&b))
+    } else if let Some(&x) = v.downcast_ref::<u64>() {
+        Some(fp_of(&relabel(x, perm)))
+    } else if let Some(&(a, b)) = v.downcast_ref::<(u64, u8)>() {
+        Some(fp_of(&(relabel(a, perm), b)))
+    } else if let Some(&o) = v.downcast_ref::<Option<u64>>() {
+        Some(fp_of(&o.map(|x| relabel(x, perm))))
+    } else if let Some(xs) = v.downcast_ref::<Vec<Option<u64>>>() {
+        let ys: Vec<Option<u64>> = xs.iter().map(|o| o.map(|x| relabel(x, perm))).collect();
+        Some(fp_of(&ys))
+    } else if let Some(&o) = v.downcast_ref::<Option<(u64, u8)>>() {
+        Some(fp_of(&o.map(|(a, b)| (relabel(a, perm), b))))
+    } else if let Some(xs) = v.downcast_ref::<Vec<Option<(u64, u8)>>>() {
+        let ys: Vec<Option<(u64, u8)>> =
+            xs.iter().map(|o| o.map(|(a, b)| (relabel(a, perm), b))).collect();
+        Some(fp_of(&ys))
+    } else {
+        None
+    }
+}
+
 // --- keys, footprints, cells, objects ------------------------------------
 
 pub(crate) fn encode_key(w: &mut ByteWriter, key: ObjKey) {

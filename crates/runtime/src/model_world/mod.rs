@@ -344,6 +344,50 @@ impl RunConfig {
 /// A process body: runs with an [`Env`] handle and returns its decision.
 pub type Body = Box<dyn FnOnce(Env<ModelWorld>) -> u64 + Send>;
 
+/// A program's declaration that it is **pid-symmetric**: permuting the
+/// process identities yields an automorphism of its transition system, so
+/// the explorer may canonicalize visited-state identity under pid
+/// permutation ([`Snapshot::fingerprint_symmetric`],
+/// [`crate::explore::Reduction::symmetry`]).
+///
+/// The declaration consists of two pid-relabel maps over the `u64` leaves
+/// the program stores and returns (both are plain `fn` pointers so the
+/// spec stays `Copy` and needs no serialization — a resumed sweep
+/// re-supplies it alongside the bodies, see
+/// [`crate::explore::Explorer::resume_sweep_with_symmetry`]):
+///
+/// * `relabel_value(v, perm)` — how a value **written to shared memory or
+///   returned by an operation** transforms when process `p` is renamed to
+///   `perm[p]`. Values that carry no pid must map to themselves;
+///   pid-carrying values (e.g. fig1's proposal `100 + p`) map through
+///   `perm`. Applied structurally to every `u64` leaf of the codec's
+///   closed value universe.
+/// * `relabel_result(r, perm)` — the same map for the `u64` a process
+///   body **returns** (its decision), which may use a different encoding
+///   than stored values (fig1 returns `v + 1`).
+///
+/// Both maps must satisfy, for every value `v` in the program's reachable
+/// universe and all permutations `π`, `σ`: `relabel(v, id) = v` and
+/// `relabel(relabel(v, π), σ) = relabel(v, σ∘π)` — i.e. they are a group
+/// action of the symmetric group on the value universe. The program's
+/// bodies must be identical up to `relabel_value` of the pid-dependent
+/// constants, and its checker must be permutation-closed (accept a run
+/// iff it accepts every pid-permuted run). `docs/EXPLORER.md` §3 carries
+/// the full soundness argument and §8 the program-side contract.
+#[derive(Clone, Copy)]
+pub struct Symmetry {
+    /// Relabels a stored/observed `u64` leaf under a pid permutation.
+    pub relabel_value: fn(u64, &[Pid]) -> u64,
+    /// Relabels a decided (body-returned) `u64` under a pid permutation.
+    pub relabel_result: fn(u64, &[Pid]) -> u64,
+}
+
+impl std::fmt::Debug for Symmetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Symmetry").finish_non_exhaustive()
+    }
+}
+
 /// A stored value together with its fingerprint (0 when fingerprint
 /// tracking is off — see [`State::track`]).
 #[derive(Debug, Clone)]

@@ -40,11 +40,12 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use super::{
-    install_crash_hook, panic_message, Body, Footprint, Inner, ModelWorld, Outcome, Permit,
+    codec, install_crash_hook, panic_message, Body, Footprint, Inner, ModelWorld, Outcome, Permit,
     RunReport, State, StopSignal,
 };
-use crate::fingerprint::{fold_state_fp, mix};
+use crate::fingerprint::{canonical_order, fold_state_fp, mix, Fnv1a};
 use crate::world::{Env, ObjKey, Pid, Stored};
+use std::hash::Hasher;
 
 /// One completed shared-memory operation of a process: operation tag
 /// (`OP_*`), key, and the (type-erased) value the operation returned.
@@ -294,6 +295,227 @@ impl Snapshot {
                 )
             }),
         )
+    }
+
+    /// The **pid-symmetry-canonical** state fingerprint: the identity of
+    /// this state's equivalence class under process-identity permutation,
+    /// for programs that declared themselves pid-symmetric via a
+    /// [`super::Symmetry`] spec ([`crate::explore::Reduction::symmetry`]).
+    /// Returns `(fp, nontrivial)`: the canonical fingerprint, and whether
+    /// the canonical permutation actually moved a process (the explorer's
+    /// `symm=` coarsening flag).
+    ///
+    /// Canonicalization happens in two passes:
+    ///
+    /// 1. **Order.** Each process gets a **pid-erased** sort key — its
+    ///    operation-log fold, liveness flags, result, and the erased
+    ///    contents of its own pid-indexed snapshot cells (the memory
+    ///    refinement that keeps all-terminated states sortable under
+    ///    `quotient_obs`, where the log word is zeroed) — with every
+    ///    embedded pid relabeled to `0` — and
+    ///    [`crate::fingerprint::canonical_order`] sorts processes by that
+    ///    key (pid tie-break, the same canonical-pid seed as DPOR's
+    ///    tie-break). Erasure is pid-blind by the spec's group-action
+    ///    contract, so two π-related states sort their corresponding
+    ///    processes into the same ranks (ties can diverge — a reduction
+    ///    loss, never an unsoundness).
+    /// 2. **Fold.** The state description is refolded under the induced
+    ///    permutation `perm[pid] = rank`: memory objects with every value
+    ///    leaf relabeled through [`super::Symmetry::relabel_value`] and
+    ///    per-process snapshot cells moved to their canonical index, then
+    ///    each process's (relabeled log fold, flags, relabeled result)
+    ///    triple in canonical order — the same
+    ///    [`crate::fingerprint::fold_state_fp`] shape as
+    ///    [`Snapshot::fingerprint`].
+    ///
+    /// The description folds the **operation log itself** (op tag, key,
+    /// relabeled result fingerprint per entry — the exact words
+    /// `State::observe` folds) rather than the precomputed `obs_fp`,
+    /// which already hashed the unrelabeled results. Pending footprints
+    /// and per-process step counts are deliberately **not** folded:
+    /// bodies are deterministic, so both are functions of the log. Under
+    /// `quotient_obs` the observation quotient composes: terminated
+    /// processes contribute `0` in place of their log fold and the
+    /// path's total step count is mixed into the memory word, exactly as
+    /// in [`Snapshot::fingerprint_quotient`].
+    ///
+    /// Equal canonical fingerprints imply the two states are images of
+    /// one another under a pid permutation (the relabel maps are
+    /// bijective per permutation and the folded description is
+    /// complete); the soundness argument for pruning on that identity —
+    /// when bodies are identical up to value and checkers are
+    /// permutation/value-closed — is in `docs/EXPLORER.md` §3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a logged operation result lies outside the codec's
+    /// closed value universe: there is no sound fallback for an
+    /// observation that cannot be relabeled (a constant would merge
+    /// distinct observations). Pid-symmetric programs must keep their
+    /// operation results in the universe — the same requirement
+    /// spilling already imposes (`docs/EXPLORER.md` §8). Memory cells
+    /// outside the universe merely fall back to their unrelabeled
+    /// fingerprint (sound: π-related states then simply stop merging).
+    /// Panics in debug builds if the snapshot was built without
+    /// tracking.
+    pub fn fingerprint_symmetric(&self, quotient_obs: bool, spec: &super::Symmetry) -> (u64, bool) {
+        debug_assert!(self.track, "fingerprints require tracking (snapshot_root track=true)");
+        let n = self.n;
+        let zeros = vec![0; n];
+        // Erased view of each process's own pid-indexed snapshot cells,
+        // folded in deterministic key order. Without it, states whose
+        // processes differ only through memory — e.g. all-terminated
+        // states under `quotient_obs`, whose log words are zeroed —
+        // would sort entirely by the pid tie-break, and π-related
+        // states could canonicalize inconsistently.
+        let mut own_cells = vec![0u64; n];
+        let mut keys: Vec<&crate::world::ObjKey> = self.objects.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            if let super::Object::Snapshot(cells) = &self.objects[key] {
+                if cells.len() == n {
+                    let mut kh = Fnv1a::default();
+                    kh.write_u64(u64::from(key.kind));
+                    kh.write_u64(key.a);
+                    kh.write_u64(key.b);
+                    let kfp = kh.finish();
+                    for (p, c) in cells.iter().enumerate() {
+                        let cfp = c.as_ref().map_or(u64::MAX, |c| {
+                            codec::stored_symm_fp(&c.val, &zeros, spec.relabel_value)
+                                .unwrap_or(c.fp)
+                        });
+                        own_cells[p] = mix(own_cells[p], mix(kfp, cfp));
+                    }
+                }
+            }
+        }
+        let erased: Vec<[u64; 4]> = (0..n)
+            .map(|p| {
+                let [obs, flags, result] = self.symm_proc_word(p, quotient_obs, &zeros, spec);
+                [obs, flags, result, own_cells[p]]
+            })
+            .collect();
+        let order = canonical_order(&erased);
+        let mut perm = vec![0; n];
+        let mut nontrivial = false;
+        for (rank, &p) in order.iter().enumerate() {
+            perm[p] = rank;
+            nontrivial |= rank != p;
+        }
+        let mut mem = 0u64;
+        for (key, obj) in &self.objects {
+            let mut h = Fnv1a::default();
+            h.write_u64(u64::from(key.kind));
+            h.write_u64(key.a);
+            h.write_u64(key.b);
+            h.write_u64(self.obj_symm_fp(obj, &perm, &order, spec));
+            mem ^= h.finish();
+        }
+        if quotient_obs {
+            mem = mix(mem, self.steps);
+        }
+        let fp = fold_state_fp(
+            mem,
+            order.iter().map(|&p| {
+                let [obs, flags, result] = self.symm_proc_word(p, quotient_obs, &perm, spec);
+                (obs, flags, result)
+            }),
+        );
+        (fp, nontrivial)
+    }
+
+    /// One process's `(log fold, flags, result)` description word under
+    /// the pid map `perm` — the erased sort key when `perm` is all
+    /// zeros, a canonical-description entry when it is the induced
+    /// permutation.
+    fn symm_proc_word(
+        &self,
+        p: Pid,
+        quotient_obs: bool,
+        perm: &[Pid],
+        spec: &super::Symmetry,
+    ) -> [u64; 3] {
+        let terminated = self.finished[p] || self.crashed[p];
+        let obs = if quotient_obs && terminated {
+            0
+        } else {
+            let mut acc = 0u64;
+            for e in self.logs[p].iter() {
+                let rfp = codec::stored_symm_fp(&e.result, perm, spec.relabel_value)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "symmetry quotient: process {p} logged an operation result outside \
+                             the codec value universe — pid-symmetric programs must keep results \
+                             in the closed universe (docs/EXPLORER.md §8)"
+                        )
+                    });
+                let mut h = Fnv1a::default();
+                h.write_u64(e.op);
+                h.write_u64(u64::from(e.key.kind));
+                h.write_u64(e.key.a);
+                h.write_u64(e.key.b);
+                h.write_u64(rfp);
+                acc = mix(acc, h.finish());
+            }
+            acc
+        };
+        let flags = u64::from(self.finished[p])
+            | u64::from(self.crashed[p]) << 1
+            | u64::from(self.crashed[p]) << 2
+            | u64::from(self.results[p].is_some()) << 3;
+        let result = (spec.relabel_result)(self.results[p].unwrap_or(0), perm);
+        [obs, flags, result]
+    }
+
+    /// [`super::Object`] content fingerprint under the pid map: the same
+    /// tagged shape as the baseline object fingerprint, with every value
+    /// leaf relabeled (falling back to the cell's unrelabeled
+    /// fingerprint outside the codec universe — sound, merely less
+    /// merging) and, for per-process snapshot objects (`cells.len() ==
+    /// n`), cells moved to their canonical index: canonical position
+    /// `rank` holds the relabeled cell of process `order[rank]`.
+    fn obj_symm_fp(
+        &self,
+        obj: &super::Object,
+        perm: &[Pid],
+        order: &[Pid],
+        spec: &super::Symmetry,
+    ) -> u64 {
+        let cell_fp = |c: &Option<super::Cell>| {
+            c.as_ref().map_or(u64::MAX, |c| {
+                codec::stored_symm_fp(&c.val, perm, spec.relabel_value).unwrap_or(c.fp)
+            })
+        };
+        let mut h = Fnv1a::default();
+        match obj {
+            super::Object::Register(slot) => {
+                h.write_u64(1);
+                h.write_u64(cell_fp(slot));
+            }
+            super::Object::Snapshot(cells) => {
+                h.write_u64(2);
+                if cells.len() == self.n {
+                    for &p in order {
+                        h.write_u64(cell_fp(&cells[p]));
+                    }
+                } else {
+                    for c in cells {
+                        h.write_u64(cell_fp(c));
+                    }
+                }
+            }
+            super::Object::Tas(taken) => {
+                h.write_u64(3);
+                h.write_u64(u64::from(*taken));
+            }
+            // `ports` is static per key, exactly as in the baseline
+            // object fingerprint.
+            super::Object::XCons { decided, .. } => {
+                h.write_u64(4);
+                h.write_u64(cell_fp(decided));
+            }
+        }
+        h.finish()
     }
 
     /// Synthesizes the [`RunReport`] of the path that reached this state,

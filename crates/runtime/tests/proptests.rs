@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use mpcn_runtime::explore::{ExploreLimits, Explorer, Reduction};
 use mpcn_runtime::fingerprint::fp_of;
-use mpcn_runtime::model_world::{Body, ModelWorld, RunConfig, RunReport};
+use mpcn_runtime::model_world::{Body, ModelWorld, RunConfig, RunReport, Symmetry};
 use mpcn_runtime::sched::{Crashes, Schedule};
 use mpcn_runtime::world::{Env, ObjKey};
 
@@ -68,6 +68,52 @@ fn small_program(seed: u64, n: usize, ops: usize) -> Vec<Body> {
         })
         .collect()
 }
+
+/// A pid-symmetric variant of [`small_program`]: every process runs the
+/// *same* operation sequence — drawn from `(seed, op index)` alone —
+/// with pid-free operand values, so a process's identity enters only as
+/// its own snapshot-cell index. Such programs satisfy the
+/// symmetric-program contract of `docs/EXPLORER.md` §3.6 under the
+/// **identity** value/result relabeling ([`IDENTITY_SYMMETRY`]): every
+/// stored leaf and decided value is already permutation-invariant, and
+/// the only pid-dependent state — who wrote which snapshot cell, who
+/// won a test&set — is exactly what the canonicalization's structural
+/// cell permutation and per-process erasure quotient away.
+fn symmetric_program(seed: u64, n: usize, ops: usize) -> Vec<Body> {
+    (0..n)
+        .map(|i| {
+            Box::new(move |env: Env<ModelWorld>| {
+                let mut acc = 0u64;
+                for j in 0..ops {
+                    let h = fp_of(&(seed, j));
+                    let key = ObjKey::new(77, 0, h % 2);
+                    match h % 6 {
+                        0 => env.reg_write(key, h % 16),
+                        1 => acc = acc.wrapping_add(env.reg_read::<u64>(key).unwrap_or(7)),
+                        2 => env.snap_write(ObjKey::new(78, 0, 0), n, i, h % 16),
+                        3 => {
+                            let view = env.snap_scan::<u64>(ObjKey::new(78, 0, 0), n);
+                            acc = acc.wrapping_add(view.into_iter().flatten().sum::<u64>());
+                        }
+                        4 => {
+                            let written =
+                                env.snap_scan_via::<u64, u64>(ObjKey::new(78, 0, 0), n, |view| {
+                                    view.iter().flatten().count() as u64
+                                });
+                            acc = acc.wrapping_add(written);
+                        }
+                        _ => acc = acc.wrapping_add(u64::from(env.tas(ObjKey::new(79, 0, h % 2)))),
+                    }
+                }
+                acc
+            }) as Body
+        })
+        .collect()
+}
+
+/// The identity group action: correct for [`symmetric_program`], whose
+/// stored and decided values are all pid-free.
+const IDENTITY_SYMMETRY: Symmetry = Symmetry { relabel_value: |v, _| v, relabel_result: |r, _| r };
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -330,6 +376,73 @@ proptest! {
                 seed, threads
             );
             prop_assert!(summarized_work <= reference_work, "summaries never add work");
+        }
+    }
+
+    /// Differential symmetry test — the DPOR/view-summary discipline
+    /// applied to the process-identity quotient: on random
+    /// pid-symmetric programs with the identity relabeling, symm-on
+    /// exploration ([`Reduction::full`]) and symm-off exploration
+    /// ([`Reduction::no_symm`], the PR 5/6 reduction set) must produce
+    /// identical violation *sets* and identical *replay verdicts* —
+    /// every reported schedule, replayed through the gated reference
+    /// engine, must still trip the checker — under one and two
+    /// expansion workers alike. The checker sorts decided values, so it
+    /// is closed under pid permutation of outcomes (the §8 contract);
+    /// quotienting orbits never adds work.
+    #[test]
+    fn symmetry_preserves_violation_sets_and_replay_verdicts(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 1usize..3,
+    ) {
+        let make = move || symmetric_program(seed, n, ops);
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            if fp_of(&vals).wrapping_add(seed) % 3 == 0 {
+                return Err(format!("flagged outcome {vals:?}"));
+            }
+            Ok(())
+        };
+        let limits = ExploreLimits { max_expansions: 100_000, max_steps: 1_000, ..Default::default() };
+        for threads in [1usize, 2] {
+            let collect = |reduction: Reduction| {
+                let out = Explorer::new(n)
+                    .limits(limits)
+                    .reduction(reduction)
+                    .symmetry(IDENTITY_SYMMETRY)
+                    .threads(threads)
+                    .collect_all(true)
+                    .run(make, check);
+                prop_assert!(
+                    out.complete || !out.violations.is_empty(),
+                    "small trees must be exhausted"
+                );
+                for v in &out.violations {
+                    let replayed =
+                        mpcn_runtime::explore::replay(n, Crashes::None, 1_000, make, &v.choices);
+                    prop_assert!(
+                        check(&replayed).is_err(),
+                        "replay verdict lost (seed {seed}, choices {:?})",
+                        v.choices
+                    );
+                }
+                let mut msgs: Vec<String> =
+                    out.violations.iter().map(|v| v.message.clone()).collect();
+                msgs.sort();
+                msgs.dedup();
+                Ok((out.stats.expansions, out.stats.symm_enabled, msgs))
+            };
+            let (symm_work, symm_active, symm) = collect(Reduction::full())?;
+            let (reference_work, reference_active, reference) = collect(Reduction::no_symm())?;
+            prop_assert!(symm_active, "spec + full reduction must activate the quotient");
+            prop_assert!(!reference_active, "no_symm must keep the quotient off");
+            prop_assert_eq!(
+                symm, reference,
+                "symmetry must preserve the violation set (seed {}, threads {})", seed, threads
+            );
+            prop_assert!(symm_work <= reference_work, "quotienting orbits never adds work");
         }
     }
 
