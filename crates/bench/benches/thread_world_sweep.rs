@@ -1,21 +1,29 @@
-//! ThreadWorld large-`n` sweep (ROADMAP "ThreadWorld bench sweep at
-//! large n").
+//! ThreadWorld large-`n` sweep (ROADMAP "high-concurrency ThreadWorld").
 //!
 //! Drives the lock-based [`ThreadWorld`] — real OS threads, no scheduler
-//! — through safe-agreement rounds at `n ∈ {8, 16, 32, 64}` and compares
-//! it against the deterministic [`ModelWorld`] executing the *same*
-//! bodies under its step gate. One round = every process runs
-//! `sa_propose` (3 shared-memory steps) plus `POLLS` `try_decide` polls
-//! (1 step each), so a round costs exactly `n · (3 + POLLS)` shared
-//! operations in either world — which makes the printed steps/sec lines
-//! a direct measure of the scheduler-handshake overhead the ModelWorld
-//! benches fold into every number.
+//! — through safe-agreement rounds at `n ∈ {8, 16, 32, 64}` against the
+//! deterministic [`ModelWorld`] executing the *same* bodies under its
+//! step gate, then scales ThreadWorld alone through the high-concurrency
+//! sizes `n ∈ {128, 256, 1024}` (ModelWorld spawns one gated OS thread
+//! per process, so the comparison stops being about shared memory well
+//! before 1024). One round = every process runs `sa_propose` (3
+//! shared-memory steps) plus `POLLS` `try_decide` polls (1 step each), so
+//! a round costs exactly `n · (3 + POLLS)` shared operations in either
+//! world — which makes the printed steps/sec lines a direct measure of
+//! the scheduler-handshake overhead (small `n`) and of substrate
+//! contention behavior (large `n`).
 //!
 //! The `thread_world …` stderr lines contain wall-clock rates and are
-//! deliberately **not** matched by the CI determinism-gate filter.
+//! deliberately **not** matched by the CI determinism-gate filter. With
+//! `MPCN_BENCH_JSON=<path>` set, one JSON record per size is **appended**
+//! to `<path>` (CI bundles them with `atomics_primitives`' storm records
+//! into the `BENCH_atomics.json` artifact). After all bodies finish,
+//! `main` runs the epoch leak gate (quiescent drain of deferred
+//! reclamation).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use mpcn_agreement::safe::SafeAgreement;
+use mpcn_bench::{assert_epoch_drained, bench_json_appender, bench_json_record};
 use mpcn_runtime::model_world::{Body, ModelWorld, RunConfig};
 use mpcn_runtime::sched::Schedule;
 use mpcn_runtime::thread_world::ThreadWorld;
@@ -27,10 +35,29 @@ use std::time::Instant;
 const KIND: u32 = 840;
 /// `try_decide` polls per process and round.
 const POLLS: usize = 2;
+/// Sizes where the gated ModelWorld comparison is still meaningful.
+const COMPARE_SIZES: [usize; 4] = [8, 16, 32, 64];
+/// High-concurrency ThreadWorld-only sizes.
+const LARGE_SIZES: [usize; 3] = [128, 256, 1024];
 
 /// Shared-memory operations one round completes.
 fn ops_per_round(n: usize) -> u64 {
     (n * (3 + POLLS)) as u64
+}
+
+/// `--quick` / `--test` (the CI smoke): one round per stderr rate line.
+fn quick() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--quick")
+}
+
+/// Timed repetitions for the stderr rate lines: amortize for small `n`,
+/// back off as thread-spawn cost grows with `n`.
+fn rate_rounds(n: usize) -> u32 {
+    if quick() {
+        1
+    } else {
+        (2_048 / n as u32).clamp(2, 20)
+    }
 }
 
 /// One full-speed round on real threads: `n` processes propose and poll
@@ -94,11 +121,13 @@ fn rate(rounds: u32, mut round: impl FnMut() -> u64) -> f64 {
 }
 
 fn sweep(c: &mut Criterion) {
-    for n in [8usize, 16, 32, 64] {
+    let mut json = bench_json_appender();
+    for n in COMPARE_SIZES {
         let model_steps = model_world_round(n);
         assert_eq!(model_steps, ops_per_round(n), "every op is one gated step");
-        let model_rate = rate(3, || model_world_round(n));
-        let thread_rate = rate(20, || {
+        let rounds = rate_rounds(n);
+        let model_rate = rate(rounds.min(3), || model_world_round(n));
+        let thread_rate = rate(rounds, || {
             black_box(thread_world_round(n));
             ops_per_round(n)
         });
@@ -107,16 +136,44 @@ fn sweep(c: &mut Criterion) {
              {thread_rate:.0} steps/s (x{:.1} gate overhead)",
             thread_rate / model_rate.max(f64::MIN_POSITIVE)
         );
+        bench_json_record(
+            &mut json,
+            &format!(
+                "{{\"label\":\"thread_world_round\",\"n\":{n},\
+                 \"ops_per_round\":{},\"thread_steps_per_sec\":{thread_rate:.0},\
+                 \"model_steps_per_sec\":{model_rate:.0}}}",
+                ops_per_round(n)
+            ),
+        );
+    }
+    for n in LARGE_SIZES {
+        let thread_rate = rate(rate_rounds(n), || {
+            black_box(thread_world_round(n));
+            ops_per_round(n)
+        });
+        eprintln!("thread_world n={n}: ThreadWorld {thread_rate:.0} steps/s (high-concurrency)");
+        bench_json_record(
+            &mut json,
+            &format!(
+                "{{\"label\":\"thread_world_round\",\"n\":{n},\
+                 \"ops_per_round\":{},\"thread_steps_per_sec\":{thread_rate:.0}}}",
+                ops_per_round(n)
+            ),
+        );
     }
 
     let mut g = c.benchmark_group("thread_world");
     g.sample_size(10);
-    for n in [8usize, 16, 32, 64] {
+    for n in COMPARE_SIZES.into_iter().chain(LARGE_SIZES) {
+        // One iteration completes ops_per_round(n) shared-memory steps:
+        // the thrpt segment is directly comparable across sizes.
+        g.throughput(Throughput::Elements(ops_per_round(n)));
         g.bench_with_input(BenchmarkId::new("agreement_round", n), &n, |b, &n| {
             b.iter(|| black_box(thread_world_round(n)))
         });
     }
     for n in [8usize, 64] {
+        g.throughput(Throughput::Elements(ops_per_round(n)));
         g.bench_with_input(BenchmarkId::new("model_world_round", n), &n, |b, &n| {
             b.iter(|| black_box(model_world_round(n)))
         });
@@ -125,4 +182,8 @@ fn sweep(c: &mut Criterion) {
 }
 
 criterion_group!(benches, sweep);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    assert_epoch_drained();
+}

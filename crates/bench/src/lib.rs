@@ -15,6 +15,45 @@ use mpcn_model::ModelParams;
 use mpcn_runtime::sched::Schedule;
 use mpcn_runtime::{Env, ModelWorld};
 use mpcn_tasks::SourceAlgorithm;
+use std::io::Write;
+
+/// Opens the `MPCN_BENCH_JSON` trajectory file in **append** mode (created
+/// if absent), or `None` when the variable is unset.
+///
+/// Append (rather than truncate, as `explore_sweep` does for its dedicated
+/// `BENCH_explore.json`) lets several bench targets write records into one
+/// shared file — CI points `thread_world_sweep` and `atomics_primitives` at
+/// the same `BENCH_atomics.json` and uploads the union.
+pub fn bench_json_appender() -> Option<std::fs::File> {
+    std::env::var_os("MPCN_BENCH_JSON").map(|p| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&p)
+            .unwrap_or_else(|e| panic!("MPCN_BENCH_JSON: cannot open {p:?} for append: {e}"))
+    })
+}
+
+/// Appends one JSON record line to an open trajectory file.
+pub fn bench_json_record(file: &mut Option<std::fs::File>, record: &str) {
+    if let Some(f) = file {
+        writeln!(f, "{record}").expect("MPCN_BENCH_JSON: write failed");
+    }
+}
+
+/// Teardown leak gate for benches built on the epoch-reclaiming substrate:
+/// asserts that every allocation retired through `crossbeam::epoch` during
+/// the run has been reclaimed. Called from the custom `main` of
+/// `atomics_primitives` and `thread_world_sweep` after all benchmark bodies
+/// (and their worker threads) have finished, when the process is quiescent
+/// — any remaining deferred garbage would be a reclamation leak.
+pub fn assert_epoch_drained() {
+    assert!(
+        crossbeam::epoch::drain_pending(10_000),
+        "epoch leak gate: {} deferred allocations survived a quiescent drain",
+        crossbeam::epoch::pending_reclaims()
+    );
+}
 
 /// Builds per-process `Env` handles over a fresh free-mode world (no
 /// scheduler: every op executes immediately) — the cheap way to measure

@@ -223,26 +223,34 @@ impl DoubleCollectSnapshot {
         self.seqs[i].fetch_add(1, Ordering::Release);
     }
 
-    fn collect(&self) -> (Vec<u64>, Vec<u64>) {
-        let seqs: Vec<u64> = self.seqs.iter().map(|s| s.load(Ordering::Acquire)).collect();
-        let data: Vec<u64> = self.cells.iter().map(|c| c.load(Ordering::Acquire)).collect();
-        (seqs, data)
+    /// One collect into reusable buffers, preserving the load order of
+    /// the allocating version: all seqs first, then all data.
+    fn collect_into(&self, seqs: &mut Vec<u64>, data: &mut Vec<u64>) {
+        seqs.clear();
+        seqs.extend(self.seqs.iter().map(|s| s.load(Ordering::Acquire)));
+        data.clear();
+        data.extend(self.cells.iter().map(|c| c.load(Ordering::Acquire)));
     }
 
     /// Attempts an atomic scan with at most `max_collects` collects.
     ///
     /// Returns `None` if no two consecutive collects were identical within
     /// the budget — the obstruction-free failure mode under contention.
+    /// Retries reuse two collect buffers, so a full `try_scan` performs at
+    /// most two heap allocations however many collects it takes.
     pub fn try_scan(&self, max_collects: usize) -> Option<Vec<u64>> {
-        let mut prev = self.collect();
+        let (mut prev_seqs, mut prev_data) = (Vec::new(), Vec::new());
+        let (mut cur_seqs, mut cur_data) = (Vec::new(), Vec::new());
+        self.collect_into(&mut prev_seqs, &mut prev_data);
         for _ in 1..max_collects {
-            let cur = self.collect();
+            self.collect_into(&mut cur_seqs, &mut cur_data);
             // Stable iff no writer was mid-flight (even seqs) and nothing
             // moved between the collects.
-            if prev.0 == cur.0 && cur.0.iter().all(|s| s % 2 == 0) {
-                return Some(cur.1);
+            if prev_seqs == cur_seqs && cur_seqs.iter().all(|s| s % 2 == 0) {
+                return Some(std::mem::take(&mut cur_data));
             }
-            prev = cur;
+            std::mem::swap(&mut prev_seqs, &mut cur_seqs);
+            std::mem::swap(&mut prev_data, &mut cur_data);
         }
         None
     }

@@ -11,8 +11,10 @@
 //! one iteration, then `sample_size` samples of a batch sized to fill
 //! `measurement_time` are timed; the mean, min, p50/p99 percentiles
 //! (nearest-rank over the batch-averaged samples), and sample variance of
-//! the per-iteration nanoseconds are printed as one line. There are no
-//! saved baselines, further statistics, or HTML reports.
+//! the per-iteration nanoseconds are printed as one line. When the group
+//! declares a [`Throughput`], a derived `thrpt` segment (elements or bytes
+//! per second, computed from the mean) is appended to the line. There are
+//! no saved baselines, further statistics, or HTML reports.
 //! Passing `--quick` (or running under `--test`, as `cargo test` does for
 //! bench targets) runs each benchmark exactly once for smoke coverage.
 
@@ -61,11 +63,22 @@ impl From<&String> for BenchmarkId {
     }
 }
 
+/// Work performed per iteration, declared on a group so the printed line
+/// can carry a derived throughput (`thrpt`) segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements (operations).
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
 #[derive(Debug, Clone)]
 struct Settings {
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
+    throughput: Option<Throughput>,
     quick: bool,
     /// Positional CLI args, as upstream: run only benchmarks whose full
     /// label contains one of these substrings.
@@ -80,6 +93,7 @@ impl Settings {
             sample_size: 10,
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_millis(800),
+            throughput: None,
             quick,
             filters,
         }
@@ -143,6 +157,13 @@ impl BenchmarkGroup<'_> {
     /// Sets the total measurement duration per benchmark.
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
         self.settings.measurement_time = d;
+        self
+    }
+
+    /// Declares the work one iteration performs; subsequent benchmarks in
+    /// this group print a derived `thrpt` (per-second) segment.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
         self
     }
 
@@ -241,14 +262,37 @@ fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, label: &str, mut f: F) {
         samples.push(b.elapsed.as_nanos() / u128::from(batch));
     }
     let stats = sample_stats(&samples);
+    let thrpt = match settings.throughput {
+        Some(t) => format!("   thrpt {}", throughput_segment(t, stats.mean)),
+        None => String::new(),
+    };
     println!(
-        "bench {label:<56} mean {mean:>10} ns/iter   min {min:>10} ns/iter   p50 {p50:>10} ns/iter   p99 {p99:>10} ns/iter   var {var:>12} ns^2",
+        "bench {label:<56} mean {mean:>10} ns/iter   min {min:>10} ns/iter   p50 {p50:>10} ns/iter   p99 {p99:>10} ns/iter   var {var:>12} ns^2{thrpt}",
         mean = stats.mean,
         min = stats.min,
         p50 = stats.p50,
         p99 = stats.p99,
         var = stats.var,
     );
+}
+
+/// Derived per-second rate from a mean per-iteration cost: `work` units
+/// every `mean_ns` nanoseconds, scaled to K/M/G for readability.
+fn throughput_segment(t: Throughput, mean_ns: u128) -> String {
+    let (work, unit) = match t {
+        Throughput::Elements(n) => (n, "elem/s"),
+        Throughput::Bytes(n) => (n, "B/s"),
+    };
+    let per_sec = work as f64 * 1e9 / mean_ns.max(1) as f64;
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.3} {unit}")
+    }
 }
 
 /// Summary statistics of per-iteration nanosecond samples.
@@ -319,6 +363,7 @@ mod tests {
             sample_size: 2,
             warm_up_time: Duration::from_micros(50),
             measurement_time: Duration::from_micros(200),
+            throughput: None,
             quick: false,
             filters: Vec::new(),
         }
@@ -392,6 +437,30 @@ mod tests {
         assert_eq!(percentile(&[10, 20, 30], 99), 30);
         assert_eq!(percentile(&[10, 20, 30], 50), 20);
         assert_eq!(percentile(&[5], 99), 5);
+    }
+
+    #[test]
+    fn throughput_segment_scales_and_units() {
+        // 1000 elements at 1 µs/iter = 1e9 elem/s.
+        assert_eq!(throughput_segment(Throughput::Elements(1000), 1_000), "1.000 Gelem/s");
+        // 8 elements at 1 µs/iter = 8M elem/s.
+        assert_eq!(throughput_segment(Throughput::Elements(8), 1_000), "8.000 Melem/s");
+        // 1 element at 1 ms/iter = 1K elem/s.
+        assert_eq!(throughput_segment(Throughput::Elements(1), 1_000_000), "1.000 Kelem/s");
+        // 1 byte at 10 ms/iter = 100 B/s (sub-kilo stays unscaled).
+        assert_eq!(throughput_segment(Throughput::Bytes(1), 10_000_000), "100.000 B/s");
+        // A zero mean must not divide by zero.
+        assert_eq!(throughput_segment(Throughput::Elements(1), 0), "1.000 Gelem/s");
+    }
+
+    #[test]
+    fn group_throughput_declares_derived_line() {
+        let mut c = Criterion { settings: quick() };
+        let mut g = c.benchmark_group("shim_thrpt");
+        g.throughput(Throughput::Elements(64));
+        assert_eq!(g.settings.throughput, Some(Throughput::Elements(64)));
+        g.bench_function("spin", |b| b.iter(|| black_box(3 * 3)));
+        g.finish();
     }
 
     #[test]

@@ -1,63 +1,377 @@
 //! Epoch-based memory reclamation, API-compatible with `crossbeam-epoch`
-//! for the subset this workspace uses.
+//! for the subset this workspace uses — and, since PR 8, genuinely
+//! **lock-free**: there is no mutex anywhere in this module, and
+//! [`pin`]/unpin perform no shared-memory writes beyond the calling
+//! thread's own participant record on the fast path.
 //!
-//! The reclamation protocol is deliberately simple — a global lock-guarded
-//! pin registry instead of crossbeam's lock-free thread-local scheme — but
-//! its safety argument is the real one:
+//! # Scheme
 //!
-//! * A global epoch counter is bumped (`fetch_add`) by every retirement
-//!   ([`Guard::defer_destroy`]), *after* the pointer has been unlinked from
-//!   its [`Atomic`]; the retired garbage is tagged with the pre-bump value.
-//! * [`pin`] records the epoch observed at pin time. Any guard that could
-//!   still hold a [`Shared`] reference to a retired pointer must have
-//!   pinned before the retirement's bump, so its recorded epoch is `<=`
-//!   the garbage tag.
-//! * Garbage with tag `e` is therefore freed once every live pin's
-//!   recorded epoch is `> e` (checked when a guard unpins).
+//! * A **global epoch counter** (`EPOCH`) advances by one when every
+//!   *active* participant has observed the current value. Only three
+//!   epoch values are ever live at once (the mod-3 invariant below), so
+//!   the counter could wrap modulo 3; a `u64` simply never wraps.
+//! * A **lock-free intrusive list** of participant records
+//!   (`PARTICIPANTS`): each thread registers once (a CAS push, or CAS
+//!   reclaim of a record a finished thread released), stores the record
+//!   in thread-local storage, and marks it inactive/free again on thread
+//!   exit. Records are never unlinked — the list only grows when more
+//!   threads than ever before are live simultaneously.
+//! * [`pin`] = one *thread-local* store of `(epoch, active)` into the
+//!   own record plus a `SeqCst` fence; unpin = one store clearing the
+//!   active bit. Nested pins only bump a thread-local counter.
+//! * [`Guard::defer_destroy`] pushes the destructor into the calling
+//!   thread's **local garbage bag**, tagged with the global epoch at
+//!   defer time. On unpin (outermost guard drop), **amortized** — at
+//!   most once per `COLLECT_INTERVAL` unpins, tightened to once per
+//!   `PRESSURE_INTERVAL` while the bag is large — the thread tries to advance the
+//!   global epoch and frees every bag entry whose tag is ≥ 2 epochs
+//!   old. A thread that exits with a non-empty bag hands it to a global
+//!   **orphan pile** (a Treiber stack) that any later collecting thread
+//!   harvests.
 //!
-//! A guard pinned after the bump cannot obtain the pointer at all: the
-//! bump happens after the unlink, so the pointer is no longer reachable
-//! from any `Atomic` by then.
+//! # Safety argument (the spec)
+//!
+//! The guarantee is unchanged from the lock-guarded implementation this
+//! replaces: an allocation retired via [`Guard::defer_destroy`] is freed
+//! only once no pinned guard can still hold a [`Shared`] reference to
+//! it. The argument, in the fence discipline of hardware-faithful
+//! memory-model work (Podkopaev–Lahav–Vafeiadis, IMM):
+//!
+//! * Retirement happens *after* the pointer is unlinked from every
+//!   [`Atomic`], and the garbage tag is the global epoch read (`SeqCst`)
+//!   after the unlink.
+//! * A thread pins by storing the observed epoch `p` to its record and
+//!   issuing a `SeqCst` fence *before* any subsequent pointer load. If
+//!   the pinned thread still obtains a retired pointer, its pin fence
+//!   sits before the retirer's tag read in the `SeqCst` order, which
+//!   forces `tag ≥ p`: garbage retired at tags `< p` was unlinked on the
+//!   far side of an epoch advance the pin already observed.
+//! * Advancing `E → E+1` requires *every* active participant's recorded
+//!   epoch to equal `E` (checked after a `SeqCst` fence, so the check
+//!   observes every pin fence ordered before it). A thread pinned at `p`
+//!   therefore blocks advancement past `p+1`, so while it is pinned the
+//!   global epoch is `≤ p+1 ≤ tag+1` for any tag it could hold — and
+//!   garbage is freed only when `EPOCH ≥ tag+2`.
+//!
+//! **Mod-3 invariant:** at any instant the live epoch values are the
+//! global `E`, active pins at `E` or `E−1`, and freeable garbage tagged
+//! `≤ E−2` — three classes, which is why crossbeam proper wraps its
+//! counter modulo 3.
+//!
+//! # When can a lagging thread stall reclamation?
+//!
+//! An **inactive** (unpinned) participant never stalls anything: the
+//! advance check skips records without the active bit. A thread parked
+//! forever *inside* a pin stalls advancement — and therefore global
+//! reclamation — unboundedly; that is inherent to epoch schemes (a pinned
+//! thread may hold any pointer it loaded) and is why guards must be
+//! short-lived. The in-between case is bounded: a thread that unpins and
+//! never pins again cannot free its *own* bag (bags are owner-local), but
+//! its garbage is at most its final bag's content, and it is handed to
+//! the orphan pile when the thread exits, where any other thread's unpin
+//! collection reclaims it.
 
-use std::collections::HashMap;
+use std::cell::{Cell, UnsafeCell};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::{LazyLock, Mutex};
+use std::ptr;
+use std::sync::atomic::{self, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
+/// The global epoch. Advances by one (never wraps in practice; only the
+/// value mod 3 is meaningful) when every active participant has observed
+/// the current value.
 static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Retired-but-not-yet-freed allocation count, across all threads' bags
+/// and the orphan pile — the teardown leak gate's observable.
+static PENDING: AtomicUsize = AtomicUsize::new(0);
+
+/// Head of the intrusive participant list (push-only; records are reused
+/// through `in_use`, never unlinked).
+static PARTICIPANTS: AtomicPtr<Participant> = AtomicPtr::new(ptr::null_mut());
+
+/// Head of the orphan pile: garbage bags of exited threads, waiting for
+/// any collecting thread to harvest them.
+static ORPHANS: AtomicPtr<OrphanBag> = AtomicPtr::new(ptr::null_mut());
+
+/// Low bit of [`Participant::state`]: the thread is currently pinned.
+const ACTIVE: u64 = 1;
+
+/// Outermost unpins between collection attempts (advance + free): the
+/// try-advance fence, participant walk, and `EPOCH` CAS are the one
+/// non-thread-local cost of the scheme, so they are paid at most once
+/// per `COLLECT_INTERVAL` unpins…
+const COLLECT_INTERVAL: usize = 16;
+
+/// …tightened to once per [`PRESSURE_INTERVAL`] unpins while the local
+/// bag exceeds this size (bounds deferred memory under a defer-heavy
+/// burst without paying an advance attempt on every unpin).
+const BAG_PRESSURE: usize = 64;
+
+/// Collection cadence under bag pressure.
+const PRESSURE_INTERVAL: usize = 4;
 
 /// A destructor for one retired allocation, runnable on any thread.
 struct Garbage {
+    /// Global epoch observed (after the unlink) when this was retired;
+    /// freeable once `EPOCH ≥ tag + 2`.
     tag: u64,
     free: Box<dyn FnOnce() + Send>,
 }
 
-#[derive(Default)]
-struct Registry {
-    next_pin: u64,
-    /// pin id -> epoch observed at pin time.
-    pins: HashMap<u64, u64>,
+/// One exited thread's leftover garbage, linked into the orphan pile.
+struct OrphanBag {
     garbage: Vec<Garbage>,
+    next: *mut OrphanBag,
 }
 
-static REGISTRY: LazyLock<Mutex<Registry>> = LazyLock::new(|| Mutex::new(Registry::default()));
+/// One thread's slot in the global participant list.
+///
+/// `state`, `next`, and `in_use` are shared (atomics); `guards` and `bag`
+/// belong exclusively to the thread that currently holds `in_use` — the
+/// claim/release pair (`Acquire` CAS in [`register`], `Release` store in
+/// [`retire`]) hands them off.
+struct Participant {
+    /// `(epoch << 1) | ACTIVE`-packed pin state.
+    state: AtomicU64,
+    next: AtomicPtr<Participant>,
+    in_use: AtomicBool,
+    /// Pin nesting depth (owner thread only).
+    guards: Cell<usize>,
+    /// Outermost-unpin counter driving [`COLLECT_INTERVAL`] (owner
+    /// thread only).
+    unpins: Cell<usize>,
+    /// Global epoch at the last bag walk (owner thread only). A walk at
+    /// epoch `G` leaves only entries tagged ≥ `G − 1`, so re-walking is
+    /// pointless until the global epoch moves past `G`.
+    last_walk: Cell<u64>,
+    /// Deferred garbage (owner thread only).
+    bag: UnsafeCell<Vec<Garbage>>,
+}
+
+// Safety: see the field-ownership contract on [`Participant`].
+unsafe impl Sync for Participant {}
+
+/// Claims a participant record for the current thread: reuses a released
+/// record if any, else CAS-pushes a fresh one onto the list. Lock-free.
+fn register() -> *const Participant {
+    let mut p = PARTICIPANTS.load(Ordering::Acquire);
+    while !p.is_null() {
+        let r = unsafe { &*p };
+        if !r.in_use.load(Ordering::Relaxed)
+            && r.in_use.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok()
+        {
+            return p;
+        }
+        p = r.next.load(Ordering::Acquire);
+    }
+    let node = Box::into_raw(Box::new(Participant {
+        state: AtomicU64::new(0),
+        next: AtomicPtr::new(ptr::null_mut()),
+        in_use: AtomicBool::new(true),
+        guards: Cell::new(0),
+        unpins: Cell::new(0),
+        last_walk: Cell::new(u64::MAX),
+        bag: UnsafeCell::new(Vec::new()),
+    }));
+    let mut head = PARTICIPANTS.load(Ordering::Relaxed);
+    loop {
+        unsafe { (*node).next.store(head, Ordering::Relaxed) };
+        match PARTICIPANTS.compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed) {
+            Ok(_) => return node,
+            Err(h) => head = h,
+        }
+    }
+}
+
+/// Thread-local owner of a participant record; its `Drop` (thread exit)
+/// releases the record and orphans any unreclaimed garbage.
+struct Handle {
+    participant: *const Participant,
+}
+
+impl Drop for Handle {
+    fn drop(&mut self) {
+        retire(self.participant);
+    }
+}
+
+thread_local! {
+    static HANDLE: Handle = Handle { participant: register() };
+}
+
+/// Runs `f` with the current thread's participant record.
+///
+/// # Panics
+///
+/// Panics if called while the thread's TLS is being destroyed (pinning
+/// from other TLS destructors is not supported by this shim).
+fn with_participant<R>(f: impl FnOnce(&Participant) -> R) -> R {
+    HANDLE.with(|h| f(unsafe { &*h.participant }))
+}
+
+/// Thread-exit path: releases the record for reuse, handing leftover
+/// garbage to the orphan pile after a final collection attempt.
+fn retire(p: *const Participant) {
+    let r = unsafe { &*p };
+    if r.guards.get() != 0 {
+        // A Guard outlived the thread's TLS teardown. Leak the record
+        // (it stays active and claimed): conservative but safe — and
+        // loud in debug builds, because it stalls epoch advancement.
+        debug_assert!(r.guards.get() == 0, "thread exited with a live epoch::Guard");
+        return;
+    }
+    let global = try_advance();
+    free_ripe(r, global);
+    let leftover = std::mem::take(unsafe { &mut *r.bag.get() });
+    push_orphan(leftover);
+    r.state.store(0, Ordering::Relaxed);
+    r.in_use.store(false, Ordering::Release);
+}
+
+/// Attempts one global-epoch advance. Succeeds only when every active
+/// participant has observed the current epoch; a concurrent pin or a
+/// competing advance makes the CAS fail, which is fine — somebody made
+/// progress. Returns the (possibly advanced) global epoch. Lock-free:
+/// one read-only list traversal plus one CAS.
+fn try_advance() -> u64 {
+    let global = EPOCH.load(Ordering::SeqCst);
+    atomic::fence(Ordering::SeqCst);
+    let mut p = PARTICIPANTS.load(Ordering::Acquire);
+    while !p.is_null() {
+        let r = unsafe { &*p };
+        let s = r.state.load(Ordering::Relaxed);
+        if s & ACTIVE == ACTIVE && s >> 1 != global {
+            // A pin from the previous epoch is still live: the mod-3
+            // invariant caps active pins at {global − 1, global}.
+            return global;
+        }
+        p = r.next.load(Ordering::Acquire);
+    }
+    match EPOCH.compare_exchange(global, global + 1, Ordering::SeqCst, Ordering::SeqCst) {
+        Ok(_) => global + 1,
+        Err(current) => current,
+    }
+}
+
+/// Frees every entry of `r`'s bag whose tag is ≥ 2 epochs behind
+/// `global`. Owner thread only. In place (no temporary allocation);
+/// each destructor runs with the bag borrow released, so a destructor
+/// may itself defer (re-entering the bag).
+fn free_ripe(r: &Participant, global: u64) {
+    let mut i = 0;
+    loop {
+        let bag = unsafe { &mut *r.bag.get() };
+        let Some(g) = bag.get(i) else { break };
+        if global >= g.tag + 2 {
+            let g = bag.swap_remove(i);
+            PENDING.fetch_sub(1, Ordering::Relaxed);
+            (g.free)();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Hands an exited thread's garbage to the orphan pile (Treiber push).
+fn push_orphan(garbage: Vec<Garbage>) {
+    if garbage.is_empty() {
+        return;
+    }
+    let node = Box::into_raw(Box::new(OrphanBag { garbage, next: ptr::null_mut() }));
+    let mut head = ORPHANS.load(Ordering::Relaxed);
+    loop {
+        unsafe { (*node).next = head };
+        match ORPHANS.compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(h) => head = h,
+        }
+    }
+}
+
+/// Steals the entire orphan pile into `r`'s own bag (owner thread only),
+/// so the subsequent [`free_ripe`] pass covers exited threads' garbage.
+/// Returns whether anything was harvested.
+fn harvest_orphans(r: &Participant) -> bool {
+    if ORPHANS.load(Ordering::Relaxed).is_null() {
+        return false;
+    }
+    let mut node = ORPHANS.swap(ptr::null_mut(), Ordering::Acquire);
+    if node.is_null() {
+        return false;
+    }
+    let bag = unsafe { &mut *r.bag.get() };
+    while !node.is_null() {
+        let boxed = unsafe { Box::from_raw(node) };
+        node = boxed.next;
+        bag.extend(boxed.garbage);
+    }
+    true
+}
+
+/// The unpin-time (and teardown-time) collection step: harvest orphans,
+/// try to advance the epoch, free what is ripe. The bag walk is skipped
+/// when the epoch has not moved since the last walk and nothing was
+/// harvested — in that case no entry can have ripened.
+fn collect(r: &Participant) {
+    let harvested = harvest_orphans(r);
+    let global = try_advance();
+    if harvested || global != r.last_walk.get() {
+        r.last_walk.set(global);
+        free_ripe(r, global);
+    }
+}
 
 /// A pinned participant. While a `Guard` lives, no allocation retired
 /// after it was pinned is reclaimed.
 pub struct Guard {
-    /// `None` for the [`unprotected`] guard.
-    pin_id: Option<u64>,
+    /// The calling thread's record; null for the [`unprotected`] guard.
+    /// A raw pointer also makes `Guard` `!Send`/`!Sync`, as upstream.
+    participant: *const Participant,
 }
 
 /// Pins the current scope, returning a guard that keeps retired garbage
 /// alive until dropped.
+///
+/// Fast path (outermost pin): one load of the global epoch, one store to
+/// the calling thread's own participant record, one `SeqCst` fence — no
+/// other shared-memory writes, no locks. Nested pins only bump a
+/// thread-local counter.
 pub fn pin() -> Guard {
-    let mut reg = REGISTRY.lock().unwrap();
-    let id = reg.next_pin;
-    reg.next_pin += 1;
-    let epoch = EPOCH.load(Ordering::SeqCst);
-    reg.pins.insert(id, epoch);
-    Guard { pin_id: Some(id) }
+    with_participant(|r| {
+        let count = r.guards.get();
+        r.guards.set(count + 1);
+        if count == 0 {
+            let epoch = EPOCH.load(Ordering::Relaxed);
+            r.state.store((epoch << 1) | ACTIVE, Ordering::Relaxed);
+            // Order the active-pin store before every subsequent pointer
+            // load (see the module-level safety argument).
+            atomic::fence(Ordering::SeqCst);
+        }
+        Guard { participant: ptr::from_ref(r) }
+    })
+}
+
+/// Number of retired-but-not-yet-reclaimed allocations, across all
+/// threads' bags and the orphan pile.
+pub fn pending_reclaims() -> usize {
+    PENDING.load(Ordering::SeqCst)
+}
+
+/// Cooperatively advances reclamation with repeated pin/unpin cycles until
+/// no deferred garbage remains anywhere, or `max_rounds` cycles elapse.
+/// Intended for quiescent teardown points (test/bench exit); returns
+/// `true` once everything retired has been reclaimed. Can fail (return
+/// `false`) while another thread is pinned or holds garbage in its
+/// still-live local bag — bags are owner-local until thread exit.
+pub fn drain_pending(max_rounds: usize) -> bool {
+    for _ in 0..max_rounds {
+        if pending_reclaims() == 0 {
+            return true;
+        }
+        drop(pin());
+        std::thread::yield_now();
+    }
+    pending_reclaims() == 0
 }
 
 /// Returns a dummy guard for contexts with provably exclusive access
@@ -68,8 +382,12 @@ pub fn pin() -> Guard {
 /// The caller must guarantee no concurrent accessor of the data structures
 /// touched through this guard; deferred destructions run immediately.
 pub unsafe fn unprotected() -> &'static Guard {
-    static UNPROTECTED: Guard = Guard { pin_id: None };
-    &UNPROTECTED
+    struct SyncGuard(Guard);
+    // Safety: the null-participant guard has no thread-affine state; every
+    // Guard method short-circuits on null.
+    unsafe impl Sync for SyncGuard {}
+    static UNPROTECTED: SyncGuard = SyncGuard(Guard { participant: ptr::null() });
+    &UNPROTECTED.0
 }
 
 impl Guard {
@@ -84,37 +402,47 @@ impl Guard {
         let addr = shared.ptr as usize;
         debug_assert!(addr != 0, "defer_destroy of null");
         let free = Box::new(move || drop(unsafe { Box::from_raw(addr as *mut T) }));
-        if self.pin_id.is_none() {
+        if self.participant.is_null() {
             // Unprotected: the caller vouches for exclusivity.
             free();
             return;
         }
-        let tag = EPOCH.fetch_add(1, Ordering::SeqCst);
-        REGISTRY.lock().unwrap().garbage.push(Garbage { tag, free });
+        let r = unsafe { &*self.participant };
+        debug_assert!(r.guards.get() > 0, "defer_destroy on an unpinned guard");
+        // SeqCst: the tag read must order after the caller's unlink (see
+        // the module-level safety argument).
+        let tag = EPOCH.load(Ordering::SeqCst);
+        unsafe { &mut *r.bag.get() }.push(Garbage { tag, free });
+        PENDING.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 impl Drop for Guard {
     fn drop(&mut self) {
-        let Some(id) = self.pin_id else { return };
-        let ripe = {
-            let mut reg = REGISTRY.lock().unwrap();
-            reg.pins.remove(&id);
-            let min_live = reg.pins.values().copied().min().unwrap_or(u64::MAX);
-            let mut ripe = Vec::new();
-            reg.garbage.retain_mut(|g| {
-                if g.tag < min_live {
-                    ripe.push(std::mem::replace(&mut g.free, Box::new(|| ())));
-                    false
-                } else {
-                    true
-                }
-            });
-            ripe
-        };
-        // Run destructors outside the registry lock.
-        for free in ripe {
-            free();
+        if self.participant.is_null() {
+            return;
+        }
+        let r = unsafe { &*self.participant };
+        let count = r.guards.get();
+        r.guards.set(count - 1);
+        if count == 1 {
+            // Unpin fast path: clear the active bit — one store to the
+            // own record.
+            r.state.store(r.state.load(Ordering::Relaxed) & !ACTIVE, Ordering::Release);
+            // Amortized reclamation, off the fast path: the advance
+            // attempt (fence + participant walk + EPOCH CAS) runs once
+            // per COLLECT_INTERVAL unpins (PRESSURE_INTERVAL while the
+            // bag is large), and only when there is local garbage or an
+            // orphan pile to act on.
+            let unpins = r.unpins.get().wrapping_add(1);
+            r.unpins.set(unpins);
+            let bag_len = unsafe { &*r.bag.get() }.len();
+            let interval =
+                if bag_len >= BAG_PRESSURE { PRESSURE_INTERVAL } else { COLLECT_INTERVAL };
+            if unpins % interval == 0 && (bag_len > 0 || !ORPHANS.load(Ordering::Relaxed).is_null())
+            {
+                collect(r);
+            }
         }
     }
 }
@@ -222,49 +550,84 @@ mod tests {
     use std::sync::Arc;
     use std::thread;
 
-    static DROPS: AtomicUsize = AtomicUsize::new(0);
-
-    /// The tests below assert on the shared globals (DROPS, the epoch
-    /// registry), so they must not interleave with each other under the
-    /// default parallel test runner.
-    static SERIAL: Mutex<()> = Mutex::new(());
-
-    fn serial() -> std::sync::MutexGuard<'static, ()> {
-        SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    /// Per-test drop counter: hermetic under the default parallel test
+    /// runner (no shared `DROPS` static, no serializing mutex).
+    struct CountsDrops {
+        #[allow(dead_code)]
+        value: u64,
+        drops: Arc<AtomicUsize>,
     }
 
-    struct CountsDrops(#[allow(dead_code)] u64);
+    impl CountsDrops {
+        fn new(value: u64, drops: &Arc<AtomicUsize>) -> Self {
+            CountsDrops { value, drops: Arc::clone(drops) }
+        }
+    }
 
     impl Drop for CountsDrops {
         fn drop(&mut self) {
-            DROPS.fetch_add(1, Ordering::SeqCst);
+            self.drops.fetch_add(1, Ordering::SeqCst);
         }
+    }
+
+    /// Pin/unpin until this counter reaches `target`. Unlike
+    /// [`drain_pending`] (global, can see other tests' garbage), this
+    /// waits on the hermetic per-test counter; parallel tests only delay
+    /// epoch advancement, never corrupt the count.
+    fn drain_until(drops: &Arc<AtomicUsize>, target: usize) {
+        for _ in 0..100_000 {
+            if drops.load(Ordering::SeqCst) >= target {
+                return;
+            }
+            drop(pin());
+            thread::yield_now();
+        }
+        panic!("garbage not reclaimed: {} of {target} drops", drops.load(Ordering::SeqCst));
     }
 
     #[test]
     fn swap_and_defer_reclaims_after_unpin() {
-        let _serial = serial();
-        let a = Atomic::new(CountsDrops(1));
-        let before = DROPS.load(Ordering::SeqCst);
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a = Atomic::new(CountsDrops::new(1, &drops));
         {
             let guard = pin();
-            let old = a.swap(Owned::new(CountsDrops(2)), Ordering::AcqRel, &guard);
+            let old = a.swap(Owned::new(CountsDrops::new(2, &drops)), Ordering::AcqRel, &guard);
             unsafe { guard.defer_destroy(old) };
             // Still pinned: the old record must not be freed yet.
-            assert_eq!(DROPS.load(Ordering::SeqCst), before);
+            assert_eq!(drops.load(Ordering::SeqCst), 0);
         }
-        // All guards dropped: a fresh pin/unpin cycle collects everything.
-        drop(pin());
-        assert!(DROPS.load(Ordering::SeqCst) > before);
+        // All guards dropped: pin/unpin cycles advance the epoch twice
+        // past the retirement and collect it.
+        drain_until(&drops, 1);
         // Final cleanup of the current value.
         let guard = unsafe { unprotected() };
         let cur = a.load(Ordering::Relaxed, guard);
         drop(unsafe { cur.into_owned() });
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn garbage_survives_while_own_thread_stays_pinned() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a = Atomic::new(CountsDrops::new(1, &drops));
+        let outer = pin();
+        let old = a.swap(Owned::new(CountsDrops::new(2, &drops)), Ordering::AcqRel, &outer);
+        unsafe { outer.defer_destroy(old) };
+        // Nested pin/unpin cycles must NOT reclaim: the outer guard's pin
+        // caps the global epoch below tag + 2.
+        for _ in 0..50 {
+            drop(pin());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "freed under a live guard");
+        drop(outer);
+        drain_until(&drops, 1);
+        let guard = unsafe { unprotected() };
+        drop(unsafe { a.load(Ordering::Relaxed, guard).into_owned() });
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
     }
 
     #[test]
     fn concurrent_swap_readers_never_see_freed_memory() {
-        let _serial = serial();
         let a = Arc::new(Atomic::new(7u64));
         thread::scope(|sc| {
             let aw = Arc::clone(&a);
@@ -293,13 +656,76 @@ mod tests {
     }
 
     #[test]
+    fn exiting_thread_orphans_its_garbage() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a = Arc::new(Atomic::new(CountsDrops::new(0, &drops)));
+        let (aw, dw) = (Arc::clone(&a), Arc::clone(&drops));
+        thread::spawn(move || {
+            let guard = pin();
+            let old = aw.swap(Owned::new(CountsDrops::new(1, &dw)), Ordering::AcqRel, &guard);
+            unsafe { guard.defer_destroy(old) };
+            // Exit immediately: whatever the thread could not reclaim
+            // itself must reach the orphan pile.
+        })
+        .join()
+        .expect("worker");
+        // This thread harvests the orphaned bag during its own cycles.
+        drain_until(&drops, 1);
+        let guard = unsafe { unprotected() };
+        drop(unsafe { a.load(Ordering::Relaxed, guard).into_owned() });
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn participant_records_are_reused_across_thread_lifetimes() {
+        let count = |mut p: *const Participant| {
+            let mut n = 0usize;
+            while !p.is_null() {
+                n += 1;
+                p = unsafe { &*p }.next.load(Ordering::Acquire);
+            }
+            n
+        };
+        // Warm up this thread's own registration first.
+        drop(pin());
+        let before = count(PARTICIPANTS.load(Ordering::Acquire));
+        for _ in 0..16 {
+            thread::spawn(|| drop(pin())).join().expect("worker");
+        }
+        let after = count(PARTICIPANTS.load(Ordering::Acquire));
+        // Sequential threads reuse one released record; allow slack for
+        // unrelated tests registering threads in parallel.
+        assert!(
+            after - before <= 8,
+            "participant list grew from {before} to {after} across 16 sequential threads"
+        );
+    }
+
+    #[test]
+    fn nested_pins_are_reentrant() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a = Atomic::new(CountsDrops::new(1, &drops));
+        let outer = pin();
+        {
+            let inner = pin();
+            let old = a.swap(Owned::new(CountsDrops::new(2, &drops)), Ordering::AcqRel, &inner);
+            unsafe { inner.defer_destroy(old) };
+        }
+        // Inner guard dropped; outer still pins the epoch.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(outer);
+        drain_until(&drops, 1);
+        let guard = unsafe { unprotected() };
+        drop(unsafe { a.load(Ordering::Relaxed, guard).into_owned() });
+    }
+
+    #[test]
     fn unprotected_defer_runs_immediately() {
-        let _serial = serial();
-        let before = DROPS.load(Ordering::SeqCst);
-        let a = Atomic::new(CountsDrops(9));
+        let drops = Arc::new(AtomicUsize::new(0));
+        let a = Atomic::new(CountsDrops::new(9, &drops));
         let guard = unsafe { unprotected() };
         let cur = a.load(Ordering::Relaxed, guard);
         unsafe { guard.defer_destroy(cur) };
-        assert_eq!(DROPS.load(Ordering::SeqCst), before + 1);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
     }
 }
