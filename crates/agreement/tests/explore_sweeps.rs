@@ -21,7 +21,14 @@
 //!   in-memory line byte for byte), bounded-depth at `n = 5`;
 //! * a crash-schedule matrix: `fig1 n = 3` with a crash at every
 //!   `(process, step)` pair, DPOR-on vs DPOR-off, verdicts cross-checked
-//!   against the gated-replay oracle.
+//!   against the gated-replay oracle — plus a crash-count differential
+//!   pinning that one `Crashes::UpTo(1)` sweep reproduces the exact
+//!   outcome union of the whole matrix;
+//! * fault-tolerance sweeps (ROADMAP "crash-count adversary"):
+//!   `fig1 n = 5, f = 1` and `n = 4, f = 2` under `Crashes::UpTo(f)` —
+//!   every crash placement explored as explicit frontier branches,
+//!   exhausted with every reduction live, the pid-symmetry quotient
+//!   included, exact state counts pinned.
 //!
 //! The deterministic state-count lines these sweeps produce are also
 //! printed by `crates/bench/benches/explore_sweep.rs` and diffed by the
@@ -434,6 +441,135 @@ fn fig1_n3_crash_matrix_dpor_matches_gated_oracle() {
             );
         }
     }
+}
+
+/// The crash-count differential on the real Figure 1 object: one
+/// `Crashes::UpTo(1)` sweep must reproduce the **exact union** of
+/// outcomes reachable by the 12-cell single-victim matrix above (every
+/// victim, every own-step position) plus the crash-free sweep. The
+/// outcome-signature checker deliberately errs on *every* run, so the
+/// collected message set is the full reachable-outcome set — equality
+/// is a semantic exhaustiveness proof over crash placements, not a
+/// verdict coincidence (the matrix test above already pins the
+/// verdict-level union: complete, zero `check_agreement` violations,
+/// which the crash-count sweep reproduces since its outcome set is
+/// exactly the matrix's).
+#[test]
+fn fig1_n3_crash_count_matches_single_victim_union() {
+    let limits =
+        ExploreLimits { max_expansions: 2_000_000, max_steps: 1_000, ..Default::default() };
+    let signature = |r: &RunReport| {
+        let mut decided = r.decided_values();
+        decided.sort_unstable();
+        Err(format!(
+            "decided={decided:?} crashed={:?} undecided={:?}",
+            r.crashed_pids(),
+            r.undecided_pids()
+        ))
+    };
+    let collect = |crashes: Crashes| {
+        let out = Explorer::new(3)
+            .crashes(crashes)
+            .collect_all(true)
+            .limits(limits)
+            .run(|| fig1_bodies(3, 1), signature);
+        assert!(out.complete || !out.violations.is_empty(), "the n = 3 tree must be exhausted");
+        let mut msgs: Vec<String> = out.violations.iter().map(|v| v.message.clone()).collect();
+        msgs.sort();
+        msgs.dedup();
+        (msgs, out)
+    };
+
+    // The oracle: the crash-free sweep plus every single-victim
+    // `AtOwnStep` placement, own steps 0..=4 — one past the
+    // 4-operation body, so a placement that can never fire degenerates
+    // to the crash-free outcome set instead of being silently missed.
+    let mut union: Vec<String> = collect(Crashes::None).0;
+    for victim in 0..3usize {
+        for crash_step in 0..=4u64 {
+            union.extend(collect(Crashes::AtOwnStep(vec![(victim, crash_step)])).0);
+        }
+    }
+    union.sort();
+    union.dedup();
+
+    let (counted, out) = collect(Crashes::UpTo(1));
+    assert_eq!(counted, union, "UpTo(1) must reproduce the single-victim union exactly");
+    assert!(out.stats.crash_branches > 0, "the crash band must actually branch");
+    assert!(
+        out.stats.summary().contains(" crashes="),
+        "the summary must surface the crash-branch counter"
+    );
+}
+
+/// The fault-tolerance milestone sweep: Figure 1 at `n = 5` under the
+/// symmetric crash-count adversary with budget `f = 1` — every
+/// placement of one crash at every park point, explored as explicit
+/// crash branches in the same frontier — **exhausted with every
+/// reduction live**, the pid-symmetry quotient included (`UpTo` names
+/// no process, so the quotient stays sound; `docs/EXPLORER.md` §3.7
+/// has the argument). Runs under the same 2 048-node resident ceiling
+/// and 8-layer checkpoint stride as the bench catalogue, which prints
+/// the same line.
+#[test]
+fn fig1_n5_f1_fault_tolerance_exhaustive_baseline() {
+    let out = Explorer::new(5)
+        .threads(threads_from_env(2))
+        .symmetry(FIG1_SYMMETRY)
+        .crashes(Crashes::UpTo(1))
+        .limits(ExploreLimits {
+            max_expansions: 60_000_000,
+            max_steps: 2_000,
+            ..Default::default()
+        })
+        .resident_ceiling(2_048)
+        .checkpoint_every(8)
+        .run(|| fig1_bodies(5, 1), |r| check_agreement(r, 5, false));
+    out.assert_no_violation();
+    assert!(out.complete, "fig1 n = 5 f = 1 must exhaust ({} runs)", out.runs());
+    let summary = out.stats.summary();
+    assert!(out.stats.symm_hits > 0, "the symmetry quotient must fire under UpTo: {summary}");
+    assert!(out.stats.crash_branches > 0, "the crash band must branch: {summary}");
+    assert_eq!(
+        summary,
+        "runs=241 expansions=8135 visited=4356 pruned=3779 sleep=878 dpor=5774 qhits=3479 \
+         symm=3536 crashes=2072 max_depth=20 depth_limited=0 \
+         branching=[0,797,1261,1196,715,147]",
+        "fig1 n = 5 f = 1 fault-tolerance baseline drifted"
+    );
+}
+
+/// The second fault-tolerance axis: Figure 1 at `n = 4` with crash
+/// budget `f = 2` — every placement of up to two crashes, including
+/// both orders of every crash pair, so the DPOR crash/crash and
+/// op/crash commutation rules are exercised at a budget boundary —
+/// exhausted under the full reduction set with the symmetry quotient
+/// live. The bench catalogue prints the same line.
+#[test]
+fn fig1_n4_f2_fault_tolerance_exhaustive_baseline() {
+    let out = Explorer::new(4)
+        .threads(threads_from_env(2))
+        .symmetry(FIG1_SYMMETRY)
+        .crashes(Crashes::UpTo(2))
+        .limits(ExploreLimits {
+            max_expansions: 60_000_000,
+            max_steps: 2_000,
+            ..Default::default()
+        })
+        .resident_ceiling(2_048)
+        .checkpoint_every(8)
+        .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false));
+    out.assert_no_violation();
+    assert!(out.complete, "fig1 n = 4 f = 2 must exhaust ({} runs)", out.runs());
+    let summary = out.stats.summary();
+    assert!(out.stats.symm_hits > 0, "the symmetry quotient must fire under UpTo: {summary}");
+    assert!(out.stats.crash_branches > 0, "the crash band must branch: {summary}");
+    assert_eq!(
+        summary,
+        "runs=220 expansions=2671 visited=1741 pruned=930 sleep=202 dpor=2532 qhits=813 \
+         symm=835 crashes=1065 max_depth=16 depth_limited=0 branching=[0,547,594,310,71]",
+        "fig1 n = 4 f = 2 fault-tolerance baseline drifted"
+    );
 }
 
 /// The bounded-memory frontier on the Figure 6 scale-up sweep: an

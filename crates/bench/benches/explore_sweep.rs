@@ -12,9 +12,11 @@
 //!   under `MPCN_EXPLORE_DPOR=0` (the pre-DPOR reduction set),
 //!   `MPCN_EXPLORE_VIEWSUM=0` (summaries off), and
 //!   `MPCN_EXPLORE_SYMM=0` (the pid-symmetry quotient off — the PR 5/6
-//!   baseline lines byte for byte) and assert the *verdict* fields
-//!   (`complete=…/violations=…`) of every common label match — state
-//!   counts legitimately differ between reduction sets. The storage
+//!   baseline lines byte for byte), and `MPCN_EXPLORE_CRASHCOUNT=0`
+//!   (the fault-tolerance sweeps dropped from the catalogue — the
+//!   crash-free line set reproduced exactly) and assert the *verdict*
+//!   fields (`complete=…/violations=…`) of every common label match —
+//!   state counts legitimately differ between reduction sets. The storage
 //!   gate re-runs the catalogue under `MPCN_EXPLORE_SPILL=1` (every
 //!   sweep through a disk-backed `SpillStore`) and diffs the *whole*
 //!   lines against the in-memory run — storage is policy and must be
@@ -48,14 +50,18 @@
 //! release with the symmetry quotient, under a deliberately binding
 //! 2 048-node resident ceiling with 8-layer checkpoints) is likewise
 //! catalogued only under the view summaries that make it tractable.
+//! The fault-tolerance sweeps (`fig1 n=5 f=1` / `n=4 f=2` under
+//! `Crashes::UpTo(f)`) require both and additionally honour
+//! `MPCN_EXPLORE_CRASHCOUNT=0`, under which the catalogue reproduces
+//! the crash-free line set byte for byte.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpcn_agreement::fixtures::{
     check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies, FIG1_SYMMETRY,
 };
 use mpcn_runtime::explore::{
-    reduction_from_env, spill_from_env, threads_from_env, ExploreLimits, ExploreReport, Explorer,
-    Reduction,
+    crashcount_from_env, reduction_from_env, spill_from_env, threads_from_env, ExploreLimits,
+    ExploreReport, Explorer, Reduction,
 };
 use mpcn_runtime::sched::Crashes;
 use std::hint::black_box;
@@ -130,8 +136,11 @@ fn catalogue(threads: usize, reduction: Reduction) -> Vec<Sweep> {
     });
     run_timed(&mut sweeps, "fig1 n=3 crash(0@1) pruned", || {
         // The crash plan names a pid, so the symmetry quotient gates
-        // itself off even though the spec is supplied: this line is
-        // identical in every `MPCN_EXPLORE_SYMM` mode.
+        // itself off even though the spec is supplied — and says so:
+        // under the full reduction set this line carries the explicit
+        // `symm=off` marker (requested but self-disabled), which drops
+        // out under `MPCN_EXPLORE_SYMM=0` along with the request. The
+        // verdict fields are identical in every symmetry mode.
         maybe_spill(
             Explorer::new(3)
                 .threads(threads)
@@ -232,6 +241,48 @@ fn catalogue(threads: usize, reduction: Reduction) -> Vec<Sweep> {
             .run(|| fig1_bodies(5, 1), |r| check_agreement(r, 5, false))
         });
     }
+    if reduction.dpor && reduction.view_summaries && crashcount_from_env() {
+        // The fault-tolerance sweeps (ISSUE "crash-count adversary"):
+        // `Crashes::UpTo(f)` turns every crash placement into an
+        // explicit frontier branch, so one sweep exhausts the whole
+        // fault-tolerance envelope with every reduction live — the
+        // pid-symmetry quotient included (`UpTo` names no process).
+        // Catalogued only under DPOR + view summaries (the reductions
+        // that keep the crash-branched trees affordable per CI gate
+        // run) and only while `MPCN_EXPLORE_CRASHCOUNT` is not `0`, so
+        // the knob-off catalogue reproduces the crash-free line set.
+        // `explore_sweeps.rs` pins both exact lines.
+        run_timed(&mut sweeps, "fig1 n=5 f=1 pruned", || {
+            maybe_spill(
+                Explorer::new(5)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .symmetry(FIG1_SYMMETRY)
+                    .crashes(Crashes::UpTo(1))
+                    .limits(limits(60_000_000, usize::MAX))
+                    .resident_ceiling(2_048)
+                    .checkpoint_every(8),
+                &spill,
+                "fig1 n=5 f=1 pruned",
+            )
+            .run(|| fig1_bodies(5, 1), |r| check_agreement(r, 5, false))
+        });
+        run_timed(&mut sweeps, "fig1 n=4 f=2 pruned", || {
+            maybe_spill(
+                Explorer::new(4)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .symmetry(FIG1_SYMMETRY)
+                    .crashes(Crashes::UpTo(2))
+                    .limits(limits(60_000_000, usize::MAX))
+                    .resident_ceiling(2_048)
+                    .checkpoint_every(8),
+                &spill,
+                "fig1 n=4 f=2 pruned",
+            )
+            .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false))
+        });
+    }
     if let Some(base) = &spill {
         let _ = std::fs::remove_dir_all(base);
     }
@@ -246,6 +297,7 @@ fn json_line(sweep: &Sweep) -> String {
     format!(
         "{{\"label\":\"{}\",\"runs\":{},\"expansions\":{},\"visited\":{},\"pruned\":{},\
          \"sleep\":{},\"dpor\":{},\"qhits\":{},\"symm_enabled\":{},\"symm\":{},\
+         \"crashcount_enabled\":{},\"crashes\":{},\
          \"max_depth\":{},\"depth_limited\":{},\"complete\":{},\"violations\":{},\
          \"wall_ms\":{}}}",
         sweep.label,
@@ -258,6 +310,8 @@ fn json_line(sweep: &Sweep) -> String {
         s.quotient_hits,
         s.symm_enabled,
         s.symm_hits,
+        s.crashcount_enabled,
+        s.crash_branches,
         s.max_depth,
         s.depth_limited_runs,
         sweep.report.complete,

@@ -34,6 +34,23 @@
 //! on the outcomes — a permanent cross-check of the resume engine against
 //! the reference implementation.
 //!
+//! # Crash-count branching ([`Crashes::UpTo`])
+//!
+//! Under the symmetric crash-count adversary, crash delivery is not a
+//! policy decision but a **schedule branch**: at every interior node
+//! whose crash budget is not exhausted, [`Engine::admit`] queues — next
+//! to each alive process's op expansion — a crash sibling encoded as
+//! choice `alive.len() + i` (the same crash index band
+//! `Schedule::Indexed` decodes, so counterexample vectors replay their
+//! crash placements through the gated engine verbatim). One sweep thus
+//! exhausts *all* crash placements against *all* alive processes for
+//! every budget `≤ f`. Because the policy names no pid, the schedule
+//! space stays permutation-closed and the symmetry quotient remains
+//! live — the one crash adversary it accepts. Depth-bounded tails
+//! still complete along the canonical choice-0 (op) suffix: a
+//! `max_depth` cut under `UpTo` is incomplete anyway, and tails never
+//! deliver further crashes.
+//!
 //! # Reductions (see [`super::Reduction`])
 //!
 //! The skip rule generalizing the commuting-reads reduction lives in
@@ -247,7 +264,9 @@ impl Node {
 }
 
 pub(super) enum Job {
-    /// Execute one scheduling decision: pick `alive[choice]` at `node`.
+    /// Execute one scheduling decision at `node`: pick `alive[choice]`,
+    /// or — for a crash-band choice `alive.len() + i` under
+    /// [`Crashes::UpTo`] — deliver a crash to `alive[i]`.
     Expand { node: Arc<Node>, choice: usize },
     /// Resume `node` to completion along the canonical choice-0 suffix
     /// (sibling enumeration was cut by the depth bound).
@@ -274,6 +293,10 @@ struct Expanded {
     /// pruned.
     symm_coarsened: bool,
     pre_pruned: bool,
+    /// The executed decision delivered a crash (a crash-band branch
+    /// under [`Crashes::UpTo`], or a firing [`Crashes::AtOwnStep`]
+    /// plan) — feeds the `crashes=` counter.
+    crashed: bool,
     /// Choice-path suffix length a rehydration replayed (0 if the parent
     /// was resident) — feeds `max_rehydration_replay`.
     rehydration_replay: u64,
@@ -310,7 +333,8 @@ struct Shared<'a, F> {
     viewsum: bool,
     /// Fingerprint children by the pid-symmetry canonical form (`Some`
     /// only when the reduction is on, the program declared a spec, and
-    /// the adversary is [`Crashes::None`] — see [`Engine::with_store`]).
+    /// the adversary is pid-blind — [`Crashes::None`] or
+    /// [`Crashes::UpTo`]; see [`Engine::with_store`]).
     symmetry: Option<Symmetry>,
     max_steps: u64,
 }
@@ -388,13 +412,19 @@ where
         // function of the pick history, not of the reached state; no
         // reduction's argument applies, so all are disabled.
         let reducible = !matches!(ex.crashes, Crashes::Random { .. });
-        // The symmetry quotient additionally requires a crash-free
-        // adversary: a crash plan names concrete pids, so delivering it
-        // breaks the permutation-closure the canonical fingerprint's
-        // soundness rests on. And, of course, a declared spec.
+        // The symmetry quotient additionally requires a pid-blind
+        // adversary: an [`Crashes::AtOwnStep`] plan names concrete pids,
+        // so delivering it breaks the permutation-closure the canonical
+        // fingerprint's soundness rests on. [`Crashes::None`] and the
+        // crash-count adversary [`Crashes::UpTo`] qualify — the budget
+        // is a pure count (the number of crashed flags in the state,
+        // which the erasure sort key already carries), so relabeling
+        // pids maps every explored schedule to an explored schedule
+        // with the same budget consumption (docs/EXPLORER.md §3.7).
+        // And, of course, a declared spec.
         let symmetry = if ex.reduction.prune_visited
             && ex.reduction.symmetry
-            && matches!(ex.crashes, Crashes::None)
+            && matches!(ex.crashes, Crashes::None | Crashes::UpTo(_))
         {
             ex.symmetry
         } else {
@@ -402,6 +432,12 @@ where
         };
         let mut stats = ExploreStats::new(ex.n);
         stats.symm_enabled = symmetry.is_some();
+        // `symm=off` marker: the quotient was asked for (knob on, spec
+        // supplied) but gated itself off — make that visible in the
+        // summary line instead of silently dropping the `symm=` field.
+        stats.symm_requested =
+            ex.reduction.prune_visited && ex.reduction.symmetry && ex.symmetry.is_some();
+        stats.crashcount_enabled = matches!(ex.crashes, Crashes::UpTo(_));
         Engine {
             ex,
             make_bodies,
@@ -570,7 +606,14 @@ where
         }
         self.stats.branching_histogram[node.alive.len()] += 1;
         let node = Arc::new(node);
-        for choice in 0..node.alive.len() {
+        // Op expansions (`choice < alive.len()`), then — while the
+        // crash-count adversary's budget lasts — one crash sibling per
+        // alive process in the crash index band (`alive.len() + i`
+        // delivers a crash to `alive[i]`; other adversaries never have
+        // budget, so the band stays empty for them).
+        let choices =
+            if node.crash.budget_left() { 0..2 * node.alive.len() } else { 0..node.alive.len() };
+        for choice in choices {
             match self.skip_kind(&node, choice) {
                 Some(SkipKind::Sleep) => {
                     self.stats.sleep_skips += 1;
@@ -647,15 +690,27 @@ where
             return None;
         }
         let (q, act_q) = node.incoming.as_ref()?;
-        let p = node.alive[choice];
+        let (p, act_p) = if let Some(i) = choice.checked_sub(node.alive.len()) {
+            // A crash-band sibling ([`Crashes::UpTo`] budget branch):
+            // the action is the crash delivery itself. Transposing it
+            // before `q`'s incoming action is always budget-sound: ops
+            // consume no crash budget, so the budget available at the
+            // parent is (crash incoming) one more than, or (op
+            // incoming) equal to, the budget here — either way enough
+            // for the covering path to deliver this crash first.
+            (node.alive[i], Action::Crash)
+        } else {
+            let p = node.alive[choice];
+            let act = if self.crash_fires(p, node.own_steps(p)) {
+                Action::Crash
+            } else {
+                Action::Op(node.pending_footprint(p)?)
+            };
+            (p, act)
+        };
         if p >= *q {
             return None;
         }
-        let act_p = if self.crash_fires(p, node.own_steps(p)) {
-            Action::Crash
-        } else {
-            Action::Op(node.pending_footprint(p)?)
-        };
         // A crash delivery consumes no step but an operation does, so
         // transposing an op past an incoming crash is only valid when the
         // covering path — the op *first*, then the crash — is not cut by
@@ -687,6 +742,9 @@ where
         match &self.ex.crashes {
             Crashes::None => false,
             Crashes::AtOwnStep(plan) => plan.iter().any(|&(p, s)| p == pid && s == own),
+            // Crash-count crashes are explicit crash-band branches, never
+            // a side effect of an op pick.
+            Crashes::UpTo(_) => false,
             Crashes::Random { .. } => unreachable!("reductions are disabled under random crashes"),
         }
     }
@@ -751,6 +809,9 @@ where
                     self.stats.max_rehydration_replay =
                         self.stats.max_rehydration_replay.max(child.rehydration_replay);
                     self.stats.store_reads += child.store_reads;
+                    if child.crashed {
+                        self.stats.crash_branches += 1;
+                    }
                     if self.prune && (child.pre_pruned || !self.visited.insert(child.fp)) {
                         self.stats.states_pruned += 1;
                         if child.coarsened {
@@ -840,6 +901,32 @@ fn step_snapshot<F: Fn() -> Vec<Body>>(
     }
 }
 
+/// Executes one choice-vector entry from `snap`: a pick in the op band
+/// (`choice < alive.len()`) is a [`step_snapshot`] scheduling decision,
+/// and a pick in the crash index band (`alive.len() + i`) delivers one
+/// of the crash-count adversary's budgeted crashes to `alive[i]` —
+/// consuming no step, exactly as the gated engine decodes the same
+/// vector through `Schedule::Indexed`. Returns the successor, the
+/// chosen pid, and whether a crash was delivered.
+fn apply_choice<F: Fn() -> Vec<Body>>(
+    shared: &Shared<'_, F>,
+    snap: &Snapshot,
+    alive: &[Pid],
+    crash: &mut CrashState,
+    choice: usize,
+) -> (Snapshot, Pid, bool) {
+    if let Some(i) = choice.checked_sub(alive.len()) {
+        let pid = alive[i];
+        let fired = crash.force_crash();
+        debug_assert!(fired, "crash-band choices are queued only while budget remains");
+        (ModelWorld::resume_crash(snap, pid), pid, true)
+    } else {
+        let pid = alive[choice];
+        let (next, crashed) = step_snapshot(shared, snap, crash, pid);
+        (next, pid, crashed)
+    }
+}
+
 /// Rebuilds an evicted node's snapshot by replaying its choice-path
 /// suffix from its [`Anchor`] — every replayed decision a deterministic
 /// resume from a copy of the anchor's snapshot (cloned from memory or
@@ -880,8 +967,8 @@ fn rehydrate<F: Fn() -> Vec<Body>>(
     };
     let suffix = &node.path[from..];
     for &choice in suffix {
-        let pid = snap.alive()[choice];
-        let (next, _) = step_snapshot(shared, &snap, &mut crash, pid);
+        let alive = snap.alive();
+        let (next, _, _) = apply_choice(shared, &snap, &alive, &mut crash, choice);
         snap = next;
     }
     (snap, suffix.len() as u64)
@@ -909,13 +996,12 @@ fn snapshot_of<'s, F: Fn() -> Vec<Body>>(
 
 /// Executes one scheduling decision from `node`.
 fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usize) -> Expanded {
-    let pid = node.alive[choice];
     let mut crash = node.crash.clone();
     let mut rebuilt = None;
     let mut rehydration_replay = 0;
     let mut store_reads = 0;
     let parent = snapshot_of(shared, node, &mut rebuilt, &mut rehydration_replay, &mut store_reads);
-    let (snap, crashed_now) = step_snapshot(shared, parent, &mut crash, pid);
+    let (snap, pid, crashed_now) = apply_choice(shared, parent, &node.alive, &mut crash, choice);
     let (fp, coarsened, symm_coarsened) = if shared.prune {
         let coarsened = shared.quotient && snap.quotient_coarsens();
         match &shared.symmetry {
@@ -936,6 +1022,7 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
             coarsened,
             symm_coarsened,
             pre_pruned: true,
+            crashed: crashed_now,
             rehydration_replay,
             store_reads,
         };
@@ -965,6 +1052,7 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
         coarsened,
         symm_coarsened,
         pre_pruned: false,
+        crashed: crashed_now,
         rehydration_replay,
         store_reads,
     }

@@ -159,7 +159,15 @@
 //! Crash plans compose orthogonally: [`Crashes::AtOwnStep`] is expressed
 //! per victim's own step count, which is schedule independent, so
 //! exhausting `(victim, step)` pairs × schedules covers every placement
-//! of a crash in every interleaving. [`ExploreLimits::max_depth`] bounds
+//! of a crash in every interleaving. The crash-**count** adversary
+//! [`Crashes::UpTo`] goes further: instead of enumerating plans by
+//! hand, one sweep *branches* on crash delivery at every park point
+//! with unspent budget (a crash sibling next to each op expansion in
+//! the frontier), exhausting all placements of up to `f` crashes — and
+//! because it names no pid, it is the one crash adversary the symmetry
+//! quotient stays live under (its fault-tolerance sweeps are gated in
+//! CI by `MPCN_EXPLORE_CRASHCOUNT`, see [`crashcount_from_env`]).
+//! [`ExploreLimits::max_depth`] bounds
 //! *sibling enumeration* depth for bounded-depth sweeps of larger
 //! configurations: runs still execute to completion (along the canonical
 //! choice-0 suffix), but scheduling alternatives are only explored in the
@@ -252,9 +260,10 @@ pub struct Reduction {
     /// to `n!` pid-permuted copies of each state collapse to one
     /// canonical representative. Only meaningful with
     /// [`Reduction::prune_visited`]; a no-op for programs that declare
-    /// no spec, and automatically inactive under crash adversaries
-    /// (crash plans name concrete pids, so the transition system is not
-    /// permutation-closed — see [`Crashes::AtOwnStep`]).
+    /// no spec, and automatically inactive under pid-naming crash
+    /// adversaries ([`Crashes::AtOwnStep`] plans name concrete pids, so
+    /// the transition system is not permutation-closed — the pid-blind
+    /// [`Crashes::UpTo`] keeps it closed and the quotient live).
     pub symmetry: bool,
 }
 
@@ -419,8 +428,9 @@ impl Explorer {
     /// ([`crate::model_world::Snapshot::fingerprint_symmetric`]),
     /// collapsing the up to `n!` pid-permuted copies of every state.
     /// Programs that declare no spec are completely unaffected by the
-    /// reduction flag. Automatically inactive under a crash adversary
-    /// (crash plans name concrete pids).
+    /// reduction flag. Automatically inactive under a pid-naming crash
+    /// adversary ([`Crashes::AtOwnStep`] plans name concrete pids);
+    /// stays active under the pid-blind [`Crashes::UpTo`].
     pub fn symmetry(mut self, spec: Symmetry) -> Self {
         self.symmetry = Some(spec);
         self
@@ -725,6 +735,17 @@ pub fn reduction_from_env() -> Reduction {
 /// invisible in the report.
 pub fn spill_from_env() -> bool {
     std::env::var("MPCN_EXPLORE_SPILL").as_deref() == Ok("1")
+}
+
+/// Whether benches and CI should run the [`Crashes::UpTo`] crash-count
+/// fault-tolerance sweeps: `true` unless the `MPCN_EXPLORE_CRASHCOUNT`
+/// environment variable is `0`. With the knob off the bench catalogue
+/// prints exactly its pre-crash-count lines (the new sweeps are simply
+/// absent), which is how the byte-identity of every prior baseline is
+/// checked; the CI `CRASHCOUNT` verdict gate runs the catalogue in both
+/// modes and asserts every common sweep reaches the same verdict.
+pub fn crashcount_from_env() -> bool {
+    std::env::var("MPCN_EXPLORE_CRASHCOUNT").as_deref() != Ok("0")
 }
 
 /// Exhaustively explores every schedule with **no reductions** — the
@@ -1379,6 +1400,85 @@ mod tests {
         assert_eq!(baseline.stats.summary(), resumed.stats.summary());
         assert_eq!(baseline.complete, resumed.complete);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The crash-count kill-and-resume contract: a spilled
+    /// [`Crashes::UpTo`] sweep halted between barriers and resumed from
+    /// its (v3) manifest — which round-trips the `up_to:<f>` policy and
+    /// the crash-branch counter — reaches the byte-identical report of
+    /// the uninterrupted in-memory run, crash branches re-queued with
+    /// exactly the budget each persisted node had left.
+    #[test]
+    fn crash_count_sweep_resumes_to_identical_report() {
+        let dir = sweep_dir("crashcount-resume");
+        let baseline = Explorer::new(3)
+            .crashes(Crashes::UpTo(1))
+            .resident_ceiling(1)
+            .checkpoint_every(2)
+            .run(spill_bodies, |_r| Ok(()));
+        assert!(
+            baseline.stats.summary().contains(" crashes="),
+            "the crash-count sweep must report its crash-branch counter"
+        );
+        assert!(baseline.stats.crash_branches > 0, "budget 1 must branch on crash delivery");
+        let halted = Explorer::new(3)
+            .crashes(Crashes::UpTo(1))
+            .resident_ceiling(1)
+            .checkpoint_every(2)
+            .spill_to(&dir)
+            .halt_after_layers(3)
+            .run(spill_bodies, |_r| Ok(()));
+        assert!(!halted.complete, "a halted sweep is not a proof");
+        let resumed = Explorer::resume_sweep(&dir, spill_bodies, |_r| Ok(()));
+        assert_eq!(baseline.stats.summary(), resumed.stats.summary());
+        assert_eq!(baseline.complete, resumed.complete);
+        assert_eq!(baseline.violations, resumed.violations);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A v2 manifest (pre-crash-count key set) must be rejected whole,
+    /// not partially decoded: it cannot describe a crash-count sweep or
+    /// the statistics a resumed summary line needs.
+    #[test]
+    #[should_panic(expected = "unsupported manifest version 2")]
+    fn resume_rejects_older_manifest_versions() {
+        let dir = sweep_dir("v2-reject");
+        Explorer::new(3).spill_to(&dir).halt_after_layers(2).run(spill_bodies, |_r| Ok(()));
+        let manifest = dir.join("MANIFEST");
+        let text = std::fs::read_to_string(&manifest).expect("manifest exists");
+        assert!(text.contains("manifest_version=3"), "current manifests are v3");
+        std::fs::write(&manifest, text.replace("manifest_version=3", "manifest_version=2"))
+            .expect("rewrite manifest");
+        Explorer::resume_sweep(&dir, spill_bodies, |_r| Ok(()));
+    }
+
+    /// A manifest whose `visited_len` is not a multiple of the 8-byte
+    /// fingerprint size is corrupt — resume must refuse it instead of
+    /// silently dropping the trailing bytes (which would resurrect
+    /// pruned subtrees and change the resumed report).
+    #[test]
+    #[should_panic(expected = "not a multiple of the 8-byte")]
+    fn resume_rejects_misaligned_visited_len() {
+        let dir = sweep_dir("misaligned-visited");
+        Explorer::new(3).spill_to(&dir).halt_after_layers(3).run(spill_bodies, |_r| Ok(()));
+        let manifest = dir.join("MANIFEST");
+        let text = std::fs::read_to_string(&manifest).expect("manifest exists");
+        let recorded: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("visited_len="))
+            .expect("manifest records visited_len")
+            .parse()
+            .expect("visited_len is a u64");
+        assert!(recorded >= 8, "the halted sweep must have committed visited fingerprints");
+        std::fs::write(
+            &manifest,
+            text.replace(
+                &format!("visited_len={recorded}"),
+                &format!("visited_len={}", recorded - 3),
+            ),
+        )
+        .expect("rewrite manifest");
+        Explorer::resume_sweep(&dir, spill_bodies, |_r| Ok(()));
     }
 
     #[test]

@@ -57,9 +57,28 @@ pub struct ExploreStats {
     pub symm_hits: u64,
     /// The symmetry quotient was active for this sweep: the reduction
     /// flag was on, the program declared a [`crate::model_world::Symmetry`]
-    /// spec, and the adversary was crash-free. Controls whether
+    /// spec, and the adversary was pid-blind ([`crate::sched::Crashes::None`]
+    /// or [`crate::sched::Crashes::UpTo`]). Controls whether
     /// [`ExploreStats::summary`] prints the `symm=` field.
     pub symm_enabled: bool,
+    /// The symmetry quotient was *requested* — reduction flag on, spec
+    /// declared — whether or not it could activate. When requested but
+    /// not enabled (a pid-naming crash adversary gated it off), the
+    /// summary line says `symm=off` so catalogue diffs distinguish
+    /// "quotient inactive" from "zero hits". Sweeps that never asked
+    /// (no spec, or the knob/flag off) print no `symm=` field at all,
+    /// preserving every pre-symmetry baseline line byte for byte.
+    pub symm_requested: bool,
+    /// Crash-branch expansions executed: scheduling decisions that
+    /// delivered a crash — under [`crate::sched::Crashes::UpTo`], one
+    /// per explored crash-band branch. On the summary line (as
+    /// `crashes=`) only under the crash-count adversary
+    /// ([`ExploreStats::crashcount_enabled`]), so every other sweep
+    /// prints its exact prior baseline line.
+    pub crash_branches: u64,
+    /// The adversary was [`crate::sched::Crashes::UpTo`] — controls
+    /// whether [`ExploreStats::summary`] prints the `crashes=` field.
+    pub crashcount_enabled: bool,
     /// Frontier nodes evicted down to scheduling metadata by
     /// [`super::Explorer::resident_ceiling`] and rehydrated on demand.
     /// Deliberately **not** part of [`ExploreStats::summary`]: the
@@ -111,6 +130,9 @@ impl ExploreStats {
             quotient_hits: 0,
             symm_hits: 0,
             symm_enabled: false,
+            symm_requested: false,
+            crash_branches: 0,
+            crashcount_enabled: false,
             evicted: 0,
             max_rehydration_replay: 0,
             spilled: 0,
@@ -129,18 +151,32 @@ impl ExploreStats {
 
     /// One deterministic `key=value` line (no timing, no pointers), fit
     /// for golden files and the CI determinism gate. The `symm=` field
-    /// appears only when the symmetry quotient was active
-    /// ([`ExploreStats::symm_enabled`]): symmetry-off sweeps — every
-    /// asymmetric program, every crash sweep, every `no_symm()` /
+    /// appears as a hit count only when the symmetry quotient was active
+    /// ([`ExploreStats::symm_enabled`]), and as the literal `symm=off`
+    /// when it was requested but gated off
+    /// ([`ExploreStats::symm_requested`]); sweeps that never asked for
+    /// it — every asymmetric program, every `no_symm()` /
     /// `MPCN_EXPLORE_SYMM=0` baseline — print byte for byte what the
-    /// pre-symmetry engine printed.
+    /// pre-symmetry engine printed. The `crashes=` field appears only
+    /// under the crash-count adversary
+    /// ([`ExploreStats::crashcount_enabled`]).
     pub fn summary(&self) -> String {
         let hist =
             self.branching_histogram.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
-        let symm =
-            if self.symm_enabled { format!(" symm={}", self.symm_hits) } else { String::new() };
+        let symm = if self.symm_enabled {
+            format!(" symm={}", self.symm_hits)
+        } else if self.symm_requested {
+            " symm=off".to_string()
+        } else {
+            String::new()
+        };
+        let crashes = if self.crashcount_enabled {
+            format!(" crashes={}", self.crash_branches)
+        } else {
+            String::new()
+        };
         format!(
-            "runs={} expansions={} visited={} pruned={} sleep={} dpor={} qhits={}{symm} \
+            "runs={} expansions={} visited={} pruned={} sleep={} dpor={} qhits={}{symm}{crashes} \
              max_depth={} depth_limited={} branching=[{}]",
             self.runs,
             self.expansions,
@@ -271,6 +307,30 @@ mod tests {
             stats.summary(),
             "runs=6 expansions=14 visited=12 pruned=0 sleep=0 dpor=3 qhits=2 symm=7 max_depth=4 \
              depth_limited=0 branching=[0,4,8]"
+        );
+        // Requested-but-gated-off prints the literal `symm=off` (an
+        // active quotient wins over the marker).
+        stats.symm_enabled = false;
+        stats.symm_requested = true;
+        assert_eq!(
+            stats.summary(),
+            "runs=6 expansions=14 visited=12 pruned=0 sleep=0 dpor=3 qhits=2 symm=off max_depth=4 \
+             depth_limited=0 branching=[0,4,8]"
+        );
+        // The crash-branch counter surfaces only under the crash-count
+        // adversary, after the symm field.
+        stats.crash_branches = 5;
+        assert_eq!(
+            stats.summary(),
+            "runs=6 expansions=14 visited=12 pruned=0 sleep=0 dpor=3 qhits=2 symm=off max_depth=4 \
+             depth_limited=0 branching=[0,4,8]"
+        );
+        stats.crashcount_enabled = true;
+        stats.symm_enabled = true;
+        assert_eq!(
+            stats.summary(),
+            "runs=6 expansions=14 visited=12 pruned=0 sleep=0 dpor=3 qhits=2 symm=7 crashes=5 \
+             max_depth=4 depth_limited=0 branching=[0,4,8]"
         );
     }
 

@@ -41,8 +41,11 @@
 //! Adversary state is reconstructed, not serialized: frontier records
 //! carry each node's crash **count**, and [`CrashState::restore`]
 //! rebuilds the exact state for the replayable policies
-//! ([`Crashes::None`] / [`Crashes::AtOwnStep`]). [`Crashes::Random`]
-//! carries RNG stream position and is rejected before any spill.
+//! ([`Crashes::None`] / [`Crashes::AtOwnStep`] / [`Crashes::UpTo`] —
+//! for the crash-count adversary the count *is* the whole state, so a
+//! resumed sweep re-branches with exactly the remaining budget).
+//! [`Crashes::Random`] carries RNG stream position and is rejected
+//! before any spill.
 
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
@@ -62,8 +65,13 @@ use super::{ExploreLimits, Explorer, Reduction};
 
 /// Magic of the binary frontier/violations state file.
 const STATE_MAGIC: &[u8; 4] = b"MPSW";
-/// Version of the `MANIFEST` key set.
-const MANIFEST_VERSION: u64 = 2;
+/// Version of the `MANIFEST` key set. v3 added the crash-count
+/// adversary: the `up_to:<f>` crash policy encoding and the
+/// `symm_requested` / `crash_branches` / `crashcount_enabled` running
+/// statistics — a v2 manifest cannot describe a crash-count sweep (nor
+/// carry the fields a resumed summary line needs), so older manifests
+/// are rejected rather than partially decoded.
+const MANIFEST_VERSION: u64 = 3;
 
 /// Where a stored checkpoint snapshot lives — what [`SnapshotStore::put`]
 /// returns and a frontier anchor carries.
@@ -495,6 +503,7 @@ fn encode_crashes(c: &Crashes) -> io::Result<String> {
             let body = plan.iter().map(|(p, s)| format!("{p}@{s}")).collect::<Vec<_>>().join(",");
             Ok(format!("at_own_step:{body}"))
         }
+        Crashes::UpTo(f) => Ok(format!("up_to:{f}")),
         Crashes::Random { .. } => Err(bad_data(
             "Crashes::Random carries RNG stream state and cannot be persisted to a manifest",
         )),
@@ -504,6 +513,9 @@ fn encode_crashes(c: &Crashes) -> io::Result<String> {
 fn decode_crashes(s: &str) -> io::Result<Crashes> {
     if s == "none" {
         return Ok(Crashes::None);
+    }
+    if let Some(f) = s.strip_prefix("up_to:") {
+        return Ok(Crashes::UpTo(f.parse().map_err(bad_data)?));
     }
     let Some(rest) = s.strip_prefix("at_own_step:") else {
         return Err(bad_data(format!("unknown crash policy in manifest: {s:?}")));
@@ -575,6 +587,9 @@ fn render_manifest(
     kv("quotient_hits", stats.quotient_hits.to_string());
     kv("symm_hits", stats.symm_hits.to_string());
     kv("symm_enabled", stats.symm_enabled.to_string());
+    kv("symm_requested", stats.symm_requested.to_string());
+    kv("crash_branches", stats.crash_branches.to_string());
+    kv("crashcount_enabled", stats.crashcount_enabled.to_string());
     kv("evicted", stats.evicted.to_string());
     kv("max_rehydration_replay", stats.max_rehydration_replay.to_string());
     kv("spilled", stats.spilled.to_string());
@@ -728,6 +743,9 @@ pub(super) fn open_sweep(dir: &Path) -> io::Result<OpenedSweep> {
         quotient_hits: m.u64("quotient_hits")?,
         symm_hits: m.u64("symm_hits")?,
         symm_enabled: m.bool("symm_enabled")?,
+        symm_requested: m.bool("symm_requested")?,
+        crash_branches: m.u64("crash_branches")?,
+        crashcount_enabled: m.bool("crashcount_enabled")?,
         evicted: m.u64("evicted")?,
         max_rehydration_replay: m.u64("max_rehydration_replay")?,
         spilled: m.u64("spilled")?,
@@ -762,6 +780,17 @@ pub(super) fn open_sweep(dir: &Path) -> io::Result<OpenedSweep> {
     let visited_len_usize = usize::try_from(visited_len).map_err(bad_data)?;
     if visited_bytes.len() < visited_len_usize {
         return Err(bad_data("visited.bin is shorter than the manifest records"));
+    }
+    // The barrier only ever records whole 8-byte fingerprints, so a
+    // misaligned length means the manifest is corrupt — refuse it
+    // rather than let `chunks_exact` silently drop the trailing bytes
+    // (losing visited states would resurrect pruned subtrees on
+    // resume).
+    if visited_len_usize % 8 != 0 {
+        return Err(bad_data(format!(
+            "manifest visited_len {visited_len} is not a multiple of the 8-byte \
+             fingerprint size"
+        )));
     }
     let visited = visited_bytes[..visited_len_usize]
         .chunks_exact(8)

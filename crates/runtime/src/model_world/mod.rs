@@ -807,10 +807,14 @@ impl ModelWorld {
             if cfg.record_branching {
                 branching.push(alive.len());
             }
-            let pid = sched.pick(&alive);
+            let (pid, crash_pick) = sched.pick(&alive);
             picks += 1;
             let own = { world.inner.st.lock().own_steps[pid] };
-            let crashes_now = crash.should_crash(pid, own);
+            // A crash-flagged pick delivers one of the crash-count
+            // adversary's budgeted crashes (inert under other policies);
+            // otherwise the crash policy decides, as always.
+            let crashes_now =
+                if crash_pick { crash.force_crash() } else { crash.should_crash(pid, own) };
             if cfg.record_decisions {
                 let alive_mask = alive.iter().fold(0u64, |m, &p| m | 1 << p);
                 decisions.push(Decision {

@@ -39,6 +39,16 @@ pub enum Schedule {
     /// ([`crate::explore`]): a run is fully determined by its choice
     /// vector, and the recorded branch degrees tell the explorer how many
     /// siblings each prefix has.
+    ///
+    /// One index band is special: `choices[i]` in
+    /// `alive.len()..2 * alive.len()` picks `alive[choices[i] -
+    /// alive.len()]` as a **crash delivery** — the explorer's encoding of
+    /// a [`Crashes::UpTo`] branch, so its counterexample schedules replay
+    /// crash placements through the gated engine exactly. Under any other
+    /// crash policy the pick lands on the same process but the crash flag
+    /// is inert (the policy itself decides, as before). Explorer-generated
+    /// op choices are always `< alive.len()`, so pre-existing choice
+    /// vectors are unaffected.
     Indexed {
         /// Index into the alive set per step.
         choices: Vec<usize>,
@@ -68,11 +78,14 @@ impl ScheduleState {
         ScheduleState { policy, rng: StdRng::seed_from_u64(seed), cursor: 0, rr_next: 0 }
     }
 
-    /// Picks the next process among `alive` (non-empty).
-    pub(crate) fn pick(&mut self, alive: &[Pid]) -> Pid {
+    /// Picks the next process among `alive` (non-empty). The second
+    /// component is `true` iff the pick is an explicit **crash delivery**
+    /// ([`Schedule::Indexed`]'s crash index band); every other policy
+    /// always returns `false` and leaves crashing to the crash policy.
+    pub(crate) fn pick(&mut self, alive: &[Pid]) -> (Pid, bool) {
         debug_assert!(!alive.is_empty());
         match &self.policy {
-            Schedule::RandomSeed(_) => alive[self.rng.gen_range(0..alive.len())],
+            Schedule::RandomSeed(_) => (alive[self.rng.gen_range(0..alive.len())], false),
             Schedule::RoundRobin => {
                 // Find the first alive pid at or after rr_next, cyclically.
                 let max = alive
@@ -84,25 +97,29 @@ impl ScheduleState {
                     let cand = (self.rr_next + off) % (max + 1);
                     if alive.contains(&cand) {
                         self.rr_next = cand + 1;
-                        return cand;
+                        return (cand, false);
                     }
                 }
-                alive[0]
+                (alive[0], false)
             }
             Schedule::Scripted { steps, .. } => {
                 while self.cursor < steps.len() {
                     let cand = steps[self.cursor];
                     self.cursor += 1;
                     if alive.contains(&cand) {
-                        return cand;
+                        return (cand, false);
                     }
                 }
-                alive[self.rng.gen_range(0..alive.len())]
+                (alive[self.rng.gen_range(0..alive.len())], false)
             }
             Schedule::Indexed { choices } => {
                 let idx = choices.get(self.cursor).copied().unwrap_or(0);
                 self.cursor += 1;
-                alive[idx % alive.len()]
+                if (alive.len()..2 * alive.len()).contains(&idx) {
+                    (alive[idx - alive.len()], true)
+                } else {
+                    (alive[idx % alive.len()], false)
+                }
             }
         }
     }
@@ -119,6 +136,16 @@ pub enum Crashes {
     /// workhorse: `(q, 3)` kills simulator `q` exactly after its third
     /// shared access — e.g. in the middle of a `sa_propose` sequence.
     AtOwnStep(Vec<(Pid, u64)>),
+    /// The symmetric crash-*count* adversary: **any** `f` processes may
+    /// crash, at any park points — the paper's "at most `t` faulty
+    /// processes" quantifier itself, rather than one concrete crash plan.
+    /// Never decides a crash on its own: crash deliveries are explicit
+    /// schedule branches ([`Schedule::Indexed`]'s crash index band, which
+    /// the explorer enumerates at every park point while the budget
+    /// lasts), and the budget only caps how many may fire. Because the
+    /// policy names no pid, it is pid-permutation-closed — the one crash
+    /// adversary the explorer's symmetry quotient stays live under.
+    UpTo(usize),
     /// Each time a process is granted a step, crash it instead with
     /// probability `p`, up to `max` total crashes. Deterministic given
     /// `seed`.
@@ -176,10 +203,11 @@ impl CrashState {
     }
 
     /// Decides whether `pid`, about to take its `own_step`-th step, crashes
-    /// now instead.
+    /// now instead. [`Crashes::UpTo`] never fires here: its crashes are
+    /// explicit schedule branches, delivered via [`CrashState::force_crash`].
     pub(crate) fn should_crash(&mut self, pid: Pid, own_step: u64) -> bool {
         let crash = match &self.policy {
-            Crashes::None => false,
+            Crashes::None | Crashes::UpTo(_) => false,
             Crashes::AtOwnStep(plan) => plan.iter().any(|&(p, s)| p == pid && s == own_step),
             Crashes::Random { p, max, .. } => self.crashes_so_far < *max && self.rng.gen_bool(*p),
         };
@@ -187,6 +215,30 @@ impl CrashState {
             self.crashes_so_far += 1;
         }
         crash
+    }
+
+    /// Delivers an explicitly scheduled crash ([`Schedule::Indexed`]'s
+    /// crash index band): fires iff the policy is [`Crashes::UpTo`] with
+    /// budget remaining. Under every other policy a crash-flagged pick is
+    /// inert — the pick degrades to an ordinary step grant, so foreign
+    /// choice vectors cannot smuggle crashes past a non-branching
+    /// adversary.
+    pub(crate) fn force_crash(&mut self) -> bool {
+        match &self.policy {
+            Crashes::UpTo(f) if self.crashes_so_far < *f => {
+                self.crashes_so_far += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the policy's crash budget still admits another delivery —
+    /// `false` for every policy but [`Crashes::UpTo`], which is the only
+    /// one whose crashes are scheduled rather than decided. The explorer
+    /// reads this to know whether to enumerate crash branches at a node.
+    pub(crate) fn budget_left(&self) -> bool {
+        matches!(&self.policy, Crashes::UpTo(f) if self.crashes_so_far < *f)
     }
 }
 
@@ -199,7 +251,7 @@ mod tests {
         let alive: Vec<Pid> = (0..5).collect();
         let picks = |seed| {
             let mut st = ScheduleState::new(Schedule::RandomSeed(seed));
-            (0..100).map(|_| st.pick(&alive)).collect::<Vec<_>>()
+            (0..100).map(|_| st.pick(&alive).0).collect::<Vec<_>>()
         };
         assert_eq!(picks(42), picks(42));
         assert_ne!(picks(42), picks(43));
@@ -209,10 +261,10 @@ mod tests {
     fn round_robin_rotates_and_skips_dead() {
         let mut st = ScheduleState::new(Schedule::RoundRobin);
         let alive: Vec<Pid> = vec![0, 1, 2];
-        let seq: Vec<_> = (0..6).map(|_| st.pick(&alive)).collect();
+        let seq: Vec<_> = (0..6).map(|_| st.pick(&alive).0).collect();
         assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
         let alive2: Vec<Pid> = vec![0, 2];
-        let seq2: Vec<_> = (0..4).map(|_| st.pick(&alive2)).collect();
+        let seq2: Vec<_> = (0..4).map(|_| st.pick(&alive2).0).collect();
         assert_eq!(seq2, vec![0, 2, 0, 2]);
     }
 
@@ -220,12 +272,12 @@ mod tests {
     fn scripted_prefix_then_random() {
         let mut st = ScheduleState::new(Schedule::Scripted { steps: vec![2, 2, 0], then_seed: 9 });
         let alive: Vec<Pid> = vec![0, 1, 2];
-        assert_eq!(st.pick(&alive), 2);
-        assert_eq!(st.pick(&alive), 2);
-        assert_eq!(st.pick(&alive), 0);
+        assert_eq!(st.pick(&alive), (2, false));
+        assert_eq!(st.pick(&alive), (2, false));
+        assert_eq!(st.pick(&alive), (0, false));
         // Falls back to random afterwards — still within alive set.
         for _ in 0..20 {
-            assert!(alive.contains(&st.pick(&alive)));
+            assert!(alive.contains(&st.pick(&alive).0));
         }
     }
 
@@ -233,7 +285,55 @@ mod tests {
     fn scripted_skips_dead_entries() {
         let mut st = ScheduleState::new(Schedule::Scripted { steps: vec![1, 0], then_seed: 9 });
         let alive: Vec<Pid> = vec![0, 2];
-        assert_eq!(st.pick(&alive), 0, "dead pid 1 skipped");
+        assert_eq!(st.pick(&alive), (0, false), "dead pid 1 skipped");
+    }
+
+    #[test]
+    fn indexed_crash_band_decodes_victim_and_flag() {
+        let alive: Vec<Pid> = vec![0, 2, 5];
+        // Op band, crash band, beyond-band wraps as before, past the end.
+        let mut st = ScheduleState::new(Schedule::Indexed { choices: vec![1, 3, 5, 7] });
+        assert_eq!(st.pick(&alive), (2, false), "op pick");
+        assert_eq!(st.pick(&alive), (0, true), "crash pick of alive[0]");
+        assert_eq!(st.pick(&alive), (5, true), "crash pick of alive[2]");
+        assert_eq!(st.pick(&alive), (2, false), "beyond both bands wraps modulo");
+        assert_eq!(st.pick(&alive), (0, false), "past the end defaults to 0");
+    }
+
+    #[test]
+    fn up_to_budget_counts_forced_crashes_only() {
+        let mut cs = CrashState::new(Crashes::UpTo(2));
+        // The policy never decides a crash on its own...
+        for s in 0..10 {
+            assert!(!cs.should_crash(s % 3, s as u64));
+        }
+        assert_eq!(cs.crashes_so_far(), 0);
+        // ...but delivers exactly `f` scheduled ones.
+        assert!(cs.budget_left());
+        assert!(cs.force_crash());
+        assert!(cs.force_crash());
+        assert!(!cs.budget_left());
+        assert!(!cs.force_crash(), "budget exhausted");
+        assert_eq!(cs.crashes_so_far(), 2);
+    }
+
+    #[test]
+    fn forced_crashes_are_inert_off_up_to() {
+        for policy in [Crashes::None, Crashes::AtOwnStep(vec![(0, 3)])] {
+            let mut cs = CrashState::new(policy);
+            assert!(!cs.budget_left());
+            assert!(!cs.force_crash(), "crash-flagged picks degrade to step grants");
+            assert_eq!(cs.crashes_so_far(), 0);
+        }
+    }
+
+    #[test]
+    fn up_to_restores_from_count() {
+        let cs = CrashState::restore(Crashes::UpTo(2), 1);
+        assert_eq!(cs.crashes_so_far(), 1);
+        assert!(cs.budget_left());
+        let spent = CrashState::restore(Crashes::UpTo(2), 2);
+        assert!(!spent.budget_left());
     }
 
     #[test]

@@ -848,6 +848,118 @@ proptest! {
     }
 }
 
+/// Every `AtOwnStep` plan naming at most `f` distinct victims (drawn
+/// from `0..n`) with per-victim crash steps in `0..=max_step` — the
+/// hand-enumerated adversary family whose union [`Crashes::UpTo`]
+/// replaces. Includes the empty plan (zero crashes is within any
+/// budget).
+fn at_own_step_plans_up_to(n: usize, f: usize, max_step: u64) -> Vec<Vec<(usize, u64)>> {
+    let mut plans = vec![Vec::new()];
+    let grow = |plans: &[Vec<(usize, u64)>]| {
+        let mut out = Vec::new();
+        for plan in plans {
+            let next_victim = plan.last().map_or(0, |&(p, _)| p + 1);
+            for victim in next_victim..n {
+                for step in 0..=max_step {
+                    let mut bigger = plan.clone();
+                    bigger.push((victim, step));
+                    out.push(bigger);
+                }
+            }
+        }
+        out
+    };
+    let mut frontier = plans.clone();
+    for _ in 0..f {
+        frontier = grow(&frontier);
+        plans.extend(frontier.iter().cloned());
+    }
+    plans
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The crash-count differential: on random small programs, one
+    /// [`Crashes::UpTo`]`(f)` sweep finds exactly the union of the
+    /// violation sets of every hand-enumerated [`Crashes::AtOwnStep`]
+    /// plan with at most `f` victims — under one and two expansion
+    /// workers alike — and every crash-branch counterexample's choice
+    /// vector (crash index band included) replays to the same verdict
+    /// through the gated reference engine. The checker keys on decided
+    /// values, crashed pids, and undecided pids, so crash placement
+    /// differences are visible verdicts.
+    #[test]
+    fn crash_count_matches_union_of_at_own_step_plans(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 1usize..3,
+        f in 1usize..3,
+    ) {
+        let make = move || small_program(seed, n, ops);
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            let key = (vals, r.crashed_pids(), r.undecided_pids());
+            if fp_of(&key).wrapping_add(seed) % 3 == 0 {
+                return Err(format!("flagged outcome {key:?}"));
+            }
+            Ok(())
+        };
+        let limits =
+            ExploreLimits { max_expansions: 200_000, max_steps: 1_000, ..Default::default() };
+        for threads in [1usize, 2] {
+            let sweep = |crashes: Crashes| {
+                let out = Explorer::new(n)
+                    .limits(limits)
+                    .crashes(crashes)
+                    .threads(threads)
+                    .collect_all(true)
+                    .run(make, check);
+                prop_assert!(
+                    out.complete || !out.violations.is_empty(),
+                    "small trees must be exhausted"
+                );
+                Ok(out)
+            };
+            let counted = sweep(Crashes::UpTo(f))?;
+            for v in &counted.violations {
+                let replayed = mpcn_runtime::explore::replay(
+                    n,
+                    Crashes::UpTo(f),
+                    1_000,
+                    make,
+                    &v.choices,
+                );
+                prop_assert!(
+                    check(&replayed).is_err(),
+                    "crash-band replay verdict lost (seed {seed}, choices {:?})",
+                    v.choices
+                );
+            }
+            let mut counted_msgs: Vec<String> =
+                counted.violations.iter().map(|v| v.message.clone()).collect();
+            counted_msgs.sort();
+            counted_msgs.dedup();
+            // A body performs `ops` shared operations, so every park
+            // point sits at an own-step count in 0..=ops — plans beyond
+            // that never fire and add nothing to the union.
+            let mut union_msgs = Vec::new();
+            for plan in at_own_step_plans_up_to(n, f, ops as u64) {
+                let planned = sweep(Crashes::AtOwnStep(plan))?;
+                union_msgs.extend(planned.violations.iter().map(|v| v.message.clone()));
+            }
+            union_msgs.sort();
+            union_msgs.dedup();
+            prop_assert_eq!(
+                &counted_msgs, &union_msgs,
+                "UpTo({}) must equal the union of ≤{}-victim plans (seed {}, threads {})",
+                f, f, seed, threads
+            );
+        }
+    }
+}
+
 /// A unique scratch sweep directory under the system temp dir.
 fn sweep_dir(tag: &str) -> std::path::PathBuf {
     use std::sync::atomic::{AtomicUsize, Ordering};

@@ -3,19 +3,22 @@
 //!
 //! Run with: `cargo run --release --example adversary_gallery`
 
+use mpcn::agreement::fixtures::{check_agreement, fig1_bodies};
 use mpcn::agreement::safe::SafeAgreement;
 use mpcn::core::equivalence::{boundary, check_simulation};
 use mpcn::core::simulator::SimRun;
 use mpcn::model::ModelParams;
-use mpcn::runtime::model_world::{Body, ModelWorld, RunConfig};
+use mpcn::runtime::model_world::{Body, ModelWorld, RunConfig, RunReport};
 use mpcn::runtime::{Crashes, Env, Schedule};
 use mpcn::tasks::algorithms;
+use mpcn::{ExploreLimits, Explorer};
 
 fn main() {
     exhibit_1_min_index_tiebreak();
     exhibit_2_blocked_safe_agreement();
     exhibit_3_staggered_stall();
     exhibit_4_multiplicative_rescue();
+    exhibit_5_crash_count_search();
 }
 
 /// Exhibit 1 — Figure 1's min-index rule: a scripted interleaving where
@@ -101,4 +104,43 @@ fn exhibit_4_multiplicative_rescue() {
         alive.report.decided_values()
     );
     assert!(dead.report.timed_out && alive.holds());
+}
+
+/// Exhibit 5 — the symmetric crash-count adversary: exhibit 2 needed a
+/// hand-placed surgical crash; `Crashes::UpTo(1)` hands the explorer the
+/// paper's whole "at most one faulty process" quantifier instead — every
+/// placement of one crash becomes an explicit schedule branch. One sweep
+/// proves *safety* survives every such placement (agreement and validity
+/// hold in all runs), and a second sweep with a liveness probe
+/// rediscovers exhibit 2's blocking pattern on its own: a crash after
+/// which the survivor exhausts every poll undecided (the bounded bodies
+/// encode "no decision yet" as the value 0).
+fn exhibit_5_crash_count_search() {
+    println!("Exhibit 5: Crashes::UpTo(1) rediscovers the surgical crash");
+    let limits = ExploreLimits { max_expansions: 200_000, max_steps: 1_000, ..Default::default() };
+    let safe = Explorer::new(2)
+        .crashes(Crashes::UpTo(1))
+        .limits(limits)
+        .run(|| fig1_bodies(2, 2), |r| check_agreement(r, 2, false));
+    safe.assert_no_violation();
+    assert!(safe.complete, "every placement of one crash must be exhausted");
+    println!("  safety under every 1-crash placement: {}", safe.stats.summary());
+
+    let blocked = |r: &RunReport| {
+        if !r.crashed_pids().is_empty() && r.decided_values().contains(&0) {
+            Err(format!(
+                "crashed = {:?}; a survivor exhausted its polls undecided",
+                r.crashed_pids()
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    let swept = Explorer::new(2)
+        .crashes(Crashes::UpTo(1))
+        .limits(limits)
+        .run(|| fig1_bodies(2, 2), blocked);
+    let v = swept.violation().expect("the crash-count sweep must find exhibit 2's placement");
+    println!("  liveness probe found: {}\n", v.message);
+    assert!(swept.stats.crash_branches > 0, "the crash band must have branched");
 }
