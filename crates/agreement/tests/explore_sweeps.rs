@@ -28,7 +28,16 @@
 //!   `fig1 n = 5, f = 1` and `n = 4, f = 2` under `Crashes::UpTo(f)` —
 //!   every crash placement explored as explicit frontier branches,
 //!   exhausted with every reduction live, the pid-symmetry quotient
-//!   included, exact state counts pinned.
+//!   included, exact state counts pinned;
+//! * weak-memory sweeps (`Explorer::tso`, x86-TSO store buffers):
+//!   Figure 1 at `n = 3, 4` — where unfenced safe agreement **breaks**
+//!   (every process's propose parks in its own store buffer, its scan
+//!   forwards only its own write, and all `n` decide their own
+//!   proposals); the exact counterexample choice vectors and the
+//!   sweep lines up to their discovery are pinned and replayed through
+//!   the gated engine — plus Figure 5 at `n = 3, 4` and Figure 6 at
+//!   `n = 3`, which stay correct under TSO (their test&set / x-consensus
+//!   steps fence), exhausted and pinned.
 //!
 //! The deterministic state-count lines these sweeps produce are also
 //! printed by `crates/bench/benches/explore_sweep.rs` and diffed by the
@@ -40,7 +49,9 @@
 use mpcn_agreement::fixtures::{
     check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies, FIG1_SYMMETRY,
 };
-use mpcn_runtime::explore::{explore, threads_from_env, ExploreLimits, Explorer, Reduction};
+use mpcn_runtime::explore::{
+    explore, replay_tso, threads_from_env, ExploreLimits, Explorer, Reduction,
+};
 use mpcn_runtime::model_world::RunReport;
 use mpcn_runtime::sched::Crashes;
 
@@ -569,6 +580,144 @@ fn fig1_n4_f2_fault_tolerance_exhaustive_baseline() {
         "runs=220 expansions=2671 visited=1741 pruned=930 sleep=202 dpor=2532 qhits=813 \
          symm=835 crashes=1065 max_depth=16 depth_limited=0 branching=[0,547,594,310,71]",
         "fig1 n = 4 f = 2 fault-tolerance baseline drifted"
+    );
+}
+
+/// The weak-memory counterexample: under x86-TSO store buffers
+/// ([`Explorer::tso`]) the **unfenced** Figure 1 safe agreement is no
+/// longer safe. Every propose write parks in its issuer's store buffer;
+/// the propose scan forwards the issuer's own buffered write but sees
+/// nobody else's, so along the schedule that defers every flush each
+/// process observes itself as the only stable proposal and decides its
+/// own value — all three decide differently. The sweep line up to the
+/// discovery, the exact counterexample choice vector (pure op-band:
+/// every store still parked when the deciding scans run), and its
+/// gated-engine replay are all pinned. The summary carries no `symm=`
+/// field even though a spec is supplied: the quotient is gated off
+/// under TSO (buffered keys are not relabeled — `docs/EXPLORER.md`
+/// §3.8).
+#[test]
+fn fig1_n3_tso_agreement_counterexample_pinned_and_replayed() {
+    let out = Explorer::new(3)
+        .threads(threads_from_env(2))
+        .symmetry(FIG1_SYMMETRY)
+        .tso(true)
+        .limits(ExploreLimits {
+            max_expansions: 10_000_000,
+            max_steps: 2_000,
+            ..Default::default()
+        })
+        .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, true));
+    assert!(!out.complete, "a found counterexample ends the sweep early");
+    let v = out.violation().expect("TSO must break unfenced safe agreement at n = 3");
+    assert_eq!(v.message, "agreement violated: [100, 101, 102]");
+    assert_eq!(v.choices, [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2, 2]);
+    assert_eq!(
+        out.stats.summary(),
+        "runs=1 expansions=12637 visited=5997 pruned=6393 sleep=473 dpor=4237 qhits=5799 \
+         symm=off flushes=5149 max_depth=18 depth_limited=0 \
+         branching=[0,659,1633,1955,1257,429,64]",
+        "fig1 n = 3 TSO counterexample baseline drifted"
+    );
+    // Gated replay: the relaxed outcome reproduces — every process
+    // decides its own proposal (encoded `v + 1`).
+    let replayed = replay_tso(3, Crashes::None, 2_000, || fig1_bodies(3, 1), &v.choices);
+    assert_eq!(replayed.decided_values(), vec![101, 102, 103]);
+    assert!(check_agreement(&replayed, 3, true).is_err(), "replay must reproduce the violation");
+}
+
+/// The `n = 4` weak-memory counterexample: same failure mode, one
+/// scale step up — the relaxed outcome survives half a million
+/// expansions of reduced search before being reached, which pins the
+/// SC-vs-TSO blowup (906 expansions exhaust the SC tree with symmetry;
+/// 10 212 without) recorded in EXPERIMENTS.md.
+#[test]
+fn fig1_n4_tso_agreement_counterexample_pinned_and_replayed() {
+    let out = Explorer::new(4)
+        .threads(threads_from_env(2))
+        .symmetry(FIG1_SYMMETRY)
+        .tso(true)
+        .limits(ExploreLimits {
+            max_expansions: 60_000_000,
+            max_steps: 2_000,
+            ..Default::default()
+        })
+        .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, true));
+    let v = out.violation().expect("TSO must break unfenced safe agreement at n = 4");
+    assert_eq!(v.message, "agreement violated: [100, 101, 102, 103]");
+    assert_eq!(v.choices, [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3]);
+    assert_eq!(
+        out.stats.summary(),
+        "runs=1 expansions=515323 visited=203841 pruned=308832 sleep=17383 dpor=225681 \
+         qhits=299475 symm=off flushes=214196 max_depth=24 depth_limited=0 \
+         branching=[0,7808,28061,53743,58861,37884,14280,2948,256]",
+        "fig1 n = 4 TSO counterexample baseline drifted"
+    );
+    let replayed = replay_tso(4, Crashes::None, 2_000, || fig1_bodies(4, 1), &v.choices);
+    assert_eq!(replayed.decided_values(), vec![101, 102, 103, 104]);
+    assert!(check_agreement(&replayed, 4, true).is_err(), "replay must reproduce the violation");
+}
+
+/// Figure 5 under TSO: `x_compete` performs only fencing operations
+/// (test&set and x-consensus — each drains its issuer's buffer), so
+/// store buffers never hold a write, the flush band never opens
+/// (`flushes=0`), and the object stays correct — exhausted at
+/// `n = 3, 4` with the exact lines pinned.
+#[test]
+fn fig5_tso_sweeps_stay_correct_n3_and_n4() {
+    let expected = [
+        (
+            3usize,
+            "runs=3 expansions=33 visited=21 pruned=12 sleep=0 dpor=0 qhits=12 flushes=0 \
+             max_depth=5 depth_limited=0 branching=[0,6,12,1]",
+        ),
+        (
+            4,
+            "runs=6 expansions=172 visited=86 pruned=86 sleep=0 dpor=0 qhits=86 flushes=0 \
+             max_depth=7 depth_limited=0 branching=[0,24,24,32,1]",
+        ),
+    ];
+    for (n, line) in expected {
+        let out = Explorer::new(n)
+            .threads(threads_from_env(2))
+            .tso(true)
+            .limits(ExploreLimits {
+                max_expansions: 10_000_000,
+                max_steps: 1_000,
+                ..Default::default()
+            })
+            .run(move || fig5_bodies(n, 2), move |r| check_winners(r, n, 2));
+        out.assert_no_violation();
+        assert!(out.complete, "fig5 n = {n} must exhaust under TSO ({} runs)", out.runs());
+        assert_eq!(out.stats.flush_branches, 0, "x_compete must never buffer a store");
+        assert_eq!(out.stats.summary(), line, "fig5 n = {n} TSO baseline drifted");
+    }
+}
+
+/// Figure 6 under TSO: x-safe agreement *does* buffer plain register
+/// writes (the flush band branches 1 209 times), yet stays correct —
+/// its decisions flow through x-consensus objects, whose fencing steps
+/// order the buffered state before any decision is read. Exhausted at
+/// `n = 3` with the exact line pinned.
+#[test]
+fn fig6_n3_tso_sweep_stays_correct() {
+    let out = Explorer::new(3)
+        .threads(threads_from_env(2))
+        .tso(true)
+        .limits(ExploreLimits {
+            max_expansions: 10_000_000,
+            max_steps: 2_000,
+            ..Default::default()
+        })
+        .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, false));
+    out.assert_no_violation();
+    assert!(out.complete, "fig6 n = 3 must exhaust under TSO ({} runs)", out.runs());
+    assert!(out.stats.flush_branches > 0, "fig6 bodies must exercise the flush band");
+    assert_eq!(
+        out.stats.summary(),
+        "runs=11 expansions=5523 visited=2118 pruned=3405 sleep=181 dpor=0 qhits=2480 \
+         flushes=1209 max_depth=16 depth_limited=0 branching=[0,193,636,913,330,36]",
+        "fig6 n = 3 TSO baseline drifted"
     );
 }
 

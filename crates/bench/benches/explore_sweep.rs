@@ -12,9 +12,11 @@
 //!   under `MPCN_EXPLORE_DPOR=0` (the pre-DPOR reduction set),
 //!   `MPCN_EXPLORE_VIEWSUM=0` (summaries off), and
 //!   `MPCN_EXPLORE_SYMM=0` (the pid-symmetry quotient off — the PR 5/6
-//!   baseline lines byte for byte), and `MPCN_EXPLORE_CRASHCOUNT=0`
+//!   baseline lines byte for byte), `MPCN_EXPLORE_CRASHCOUNT=0`
 //!   (the fault-tolerance sweeps dropped from the catalogue — the
-//!   crash-free line set reproduced exactly) and assert the *verdict*
+//!   crash-free line set reproduced exactly), and `MPCN_EXPLORE_TSO=0`
+//!   (the weak-memory sweeps dropped — the sequentially consistent
+//!   line set reproduced byte for byte) and assert the *verdict*
 //!   fields (`complete=…/violations=…`) of every common label match —
 //!   state counts legitimately differ between reduction sets. The storage
 //!   gate re-runs the catalogue under `MPCN_EXPLORE_SPILL=1` (every
@@ -53,15 +55,21 @@
 //! The fault-tolerance sweeps (`fig1 n=5 f=1` / `n=4 f=2` under
 //! `Crashes::UpTo(f)`) require both and additionally honour
 //! `MPCN_EXPLORE_CRASHCOUNT=0`, under which the catalogue reproduces
-//! the crash-free line set byte for byte.
+//! the crash-free line set byte for byte. The weak-memory sweeps
+//! (`Explorer::tso` — x86-TSO store buffers) likewise require both and
+//! honour `MPCN_EXPLORE_TSO=0`; the `fig1 n=3 tso` sweep is an
+//! **expected counterexample** (unfenced safe agreement is not safe
+//! under TSO — `explore_sweeps.rs` pins the exact choice vector), so
+//! its line deterministically reports `violations=1` and the bench
+//! asserts the violation *is* found rather than absent.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpcn_agreement::fixtures::{
     check_agreement, check_winners, fig1_bodies, fig5_bodies, fig6_bodies, FIG1_SYMMETRY,
 };
 use mpcn_runtime::explore::{
-    crashcount_from_env, reduction_from_env, spill_from_env, threads_from_env, ExploreLimits,
-    ExploreReport, Explorer, Reduction,
+    crashcount_from_env, reduction_from_env, spill_from_env, threads_from_env, tso_from_env,
+    ExploreLimits, ExploreReport, Explorer, Reduction,
 };
 use mpcn_runtime::sched::Crashes;
 use std::hint::black_box;
@@ -94,12 +102,30 @@ struct Sweep {
     label: &'static str,
     report: ExploreReport,
     wall_ms: u128,
+    /// `true` for sweeps whose catalogued point *is* a counterexample
+    /// (the unfenced fig1 object under TSO): the bench asserts the
+    /// violation is found, where every other sweep asserts its absence.
+    expect_violation: bool,
 }
 
 fn run_timed(sweeps: &mut Vec<Sweep>, label: &'static str, f: impl FnOnce() -> ExploreReport) {
     let t0 = std::time::Instant::now();
     let report = f();
-    sweeps.push(Sweep { label, report, wall_ms: t0.elapsed().as_millis() });
+    sweeps.push(Sweep {
+        label,
+        report,
+        wall_ms: t0.elapsed().as_millis(),
+        expect_violation: false,
+    });
+}
+
+fn run_timed_counterexample(
+    sweeps: &mut Vec<Sweep>,
+    label: &'static str,
+    f: impl FnOnce() -> ExploreReport,
+) {
+    run_timed(sweeps, label, f);
+    sweeps.last_mut().expect("just pushed").expect_violation = true;
 }
 
 /// The catalogued sweeps under `reduction`. Every report's summary line
@@ -283,6 +309,56 @@ fn catalogue(threads: usize, reduction: Reduction) -> Vec<Sweep> {
             .run(|| fig1_bodies(4, 1), |r| check_agreement(r, 4, false))
         });
     }
+    if reduction.dpor && reduction.view_summaries && tso_from_env() {
+        // The weak-memory sweeps (ISSUE "TSO exploration mode"):
+        // `Explorer::tso` adds per-process FIFO store buffers, with
+        // every flush an explicit frontier branch. Catalogued only
+        // under DPOR + view summaries (the flush-branched trees are
+        // unaffordable unreduced per CI gate run) and only while
+        // `MPCN_EXPLORE_TSO` is not `0`, so the knob-off catalogue
+        // reproduces the sequentially consistent line set byte for
+        // byte. `explore_sweeps.rs` pins the corresponding exact
+        // lines; the fig1 sweep is the pinned agreement
+        // *counterexample* (its line deterministically ends
+        // `complete=false violations=1`).
+        run_timed_counterexample(&mut sweeps, "fig1 n=3 tso pruned", || {
+            maybe_spill(
+                Explorer::new(3)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .symmetry(FIG1_SYMMETRY)
+                    .tso(true)
+                    .limits(limits(10_000_000, usize::MAX)),
+                &spill,
+                "fig1 n=3 tso pruned",
+            )
+            .run(|| fig1_bodies(3, 1), |r| check_agreement(r, 3, false))
+        });
+        run_timed(&mut sweeps, "fig5 n=4 x=2 tso pruned", || {
+            maybe_spill(
+                Explorer::new(4)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .tso(true)
+                    .limits(limits(500_000, usize::MAX)),
+                &spill,
+                "fig5 n=4 x=2 tso pruned",
+            )
+            .run(|| fig5_bodies(4, 2), |r| check_winners(r, 4, 2))
+        });
+        run_timed(&mut sweeps, "fig6 n=3 x=2 tso pruned", || {
+            maybe_spill(
+                Explorer::new(3)
+                    .threads(threads)
+                    .reduction(reduction)
+                    .tso(true)
+                    .limits(limits(10_000_000, usize::MAX)),
+                &spill,
+                "fig6 n=3 x=2 tso pruned",
+            )
+            .run(|| fig6_bodies(3, 2, 1), |r| check_agreement(r, 3, false))
+        });
+    }
     if let Some(base) = &spill {
         let _ = std::fs::remove_dir_all(base);
     }
@@ -297,7 +373,7 @@ fn json_line(sweep: &Sweep) -> String {
     format!(
         "{{\"label\":\"{}\",\"runs\":{},\"expansions\":{},\"visited\":{},\"pruned\":{},\
          \"sleep\":{},\"dpor\":{},\"qhits\":{},\"symm_enabled\":{},\"symm\":{},\
-         \"crashcount_enabled\":{},\"crashes\":{},\
+         \"crashcount_enabled\":{},\"crashes\":{},\"tso_enabled\":{},\"flushes\":{},\
          \"max_depth\":{},\"depth_limited\":{},\"complete\":{},\"violations\":{},\
          \"wall_ms\":{}}}",
         sweep.label,
@@ -312,6 +388,8 @@ fn json_line(sweep: &Sweep) -> String {
         s.symm_hits,
         s.crashcount_enabled,
         s.crash_branches,
+        s.tso_enabled,
+        s.flush_branches,
         s.max_depth,
         s.depth_limited_runs,
         sweep.report.complete,
@@ -328,7 +406,15 @@ fn sweeps(c: &mut Criterion) {
             .unwrap_or_else(|e| panic!("MPCN_BENCH_JSON: cannot create {p:?}: {e}"))
     });
     for sweep in catalogue(threads, reduction) {
-        sweep.report.assert_no_violation();
+        if sweep.expect_violation {
+            assert!(
+                !sweep.report.violations.is_empty(),
+                "{}: the pinned weak-memory counterexample must be found",
+                sweep.label
+            );
+        } else {
+            sweep.report.assert_no_violation();
+        }
         eprintln!("{}", sweep.report.summary_line(sweep.label));
         if let Some(f) = &mut json {
             writeln!(f, "{}", json_line(&sweep)).expect("MPCN_BENCH_JSON: write failed");

@@ -150,28 +150,55 @@ impl VisitedShards {
 }
 
 /// The scheduling decision that created a node, as an *action*: the
-/// dependency footprint of the completed operation, or a crash delivery.
+/// dependency footprint of the completed operation, a crash delivery, or
+/// — under TSO — a store-buffer flush (the footprint is the flushed
+/// head entry's memory write).
 #[derive(Clone, Copy)]
 pub(super) enum Action {
     Op(Footprint),
     Crash,
+    Flush(Footprint),
 }
 
 impl Action {
     /// Whether two actions, performed adjacently by two different
     /// processes, commute (either order reaches the same global state).
     /// Crash deliveries commute with everything: they only flip the
-    /// victim's liveness flags, which no operation reads, and they leave
-    /// every other process's enabledness and own-step clock untouched.
+    /// victim's liveness flags, which no operation reads, no flush
+    /// consults, and they leave every other process's enabledness,
+    /// own-step clock, and store buffer untouched. A flush is a memory
+    /// write by the buffer's owner, so flush/flush and flush/op
+    /// commutation is exactly footprint independence — sound under TSO
+    /// because a *different* process's op never reads or appends to the
+    /// flushing buffer (ops enqueue to and forward from their own
+    /// buffer only), and the drain-everything ops (`tas`,
+    /// `xcons_propose`, `fence`) are excluded upstream by
+    /// [`Footprint::fences`] before this is consulted.
     fn commutes(&self, other: &Action) -> bool {
         match (self, other) {
             (Action::Crash, _) | (_, Action::Crash) => true,
-            (Action::Op(f), Action::Op(g)) => f.commutes(g),
+            (Action::Op(f) | Action::Flush(f), Action::Op(g) | Action::Flush(g)) => f.commutes(g),
         }
     }
 
     fn is_pure_read(&self) -> bool {
         matches!(self, Action::Op(f) if f.pure_read)
+    }
+
+    /// The action's memory footprint, for the TSO fence rule: `None`
+    /// for crashes (which touch no memory).
+    fn footprint(&self) -> Option<&Footprint> {
+        match self {
+            Action::Op(f) | Action::Flush(f) => Some(f),
+            Action::Crash => None,
+        }
+    }
+
+    /// Whether the action consumes one global step (ops and flushes do;
+    /// crash deliveries do not) — what the mixed-transposition timeout
+    /// guard in [`Engine::skip_kind`] needs to know.
+    fn consumes_step(&self) -> bool {
+        !matches!(self, Action::Crash)
     }
 }
 
@@ -192,6 +219,10 @@ pub(super) enum Store {
     Evicted {
         /// Pending footprint per pid (what [`Engine::skip_kind`] reads).
         pending: Vec<Option<Footprint>>,
+        /// Store-buffer head (next-to-flush) footprint per pid — `None`
+        /// for empty buffers and everywhere under SC (what the
+        /// flush-band arm of [`Engine::skip_kind`] reads).
+        flush_heads: Vec<Option<Footprint>>,
         /// Per-process own-step clocks (what the crash plan reads).
         own_steps: Vec<u64>,
         /// Completed steps along the path (what the timeout guard of
@@ -248,6 +279,13 @@ impl Node {
         }
     }
 
+    fn flush_head(&self, pid: Pid) -> Option<Footprint> {
+        match &self.store {
+            Store::Resident(snap) => snap.flush_footprint(pid),
+            Store::Evicted { flush_heads, .. } => flush_heads[pid],
+        }
+    }
+
     fn own_steps(&self, pid: Pid) -> u64 {
         match &self.store {
             Store::Resident(snap) => snap.own_steps(pid),
@@ -266,7 +304,9 @@ impl Node {
 pub(super) enum Job {
     /// Execute one scheduling decision at `node`: pick `alive[choice]`,
     /// or — for a crash-band choice `alive.len() + i` under
-    /// [`Crashes::UpTo`] — deliver a crash to `alive[i]`.
+    /// [`Crashes::UpTo`] — deliver a crash to `alive[i]`, or — for a
+    /// TSO flush-band choice `2 * alive.len() + pid` — flush the head
+    /// of raw process `pid`'s store buffer.
     Expand { node: Arc<Node>, choice: usize },
     /// Resume `node` to completion along the canonical choice-0 suffix
     /// (sibling enumeration was cut by the depth bound).
@@ -297,6 +337,9 @@ struct Expanded {
     /// under [`Crashes::UpTo`], or a firing [`Crashes::AtOwnStep`]
     /// plan) — feeds the `crashes=` counter.
     crashed: bool,
+    /// The executed decision flushed a store-buffer head (a TSO
+    /// flush-band branch) — feeds the `flushes=` counter.
+    flushed: bool,
     /// Choice-path suffix length a rehydration replayed (0 if the parent
     /// was resident) — feeds `max_rehydration_replay`.
     rehydration_replay: u64,
@@ -336,6 +379,9 @@ struct Shared<'a, F> {
     /// the adversary is pid-blind — [`Crashes::None`] or
     /// [`Crashes::UpTo`]; see [`Engine::with_store`]).
     symmetry: Option<Symmetry>,
+    /// Explore under the TSO memory model (fixed at the root snapshot;
+    /// kept here for rehydration roots).
+    tso: bool,
     max_steps: u64,
 }
 
@@ -421,9 +467,18 @@ where
         // which the erasure sort key already carries), so relabeling
         // pids maps every explored schedule to an explored schedule
         // with the same budget consumption (docs/EXPLORER.md §3.7).
-        // And, of course, a declared spec.
+        // And, of course, a declared spec. TSO gates the quotient off
+        // wholesale: the symmetric fingerprint canonicalizes per-process
+        // words by erasure sort, and a store buffer's *contents* (keys
+        // whose `ObjKey::a` may encode concrete pids) are folded into
+        // those words — a permutation of pids does not permute the
+        // buffered keys, so the canonical form is not an automorphism
+        // witness under TSO. The summary line says `symm=off` (via
+        // `symm_requested` below) instead of silently dropping the
+        // field.
         let symmetry = if ex.reduction.prune_visited
             && ex.reduction.symmetry
+            && !ex.tso
             && matches!(ex.crashes, Crashes::None | Crashes::UpTo(_))
         {
             ex.symmetry
@@ -438,6 +493,7 @@ where
         stats.symm_requested =
             ex.reduction.prune_visited && ex.reduction.symmetry && ex.symmetry.is_some();
         stats.crashcount_enabled = matches!(ex.crashes, Crashes::UpTo(_));
+        stats.tso_enabled = ex.tso;
         Engine {
             ex,
             make_bodies,
@@ -464,8 +520,13 @@ where
     }
 
     pub(super) fn run(mut self) -> ExploreReport {
-        let snap =
-            ModelWorld::snapshot_root(self.ex.n, self.prune, self.viewsum, (self.make_bodies)());
+        let snap = ModelWorld::snapshot_root_tso(
+            self.ex.n,
+            self.prune,
+            self.viewsum,
+            self.ex.tso,
+            (self.make_bodies)(),
+        );
         let root = Node {
             alive: snap.alive(),
             store: Store::Resident(Arc::new(snap)),
@@ -575,7 +636,13 @@ where
             unreachable!("children are admitted resident");
         };
         let depth = node.path.len();
-        if node.alive.is_empty() {
+        // Under TSO a state with everyone finished/crashed but writes
+        // still parked in store buffers is *not* terminal: the pending
+        // flushes are hardware actions that still mutate shared memory
+        // (and future readers), so such nodes branch on flushes below.
+        // Under SC every buffer is empty and this is the classic check.
+        let flushable = snap.flushable();
+        if node.alive.is_empty() && flushable.is_empty() {
             let report = snap.report(false);
             self.finish_run(report, node.path, depth);
             return;
@@ -604,16 +671,32 @@ where
             }
             return;
         }
-        self.stats.branching_histogram[node.alive.len()] += 1;
+        // The branch degree counts every schedulable action: alive
+        // processes plus — under TSO — pending flushes. Flushes can push
+        // the degree past `n` (up to `2n`), so the histogram grows on
+        // demand; SC sweeps never index past the preallocated `n + 1`
+        // slots and their summary lines are untouched.
+        let degree = node.alive.len() + flushable.len();
+        if degree >= self.stats.branching_histogram.len() {
+            self.stats.branching_histogram.resize(degree + 1, 0);
+        }
+        self.stats.branching_histogram[degree] += 1;
         let node = Arc::new(node);
         // Op expansions (`choice < alive.len()`), then — while the
         // crash-count adversary's budget lasts — one crash sibling per
         // alive process in the crash index band (`alive.len() + i`
         // delivers a crash to `alive[i]`; other adversaries never have
-        // budget, so the band stays empty for them).
-        let choices =
-            if node.crash.budget_left() { 0..2 * node.alive.len() } else { 0..node.alive.len() };
-        for choice in choices {
+        // budget, so the band stays empty for them), then one flush
+        // sibling per non-empty store buffer in the TSO flush band
+        // (`2 * alive.len() + pid` flushes raw process `pid`'s head —
+        // raw pids, because buffers outlive their owner's finish or
+        // crash and the owner may have left the alive set). The band
+        // offsets match `ScheduleState::pick_tso` exactly, so
+        // counterexample vectors replay their flush placements through
+        // the gated engine verbatim.
+        let a = node.alive.len();
+        let choices = if node.crash.budget_left() { 0..2 * a } else { 0..a };
+        for choice in choices.chain(flushable.iter().map(|&p| 2 * a + p)) {
             match self.skip_kind(&node, choice) {
                 Some(SkipKind::Sleep) => {
                     self.stats.sleep_skips += 1;
@@ -656,9 +739,10 @@ where
         };
         self.stats.evicted += 1;
         let pending = (0..self.ex.n).map(|p| snap.pending_footprint(p)).collect();
+        let flush_heads = (0..self.ex.n).map(|p| snap.flush_footprint(p)).collect();
         let own_steps = (0..self.ex.n).map(|p| snap.own_steps(p)).collect();
         let steps = snap.steps();
-        Node { store: Store::Evicted { pending, own_steps, steps }, ..node }
+        Node { store: Store::Evicted { pending, flush_heads, own_steps, steps }, ..node }
     }
 
     /// Accounts one unit of expansion work against the budget; on
@@ -690,7 +774,16 @@ where
             return None;
         }
         let (q, act_q) = node.incoming.as_ref()?;
-        let (p, act_p) = if let Some(i) = choice.checked_sub(node.alive.len()) {
+        let a = node.alive.len();
+        let (p, act_p) = if let Some(pid) = choice.checked_sub(2 * a) {
+            // A TSO flush-band sibling: the action is the buffered
+            // head's memory write, attributed to the buffer's owner
+            // (raw pid). Always available at the parent too: no other
+            // process's action touches `pid`'s buffer (only `pid`'s own
+            // ops enqueue to it, and same-pid pairs never skip), so the
+            // covering transposed path flushes the identical entry.
+            (pid, Action::Flush(node.flush_head(pid)?))
+        } else if let Some(i) = choice.checked_sub(a) {
             // A crash-band sibling ([`Crashes::UpTo`] budget branch):
             // the action is the crash delivery itself. Transposing it
             // before `q`'s incoming action is always budget-sound: ops
@@ -711,16 +804,29 @@ where
         if p >= *q {
             return None;
         }
-        // A crash delivery consumes no step but an operation does, so
-        // transposing an op past an incoming crash is only valid when the
-        // covering path — the op *first*, then the crash — is not cut by
-        // the step budget in between: if the op lands exactly on
-        // `max_steps`, the covering run times out before the crash is
-        // delivered and reports the victim undecided instead of crashed.
-        // (Op-op transpositions are symmetric in steps, and crash-crash
-        // consumes none, so only this mixed case needs the guard.)
+        // The TSO fence rule: an operation that drains the caller's
+        // store buffer (`tas`, `xcons_propose`, `fence`) may write
+        // several objects beyond its single-key footprint, so under TSO
+        // it conflicts with every adjacent action — never skip around
+        // it. SC is untouched (buffers are empty, the drain is a
+        // no-op, and the single-key footprint is exact).
+        if self.ex.tso
+            && [&act_p, act_q].iter().any(|act| act.footprint().is_some_and(Footprint::fences))
+        {
+            return None;
+        }
+        // A crash delivery consumes no step but an operation (or a
+        // flush) does, so transposing a step-consuming action past an
+        // incoming crash is only valid when the covering path — the
+        // step *first*, then the crash — is not cut by the step budget
+        // in between: if the step lands exactly on `max_steps`, the
+        // covering run times out before the crash is delivered and
+        // reports the victim undecided instead of crashed. (Op-op,
+        // op-flush, and flush-flush transpositions are symmetric in
+        // steps, and crash-crash consumes none, so only this mixed
+        // case needs the guard.)
         if matches!(act_q, Action::Crash)
-            && matches!(act_p, Action::Op(_))
+            && act_p.consumes_step()
             && node.steps() + 1 >= self.ex.limits.max_steps
         {
             return None;
@@ -762,6 +868,7 @@ where
             quotient: self.quotient,
             viewsum: self.viewsum,
             symmetry: self.symmetry,
+            tso: self.ex.tso,
             max_steps: self.ex.limits.max_steps,
         };
         let workers = self.threads.min(jobs.len());
@@ -812,6 +919,9 @@ where
                     if child.crashed {
                         self.stats.crash_branches += 1;
                     }
+                    if child.flushed {
+                        self.stats.flush_branches += 1;
+                    }
                     if self.prune && (child.pre_pruned || !self.visited.insert(child.fp)) {
                         self.stats.states_pruned += 1;
                         if child.coarsened {
@@ -858,7 +968,8 @@ where
             self.ex.crashes.clone(),
             self.ex.limits.max_steps,
             choices,
-        );
+        )
+        .tso(self.ex.tso);
         let replayed = ModelWorld::run(cfg, (self.make_bodies)());
         assert_eq!(
             replayed.outcomes, report.outcomes,
@@ -903,27 +1014,32 @@ fn step_snapshot<F: Fn() -> Vec<Body>>(
 
 /// Executes one choice-vector entry from `snap`: a pick in the op band
 /// (`choice < alive.len()`) is a [`step_snapshot`] scheduling decision,
-/// and a pick in the crash index band (`alive.len() + i`) delivers one
+/// a pick in the crash index band (`alive.len() + i`) delivers one
 /// of the crash-count adversary's budgeted crashes to `alive[i]` —
-/// consuming no step, exactly as the gated engine decodes the same
-/// vector through `Schedule::Indexed`. Returns the successor, the
-/// chosen pid, and whether a crash was delivered.
+/// consuming no step — and a pick in the TSO flush band
+/// (`2 * alive.len() + pid`, raw pids) flushes the head of `pid`'s
+/// store buffer, consuming one step but no adversary decision — each
+/// exactly as the gated engine decodes the same vector through
+/// `Schedule::Indexed`. Returns the successor, the chosen pid, and
+/// whether the pick delivered a crash / flushed a buffer.
 fn apply_choice<F: Fn() -> Vec<Body>>(
     shared: &Shared<'_, F>,
     snap: &Snapshot,
     alive: &[Pid],
     crash: &mut CrashState,
     choice: usize,
-) -> (Snapshot, Pid, bool) {
-    if let Some(i) = choice.checked_sub(alive.len()) {
+) -> (Snapshot, Pid, bool, bool) {
+    if let Some(pid) = choice.checked_sub(2 * alive.len()) {
+        (ModelWorld::resume_flush(snap, pid), pid, false, true)
+    } else if let Some(i) = choice.checked_sub(alive.len()) {
         let pid = alive[i];
         let fired = crash.force_crash();
         debug_assert!(fired, "crash-band choices are queued only while budget remains");
-        (ModelWorld::resume_crash(snap, pid), pid, true)
+        (ModelWorld::resume_crash(snap, pid), pid, true, false)
     } else {
         let pid = alive[choice];
         let (next, crashed) = step_snapshot(shared, snap, crash, pid);
-        (next, pid, crashed)
+        (next, pid, crashed, false)
     }
 }
 
@@ -955,10 +1071,11 @@ fn rehydrate<F: Fn() -> Vec<Body>>(
             (base, anchor.crash.clone(), anchor.depth)
         }
         None => (
-            ModelWorld::snapshot_root(
+            ModelWorld::snapshot_root_tso(
                 shared.n,
                 shared.prune,
                 shared.viewsum,
+                shared.tso,
                 (shared.make_bodies)(),
             ),
             CrashState::new(shared.crashes.clone()),
@@ -968,7 +1085,7 @@ fn rehydrate<F: Fn() -> Vec<Body>>(
     let suffix = &node.path[from..];
     for &choice in suffix {
         let alive = snap.alive();
-        let (next, _, _) = apply_choice(shared, &snap, &alive, &mut crash, choice);
+        let (next, _, _, _) = apply_choice(shared, &snap, &alive, &mut crash, choice);
         snap = next;
     }
     (snap, suffix.len() as u64)
@@ -1001,7 +1118,13 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
     let mut rehydration_replay = 0;
     let mut store_reads = 0;
     let parent = snapshot_of(shared, node, &mut rebuilt, &mut rehydration_replay, &mut store_reads);
-    let (snap, pid, crashed_now) = apply_choice(shared, parent, &node.alive, &mut crash, choice);
+    // The flushed head's footprint must be read from the *parent* (the
+    // child's buffer no longer holds it).
+    let flushed_head = choice.checked_sub(2 * node.alive.len()).map(|pid| {
+        parent.flush_footprint(pid).expect("flush-band choices target non-empty buffers")
+    });
+    let (snap, pid, crashed_now, flushed_now) =
+        apply_choice(shared, parent, &node.alive, &mut crash, choice);
     let (fp, coarsened, symm_coarsened) = if shared.prune {
         let coarsened = shared.quotient && snap.quotient_coarsens();
         match &shared.symmetry {
@@ -1023,11 +1146,14 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
             symm_coarsened,
             pre_pruned: true,
             crashed: crashed_now,
+            flushed: flushed_now,
             rehydration_replay,
             store_reads,
         };
     }
-    let incoming = if crashed_now {
+    let incoming = if let Some(head) = flushed_head {
+        Some((pid, Action::Flush(head)))
+    } else if crashed_now {
         Some((pid, Action::Crash))
     } else {
         let executed = node.pending_footprint(pid).expect("an alive process parks at a gate");
@@ -1053,6 +1179,7 @@ fn expand<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node, choice: usi
         symm_coarsened,
         pre_pruned: false,
         crashed: crashed_now,
+        flushed: flushed_now,
         rehydration_replay,
         store_reads,
     }
@@ -1070,16 +1197,26 @@ fn run_tail<F: Fn() -> Vec<Body>>(shared: &Shared<'_, F>, node: &Node) -> TailRu
     let mut choices = node.path.clone();
     let report = loop {
         let alive = snap.alive();
-        if alive.is_empty() {
+        if alive.is_empty() && snap.is_terminal() {
             break snap.report(false);
         }
         if snap.steps() >= shared.max_steps {
             break snap.report(true);
         }
-        let pid = alive[0];
-        choices.push(0);
-        let (next, _) = step_snapshot(shared, &snap, &mut crash, pid);
-        snap = next;
+        if let Some(&pid) = alive.first() {
+            choices.push(0);
+            let (next, _) = step_snapshot(shared, &snap, &mut crash, pid);
+            snap = next;
+        } else {
+            // Everyone finished or crashed but store buffers still hold
+            // writes (TSO only): drain them in raw-pid order, recording
+            // each flush as its properly band-encoded choice
+            // (`2 * alive.len() + pid` — here `alive` is empty, so just
+            // `pid`) so the vector replays through the gated engine.
+            let pid = *snap.flushable().first().expect("non-terminal with no alive process");
+            choices.push(2 * alive.len() + pid);
+            snap = ModelWorld::resume_flush(&snap, pid);
+        }
     };
     TailRun { report, depth: choices.len(), choices, rehydration_replay, store_reads }
 }

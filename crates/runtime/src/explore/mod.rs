@@ -372,6 +372,10 @@ impl Default for Reduction {
 pub struct Explorer {
     n: usize,
     crashes: Crashes,
+    /// Explore under the x86-TSO memory model: writes park in
+    /// per-process FIFO store buffers and flushes are first-class
+    /// scheduling branches ([`Explorer::tso`]).
+    tso: bool,
     limits: ExploreLimits,
     reduction: Reduction,
     collect_all: bool,
@@ -405,6 +409,7 @@ impl Explorer {
         Explorer {
             n,
             crashes: Crashes::None,
+            tso: false,
             limits: ExploreLimits::default(),
             reduction: Reduction::default(),
             collect_all: false,
@@ -444,6 +449,33 @@ impl Explorer {
     /// policy, not an exhaustive one).
     pub fn crashes(mut self, c: Crashes) -> Self {
         self.crashes = c;
+        self
+    }
+
+    /// Explores under the **x86-TSO memory model** instead of sequential
+    /// consistency (the default): every write parks in the writer's
+    /// FIFO store buffer, reads forward from the issuing process's own
+    /// buffer, and each buffered write's flush to shared memory is a
+    /// **first-class scheduling branch** — encoded in the flush index
+    /// band `2 * alive.len() + pid` of [`crate::sched::Schedule::Indexed`],
+    /// next to the op and crash bands, so one sweep exhausts every
+    /// placement of every flush against every interleaving (and every
+    /// counterexample vector replays its flush placements through the
+    /// gated engine verbatim). `tas`, `xcons_propose`, and
+    /// [`crate::world::World::fence`] drain the caller's buffer.
+    ///
+    /// Store buffers are hardware state: they survive their owner's
+    /// crash or finish, and a run is terminal only once every buffer
+    /// has drained. The DPOR footprint rule stays live (flushes commute
+    /// by footprint independence; buffer-draining ops conflict with
+    /// everything via [`crate::model_world::Footprint`]'s fence
+    /// classification), as do the observation and view-summary
+    /// quotients — but the process-identity symmetry quotient gates
+    /// itself off (`symm=off` on the summary line): buffered keys are
+    /// not permuted by the canonical pid relabeling. SC sweeps are
+    /// byte-for-byte unaffected by this mode existing.
+    pub fn tso(mut self, yes: bool) -> Self {
+        self.tso = yes;
         self
     }
 
@@ -748,6 +780,18 @@ pub fn crashcount_from_env() -> bool {
     std::env::var("MPCN_EXPLORE_CRASHCOUNT").as_deref() != Ok("0")
 }
 
+/// Whether benches and CI should run the TSO weak-memory sweeps
+/// ([`Explorer::tso`]): `true` unless the `MPCN_EXPLORE_TSO`
+/// environment variable is `0`. With the knob off the bench catalogue
+/// prints exactly its pre-TSO lines (the weak-memory sweeps are simply
+/// absent), which is how the byte-identity of every sequentially
+/// consistent baseline is checked; the CI `TSO` verdict gate runs the
+/// catalogue in both modes and asserts every common sweep reaches the
+/// same verdict.
+pub fn tso_from_env() -> bool {
+    std::env::var("MPCN_EXPLORE_TSO").as_deref() != Ok("0")
+}
+
 /// Exhaustively explores every schedule with **no reductions** — the
 /// reference enumeration. Stops at the first violation or when
 /// `limits.max_expansions` is hit.
@@ -789,6 +833,24 @@ where
     F: Fn() -> Vec<Body>,
 {
     ModelWorld::run(RunConfig::replay(n, crashes, max_steps, choices), make_bodies())
+}
+
+/// [`replay`] under the x86-TSO memory model — the reproduction path
+/// for counterexamples found by a TSO exploration ([`Explorer::tso`]):
+/// the same [`RunConfig::replay`] constructor, with the TSO flag the
+/// explorer's internal confirmation sets, so weak-memory repro configs
+/// cannot drift from sweep configs either.
+pub fn replay_tso<F>(
+    n: usize,
+    crashes: Crashes,
+    max_steps: u64,
+    make_bodies: F,
+    choices: &[usize],
+) -> RunReport
+where
+    F: Fn() -> Vec<Body>,
+{
+    ModelWorld::run(RunConfig::replay(n, crashes, max_steps, choices).tso(true), make_bodies())
 }
 
 #[cfg(test)]
@@ -1436,18 +1498,50 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
-    /// A v2 manifest (pre-crash-count key set) must be rejected whole,
-    /// not partially decoded: it cannot describe a crash-count sweep or
-    /// the statistics a resumed summary line needs.
+    /// A TSO sweep's spill manifest round-trips the weak-memory state:
+    /// evicted nodes carry their flush-head footprints, resident
+    /// checkpoints serialize store-buffer contents through the snapshot
+    /// codec, and the manifest records the `tso` flag plus the flush
+    /// counters — so a sweep killed mid-flight resumes to the byte-
+    /// identical report of the uninterrupted run.
     #[test]
-    #[should_panic(expected = "unsupported manifest version 2")]
+    fn tso_sweep_resumes_to_identical_report() {
+        let dir = sweep_dir("tso-resume");
+        let sweep = |spill: bool| {
+            let mut ex = Explorer::new(3).tso(true).resident_ceiling(1).checkpoint_every(2);
+            if spill {
+                ex = ex.spill_to(&dir).halt_after_layers(3);
+            }
+            ex.run(spill_bodies, |_r| Ok(()))
+        };
+        let baseline = sweep(false);
+        assert!(
+            baseline.stats.summary().contains(" flushes="),
+            "a TSO sweep must report its flush-branch counter"
+        );
+        assert!(baseline.stats.flush_branches > 0, "buffered writes must branch on flushes");
+        let halted = sweep(true);
+        assert!(!halted.complete, "a halted sweep is not a proof");
+        let resumed = Explorer::resume_sweep(&dir, spill_bodies, |_r| Ok(()));
+        assert_eq!(baseline.stats.summary(), resumed.stats.summary());
+        assert_eq!(baseline.complete, resumed.complete);
+        assert_eq!(baseline.violations, resumed.violations);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A v3 manifest (pre-TSO key set) must be rejected whole, not
+    /// partially decoded: it cannot describe a TSO sweep (no `tso`
+    /// configuration key, no flush-head footprints in its node
+    /// records) or the statistics a resumed summary line needs.
+    #[test]
+    #[should_panic(expected = "unsupported manifest version 3")]
     fn resume_rejects_older_manifest_versions() {
-        let dir = sweep_dir("v2-reject");
+        let dir = sweep_dir("v3-reject");
         Explorer::new(3).spill_to(&dir).halt_after_layers(2).run(spill_bodies, |_r| Ok(()));
         let manifest = dir.join("MANIFEST");
         let text = std::fs::read_to_string(&manifest).expect("manifest exists");
-        assert!(text.contains("manifest_version=3"), "current manifests are v3");
-        std::fs::write(&manifest, text.replace("manifest_version=3", "manifest_version=2"))
+        assert!(text.contains("manifest_version=4"), "current manifests are v4");
+        std::fs::write(&manifest, text.replace("manifest_version=4", "manifest_version=3"))
             .expect("rewrite manifest");
         Explorer::resume_sweep(&dir, spill_bodies, |_r| Ok(()));
     }

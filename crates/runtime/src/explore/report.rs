@@ -79,6 +79,17 @@ pub struct ExploreStats {
     /// The adversary was [`crate::sched::Crashes::UpTo`] — controls
     /// whether [`ExploreStats::summary`] prints the `crashes=` field.
     pub crashcount_enabled: bool,
+    /// Flush-branch expansions executed under the TSO memory model:
+    /// scheduling decisions that drained one store-buffer head to
+    /// shared memory (one per explored flush-band branch). On the
+    /// summary line (as `flushes=`) only under TSO
+    /// ([`ExploreStats::tso_enabled`]), so every sequentially
+    /// consistent sweep prints its exact prior baseline line.
+    pub flush_branches: u64,
+    /// The sweep explored under the x86-TSO memory model
+    /// ([`super::Explorer::tso`]) — controls whether
+    /// [`ExploreStats::summary`] prints the `flushes=` field.
+    pub tso_enabled: bool,
     /// Frontier nodes evicted down to scheduling metadata by
     /// [`super::Explorer::resident_ceiling`] and rehydrated on demand.
     /// Deliberately **not** part of [`ExploreStats::summary`]: the
@@ -133,6 +144,8 @@ impl ExploreStats {
             symm_requested: false,
             crash_branches: 0,
             crashcount_enabled: false,
+            flush_branches: 0,
+            tso_enabled: false,
             evicted: 0,
             max_rehydration_replay: 0,
             spilled: 0,
@@ -159,7 +172,10 @@ impl ExploreStats {
     /// `MPCN_EXPLORE_SYMM=0` baseline — print byte for byte what the
     /// pre-symmetry engine printed. The `crashes=` field appears only
     /// under the crash-count adversary
-    /// ([`ExploreStats::crashcount_enabled`]).
+    /// ([`ExploreStats::crashcount_enabled`]), and the `flushes=` field
+    /// only under the TSO memory model ([`ExploreStats::tso_enabled`])
+    /// — sequentially consistent sweeps print their exact pre-TSO
+    /// lines.
     pub fn summary(&self) -> String {
         let hist =
             self.branching_histogram.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
@@ -175,9 +191,14 @@ impl ExploreStats {
         } else {
             String::new()
         };
+        let flushes = if self.tso_enabled {
+            format!(" flushes={}", self.flush_branches)
+        } else {
+            String::new()
+        };
         format!(
-            "runs={} expansions={} visited={} pruned={} sleep={} dpor={} qhits={}{symm}{crashes} \
-             max_depth={} depth_limited={} branching=[{}]",
+            "runs={} expansions={} visited={} pruned={} sleep={} dpor={} \
+             qhits={}{symm}{crashes}{flushes} max_depth={} depth_limited={} branching=[{}]",
             self.runs,
             self.expansions,
             self.states_visited,
@@ -331,6 +352,21 @@ mod tests {
             stats.summary(),
             "runs=6 expansions=14 visited=12 pruned=0 sleep=0 dpor=3 qhits=2 symm=7 crashes=5 \
              max_depth=4 depth_limited=0 branching=[0,4,8]"
+        );
+        // The flush-branch counter surfaces only under the TSO memory
+        // model, after the crashes field — a nonzero count alone stays
+        // off the line (the SC baseline byte-identity contract).
+        stats.flush_branches = 11;
+        assert_eq!(
+            stats.summary(),
+            "runs=6 expansions=14 visited=12 pruned=0 sleep=0 dpor=3 qhits=2 symm=7 crashes=5 \
+             max_depth=4 depth_limited=0 branching=[0,4,8]"
+        );
+        stats.tso_enabled = true;
+        assert_eq!(
+            stats.summary(),
+            "runs=6 expansions=14 visited=12 pruned=0 sleep=0 dpor=3 qhits=2 symm=7 crashes=5 \
+             flushes=11 max_depth=4 depth_limited=0 branching=[0,4,8]"
         );
     }
 

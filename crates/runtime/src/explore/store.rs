@@ -68,10 +68,14 @@ const STATE_MAGIC: &[u8; 4] = b"MPSW";
 /// Version of the `MANIFEST` key set. v3 added the crash-count
 /// adversary: the `up_to:<f>` crash policy encoding and the
 /// `symm_requested` / `crash_branches` / `crashcount_enabled` running
-/// statistics — a v2 manifest cannot describe a crash-count sweep (nor
-/// carry the fields a resumed summary line needs), so older manifests
-/// are rejected rather than partially decoded.
-const MANIFEST_VERSION: u64 = 3;
+/// statistics. v4 added the TSO weak-memory mode: the `tso`
+/// configuration key, the `flush_branches` / `tso_enabled` running
+/// statistics, and — in the frontier state file — per-node
+/// store-buffer flush-head footprints plus the `Flush` incoming-action
+/// tag. An older manifest cannot describe a TSO sweep (nor carry the
+/// fields a resumed summary line needs), so older manifests are
+/// rejected whole rather than partially decoded.
+const MANIFEST_VERSION: u64 = 4;
 
 /// Where a stored checkpoint snapshot lives — what [`SnapshotStore::put`]
 /// returns and a frontier anchor carries.
@@ -360,25 +364,33 @@ fn encode_node(w: &mut ByteWriter, node: &Node, n: usize) -> Result<(), CodecErr
             w.put_u8(2);
             w.put_usize(*pid);
         }
+        Some((pid, Action::Flush(f))) => {
+            w.put_u8(3);
+            w.put_usize(*pid);
+            encode_footprint(w, f);
+        }
     }
     w.put_usize(node.crash.crashes_so_far());
-    let (pending, own_steps, steps) = match &node.store {
+    let (pending, flush_heads, own_steps, steps) = match &node.store {
         Store::Resident(snap) => (
             (0..n).map(|p| snap.pending_footprint(p)).collect::<Vec<_>>(),
+            (0..n).map(|p| snap.flush_footprint(p)).collect::<Vec<_>>(),
             (0..n).map(|p| snap.own_steps(p)).collect::<Vec<_>>(),
             snap.steps(),
         ),
-        Store::Evicted { pending, own_steps, steps } => {
-            (pending.clone(), own_steps.clone(), *steps)
+        Store::Evicted { pending, flush_heads, own_steps, steps } => {
+            (pending.clone(), flush_heads.clone(), own_steps.clone(), *steps)
         }
     };
-    w.put_usize(pending.len());
-    for f in &pending {
-        match f {
-            None => w.put_u8(0),
-            Some(f) => {
-                w.put_u8(1);
-                encode_footprint(w, f);
+    for footprints in [&pending, &flush_heads] {
+        w.put_usize(footprints.len());
+        for f in footprints {
+            match f {
+                None => w.put_u8(0),
+                Some(f) => {
+                    w.put_u8(1);
+                    encode_footprint(w, f);
+                }
             }
         }
     }
@@ -419,6 +431,10 @@ fn decode_node(
             Some((pid, Action::Op(decode_footprint(r)?)))
         }
         2 => Some((r.usize()?, Action::Crash)),
+        3 => {
+            let pid = r.usize()?;
+            Some((pid, Action::Flush(decode_footprint(r)?)))
+        }
         tag => return Err(CodecError::BadTag { what: "incoming action", tag: u64::from(tag) }),
     };
     let crash = CrashState::restore(policy.clone(), r.usize()?);
@@ -427,6 +443,13 @@ fn decode_node(
             0 => Ok(None),
             1 => decode_footprint(r).map(Some),
             tag => Err(CodecError::BadTag { what: "pending footprint", tag: u64::from(tag) }),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let flush_heads = (0..r.usize()?)
+        .map(|_| match r.u8()? {
+            0 => Ok(None),
+            1 => decode_footprint(r).map(Some),
+            tag => Err(CodecError::BadTag { what: "flush-head footprint", tag: u64::from(tag) }),
         })
         .collect::<Result<Vec<_>, _>>()?;
     let own_steps = (0..r.usize()?).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?;
@@ -447,7 +470,7 @@ fn decode_node(
         tag => return Err(CodecError::BadTag { what: "anchor", tag: u64::from(tag) }),
     };
     Ok(Node {
-        store: Store::Evicted { pending, own_steps, steps },
+        store: Store::Evicted { pending, flush_heads, own_steps, steps },
         path,
         alive,
         incoming,
@@ -573,6 +596,7 @@ fn render_manifest(
     kv("resident_ceiling", (ex.resident_ceiling as u64).to_string());
     kv("checkpoint_every", (ex.checkpoint_every as u64).to_string());
     kv("crashes", encode_crashes(&ex.crashes)?);
+    kv("tso", ex.tso.to_string());
     kv("segments_len", segments_len.to_string());
     kv("visited_len", visited_len.to_string());
     kv("state_file", state_file.to_string());
@@ -590,6 +614,8 @@ fn render_manifest(
     kv("symm_requested", stats.symm_requested.to_string());
     kv("crash_branches", stats.crash_branches.to_string());
     kv("crashcount_enabled", stats.crashcount_enabled.to_string());
+    kv("flush_branches", stats.flush_branches.to_string());
+    kv("tso_enabled", stats.tso_enabled.to_string());
     kv("evicted", stats.evicted.to_string());
     kv("max_rehydration_replay", stats.max_rehydration_replay.to_string());
     kv("spilled", stats.spilled.to_string());
@@ -698,6 +724,7 @@ pub(super) fn open_sweep(dir: &Path) -> io::Result<OpenedSweep> {
     let ex = Explorer {
         n: m.usize("n")?,
         crashes: crashes.clone(),
+        tso: m.bool("tso")?,
         limits: ExploreLimits {
             max_expansions: m.u64("max_expansions")?,
             max_steps: m.u64("max_steps")?,
@@ -746,6 +773,8 @@ pub(super) fn open_sweep(dir: &Path) -> io::Result<OpenedSweep> {
         symm_requested: m.bool("symm_requested")?,
         crash_branches: m.u64("crash_branches")?,
         crashcount_enabled: m.bool("crashcount_enabled")?,
+        flush_branches: m.u64("flush_branches")?,
+        tso_enabled: m.bool("tso_enabled")?,
         evicted: m.u64("evicted")?,
         max_rehydration_replay: m.u64("max_rehydration_replay")?,
         spilled: m.u64("spilled")?,

@@ -38,14 +38,17 @@
 use std::sync::Arc;
 
 use super::snapshot::LogEntry;
-use super::{Cell, Footprint, Object, Snapshot};
+use super::{BufferedWrite, Cell, Footprint, Object, Snapshot};
 use crate::fingerprint::fp_of;
 use crate::world::{ObjKey, Stored};
 
 /// Version byte pair leading every encoded snapshot. Bump on **any**
 /// format change — the golden-bytes test in this module fails on silent
 /// drift, and the sweep manifest refuses to resume across versions.
-pub const CODEC_VERSION: u16 = 1;
+///
+/// v2: the TSO mode flag and per-process store-buffer contents
+/// ([`crate::model_world::RunConfig::tso`]) joined the format.
+pub const CODEC_VERSION: u16 = 2;
 
 /// Leading magic of an encoded snapshot record.
 const MAGIC: &[u8; 4] = b"MPSN";
@@ -539,6 +542,7 @@ impl Snapshot {
         w.put_usize(self.n);
         w.put_bool(self.track);
         w.put_bool(self.viewsum);
+        w.put_bool(self.tso);
         let mut keys: Vec<ObjKey> = self.objects.keys().copied().collect();
         keys.sort_unstable();
         w.put_usize(keys.len());
@@ -570,6 +574,15 @@ impl Snapshot {
                 }
             }
             w.put_u64(self.own_steps[p]);
+        }
+        for buf in &self.buffers {
+            w.put_usize(buf.len());
+            for bw in buf {
+                encode_key(&mut w, bw.key);
+                put_opt_u64(&mut w, bw.cell_idx.map(|i| i as u64));
+                w.put_usize(bw.len);
+                encode_stored(&mut w, bw.stored().0, "a store buffer")?;
+            }
         }
         let mut kinds: Vec<u32> = self.op_counts.keys().copied().collect();
         kinds.sort_unstable();
@@ -605,6 +618,7 @@ impl Snapshot {
         let n = r.usize()?;
         let track = r.bool()?;
         let viewsum = r.bool()?;
+        let tso = r.bool()?;
         let obj_count = r.usize()?;
         let mut objects = std::collections::HashMap::with_capacity(obj_count.min(1 << 16));
         for _ in 0..obj_count {
@@ -644,6 +658,22 @@ impl Snapshot {
             });
             own_steps.push(r.u64()?);
         }
+        let mut buffers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let blen = r.usize()?;
+            let mut buf = Vec::with_capacity(blen.min(1 << 16));
+            for _ in 0..blen {
+                let key = decode_key(&mut r)?;
+                let cell_idx = get_opt_u64(&mut r)?
+                    .map(usize::try_from)
+                    .transpose()
+                    .map_err(|_| CodecError::Truncated)?;
+                let len = r.usize()?;
+                let (val, fp) = decode_stored(&mut r, track)?;
+                buf.push(BufferedWrite::from_parts(key, cell_idx, len, val, fp));
+            }
+            buffers.push(buf);
+        }
         let kind_count = r.usize()?;
         let mut op_counts = std::collections::HashMap::with_capacity(kind_count.min(1 << 16));
         for _ in 0..kind_count {
@@ -667,6 +697,8 @@ impl Snapshot {
             own_steps,
             op_counts,
             steps,
+            tso,
+            buffers,
         })
     }
 }
@@ -745,7 +777,7 @@ mod tests {
         assert_eq!(hex, GOLDEN_HEX, "snapshot byte format drifted — bump CODEC_VERSION");
     }
 
-    const GOLDEN_HEX: &str = "4d50534e010002000000000000000101030000000000000028000000000000000000000000000000000000000101020700000000000000290000000000000000000000000000000000000003012a00000000000000000000000000000000000000020200000000000000000103090000000000000001e5cb8d3c9ae581da4a36b7faf849da5432573c9b80f46f0e02000000000000000100000000000000280000000000000000000000000000000000000000050000000000000029000000000000000000000000000000000000000101010000000000000003000000000000002a0000000000000000000000000000000000000000010001010000000000000000020000000000000000000001020000000000000028000000000000000000000000000000000000000001010000000000000003000000000000002800000001000000000000002900000001000000000000002a00000001000000000000000300000000000000";
+    const GOLDEN_HEX: &str = "4d50534e02000200000000000000010100030000000000000028000000000000000000000000000000000000000101020700000000000000290000000000000000000000000000000000000003012a00000000000000000000000000000000000000020200000000000000000103090000000000000001e5cb8d3c9ae581da4a36b7faf849da5432573c9b80f46f0e02000000000000000100000000000000280000000000000000000000000000000000000000050000000000000029000000000000000000000000000000000000000101010000000000000003000000000000002a000000000000000000000000000000000000000001000101000000000000000002000000000000000000000102000000000000002800000000000000000000000000000000000000000101000000000000000000000000000000000000000000000003000000000000002800000001000000000000002900000001000000000000002a00000001000000000000000300000000000000";
 
     #[test]
     fn foreign_and_truncated_bytes_are_rejected() {
@@ -759,6 +791,44 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(matches!(Snapshot::decode(&trailing), Err(CodecError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn tso_snapshots_roundtrip_buffer_contents() {
+        // A TSO path with writes parked in a store buffer whose owner has
+        // already finished: the buffers (and the mode flag) must survive
+        // the byte roundtrip — same fingerprint, same flushability, and
+        // flushing the decoded snapshot moves memory identically.
+        let bodies = || -> Vec<Body> {
+            vec![
+                Box::new(|env: Env<ModelWorld>| {
+                    env.reg_write(ObjKey::new(50, 0, 0), 3u64);
+                    env.snap_write(ObjKey::new(51, 0, 0), 2, 0, (4u64, 1u8));
+                    0
+                }),
+                Box::new(|env: Env<ModelWorld>| {
+                    env.reg_read::<u64>(ObjKey::new(50, 0, 0)).unwrap_or(9)
+                }),
+            ]
+        };
+        let body_of = |pid: usize| bodies().into_iter().nth(pid).unwrap();
+        let mut snap = ModelWorld::snapshot_root_tso(2, true, false, true, bodies());
+        snap = ModelWorld::resume_from(&snap, 0, body_of(0));
+        snap = ModelWorld::resume_from(&snap, 0, body_of(0));
+        assert_eq!(snap.flushable(), vec![0]);
+        assert_eq!(snap.buffered(0), 2);
+        assert!(!snap.is_terminal(), "undrained buffers keep the state live");
+        let bytes = snap.encode().unwrap();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert!(back.is_tso());
+        assert_eq!(back.encode().unwrap(), bytes);
+        assert_eq!(back.fingerprint(), snap.fingerprint());
+        assert_eq!(back.flushable(), snap.flushable());
+        assert_eq!(back.flush_footprint(0), snap.flush_footprint(0));
+        let f1 = ModelWorld::resume_flush(&ModelWorld::resume_flush(&snap, 0), 0);
+        let f2 = ModelWorld::resume_flush(&ModelWorld::resume_flush(&back, 0), 0);
+        assert_eq!(f1.fingerprint(), f2.fingerprint());
+        assert!(!f1.is_tso() || f1.flushable().is_empty());
     }
 
     #[test]

@@ -46,7 +46,7 @@ use std::time::Duration;
 use parking_lot::{Condvar, Mutex};
 
 use crate::fingerprint::{fold_state_fp, fp_of, mix, Fnv1a};
-use crate::sched::{CrashState, Crashes, Schedule, ScheduleState};
+use crate::sched::{CrashState, Crashes, Pick, Schedule, ScheduleState};
 use crate::world::{Env, MemVal, ObjKey, Pid, Stored, World};
 use std::hash::Hasher;
 
@@ -243,6 +243,7 @@ pub struct RunConfig {
     record_state_hashes: bool,
     record_decisions: bool,
     view_summaries: bool,
+    tso: bool,
 }
 
 impl RunConfig {
@@ -259,6 +260,7 @@ impl RunConfig {
             record_state_hashes: false,
             record_decisions: false,
             view_summaries: false,
+            tso: false,
         }
     }
 
@@ -333,6 +335,35 @@ impl RunConfig {
     pub fn view_summaries(mut self, yes: bool) -> Self {
         self.view_summaries = yes;
         self
+    }
+
+    /// Explores **TSO (total store order)** semantics instead of
+    /// sequential consistency: every `reg_write` / `snap_write` *enqueues*
+    /// into the calling process's FIFO store buffer (one atomic step, but
+    /// no memory change), and the buffered write reaches shared memory
+    /// only when a distinct **flush** action is scheduled —
+    /// [`crate::sched::Schedule::Indexed`]'s third index band,
+    /// `2 * alive.len() .. 2 * alive.len() + n`, addressing buffers by
+    /// raw pid (buffers keep draining after their owner finishes or
+    /// crashes: the hardware owns them, not the process). Reads forward
+    /// from the issuing process's own buffer (newest entry per
+    /// object/cell); `tas` / `xcons_propose` / [`World::fence`] drain the
+    /// caller's buffer before (or as) their step, the x86-TSO fence
+    /// discipline. Off by default — SC runs are byte-identical to the
+    /// pre-TSO engine.
+    ///
+    /// Gated TSO runs require an [`crate::sched::Schedule::Indexed`]
+    /// policy (no other policy can schedule flushes); the exhaustive
+    /// explorer enumerates flush branches natively
+    /// (`crate::explore::Explorer::tso`).
+    pub fn tso(mut self, yes: bool) -> Self {
+        self.tso = yes;
+        self
+    }
+
+    /// Whether the run explores TSO store-buffer semantics.
+    pub fn is_tso(&self) -> bool {
+        self.tso
     }
 
     /// Number of processes.
@@ -502,6 +533,14 @@ struct State {
     /// and executes exactly the granted fresh operations (see
     /// [`snapshot`]).
     resume: Option<ResumeCtl>,
+    /// TSO exploration mode ([`RunConfig::tso`]): writes enqueue into
+    /// [`State::buffers`] instead of touching memory. Fixed for the whole
+    /// path, like [`State::viewsum`].
+    tso: bool,
+    /// Per-process FIFO store buffers (always empty when [`State::tso`]
+    /// is off). `buffers[p]` holds `p`'s issued-but-unflushed writes,
+    /// oldest first.
+    buffers: Vec<Vec<BufferedWrite>>,
 }
 
 /// Operation tags folded into [`State::obs_fp`].
@@ -511,6 +550,128 @@ const OP_SNAP_WRITE: u64 = 3;
 const OP_SNAP_SCAN: u64 = 4;
 const OP_TAS: u64 = 5;
 const OP_XCONS: u64 = 6;
+/// A [`World::fence`] step (TSO mode only: under SC a fence never gates).
+const OP_FENCE: u64 = 7;
+/// The footprint tag of a store-buffer **flush** action (TSO mode). Never
+/// appears in operation logs — a flush is a hardware action, not a process
+/// step — only in [`Footprint`]s and the explorer's action encoding.
+pub(crate) const OP_FLUSH: u64 = 8;
+
+/// Object-kind namespace of the per-process pseudo-key a fence step is
+/// accounted and logged under (`ObjKey::new(FENCE_KIND, pid, 0)`): fences
+/// touch no single object, so they get a key outside every program
+/// family.
+const FENCE_KIND: u32 = u32::MAX;
+
+/// One write parked in a process's FIFO store buffer (TSO mode): the
+/// target object, the snapshot cell for `snap_write` (`None` for a
+/// register write), the snapshot length (to default-create the object on
+/// first flush, as the direct write would), and the value with its
+/// fingerprint.
+#[derive(Debug, Clone)]
+pub(crate) struct BufferedWrite {
+    pub(super) key: ObjKey,
+    pub(super) cell_idx: Option<usize>,
+    pub(super) len: usize,
+    cell: Cell,
+}
+
+impl BufferedWrite {
+    pub(super) fn new_register(key: ObjKey, val: Stored, fp: u64) -> Self {
+        BufferedWrite { key, cell_idx: None, len: 0, cell: Cell { val, fp } }
+    }
+
+    pub(super) fn new_snap_cell(key: ObjKey, idx: usize, len: usize, val: Stored, fp: u64) -> Self {
+        BufferedWrite { key, cell_idx: Some(idx), len, cell: Cell { val, fp } }
+    }
+
+    /// Rebuilds an entry from its decoded parts (the codec's constructor).
+    pub(super) fn from_parts(
+        key: ObjKey,
+        cell_idx: Option<usize>,
+        len: usize,
+        val: Stored,
+        fp: u64,
+    ) -> Self {
+        BufferedWrite { key, cell_idx, len, cell: Cell { val, fp } }
+    }
+
+    /// The value (and fingerprint) this entry will write.
+    pub(super) fn stored(&self) -> (&Stored, u64) {
+        (&self.cell.val, self.cell.fp)
+    }
+
+    /// The dependency footprint of flushing this entry: a write to the
+    /// target object (cell-granular for snapshot cells), so
+    /// [`Footprint::commutes`] gives flush/flush independence on distinct
+    /// objects and flush/read conflicts on the flushed object for free.
+    pub(crate) fn flush_footprint(&self) -> Footprint {
+        Footprint::new(OP_FLUSH, self.key, self.cell_idx.map(|i| i as u64), false)
+    }
+}
+
+/// Applies one buffered write to an object map, maintaining the
+/// incremental memory fingerprint exactly as [`State::with_obj`] does —
+/// shared by the gated world's flush delivery and
+/// [`ModelWorld::resume_flush`], so both engines move memory word for
+/// word.
+fn apply_buffered_write(
+    objects: &mut HashMap<ObjKey, Object>,
+    mem_fp: &mut u64,
+    track: bool,
+    w: BufferedWrite,
+) {
+    let BufferedWrite { key, cell_idx, len, cell } = w;
+    let existed = !track || objects.contains_key(&key);
+    let obj = objects.entry(key).or_insert_with(|| match cell_idx {
+        None => Object::Register(None),
+        Some(_) => Object::Snapshot(vec![None; len]),
+    });
+    let before = if track && existed { key_obj_fp(key, obj) } else { 0 };
+    match (cell_idx, &mut *obj) {
+        (None, Object::Register(slot)) => *slot = Some(cell),
+        (Some(i), Object::Snapshot(cells)) => {
+            assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
+            cells[i] = Some(cell);
+        }
+        (None, other) => panic!("object {key} is not a register: {other:?}"),
+        (Some(_), other) => panic!("object {key} is not a snapshot object: {other:?}"),
+    }
+    if track {
+        let after = key_obj_fp(key, obj);
+        *mem_fp ^= before ^ after;
+    }
+}
+
+/// Per-process store-buffer fingerprint: an order-sensitive fold of
+/// `(key, cell, value fp)` per entry — mixed into the owner's flags word
+/// by the state fingerprints whenever the buffer is non-empty, so
+/// SC states (and TSO states with drained buffers) keep their exact
+/// pre-TSO identities.
+pub(super) fn buffer_fp(buf: &[BufferedWrite]) -> u64 {
+    let mut acc = 0u64;
+    for w in buf {
+        let mut h = Fnv1a::default();
+        h.write_u64(u64::from(w.key.kind));
+        h.write_u64(w.key.a);
+        h.write_u64(w.key.b);
+        h.write_u64(w.cell_idx.map_or(u64::MAX, |i| i as u64));
+        h.write_u64(w.cell.fp);
+        acc = mix(acc, h.finish());
+    }
+    acc
+}
+
+/// The flags word of process `p` extended with its store-buffer contents
+/// when (and only when) the buffer is non-empty — the shared rule of
+/// [`State::fingerprint`] and the snapshot fingerprints.
+pub(super) fn flags_with_buffer(flags: u64, buf: &[BufferedWrite]) -> u64 {
+    if buf.is_empty() {
+        flags
+    } else {
+        mix(flags, buffer_fp(buf))
+    }
+}
 
 /// The dependency footprint of one shared-memory operation: which object
 /// it touches, at what granularity, and whether it can change memory.
@@ -563,6 +724,17 @@ impl Footprint {
             _ => false,
         }
     }
+
+    /// `true` for operations that drain the caller's store buffer under
+    /// TSO (`tas`, `xcons_propose`, [`World::fence`]): their step may
+    /// write *several* objects beyond [`Footprint::key`], so the TSO
+    /// explorer treats them as conflicting with every adjacent action
+    /// instead of trusting the single-key footprint. SC commutation is
+    /// untouched — buffers are empty there, and the SC reduction never
+    /// consults this.
+    pub(crate) fn fences(&self) -> bool {
+        matches!(self.op, OP_TAS | OP_XCONS | OP_FENCE)
+    }
 }
 
 /// `hash(key, object-content)` — the per-key word XOR-folded into
@@ -614,6 +786,23 @@ impl State {
         out
     }
 
+    /// Flushes the oldest entry of `pid`'s store buffer to shared memory
+    /// (TSO mode). Panics if the buffer is empty.
+    fn flush_head(&mut self, pid: Pid) {
+        assert!(!self.buffers[pid].is_empty(), "flush of an empty store buffer (pid {pid})");
+        let w = self.buffers[pid].remove(0);
+        apply_buffered_write(&mut self.objects, &mut self.mem_fp, self.track, w);
+    }
+
+    /// Drains `pid`'s store buffer to shared memory in FIFO order — the
+    /// x86-TSO semantics of atomic read-modify-write operations and
+    /// fences, executed as part of the draining step.
+    fn drain_buffer(&mut self, pid: Pid) {
+        while !self.buffers[pid].is_empty() {
+            self.flush_head(pid);
+        }
+    }
+
     /// The full-map recomputation of [`State::mem_fp`] — only used to
     /// cross-check the incremental accumulator in debug builds.
     fn recompute_mem_fp(&self) -> u64 {
@@ -641,10 +830,13 @@ impl State {
             (0..self.obs_fp.len()).map(|p| {
                 (
                     self.obs_fp[p],
-                    u64::from(self.finished[p])
-                        | u64::from(self.crashed[p]) << 1
-                        | u64::from(self.adversary_crash[p]) << 2
-                        | u64::from(self.results[p].is_some()) << 3,
+                    flags_with_buffer(
+                        u64::from(self.finished[p])
+                            | u64::from(self.crashed[p]) << 1
+                            | u64::from(self.adversary_crash[p]) << 2
+                            | u64::from(self.results[p].is_some()) << 3,
+                        &self.buffers[p],
+                    ),
                     self.results[p].unwrap_or(0),
                 )
             }),
@@ -679,7 +871,7 @@ impl std::fmt::Debug for ModelWorld {
 }
 
 impl ModelWorld {
-    fn new(n: usize, free: bool, track: bool, viewsum: bool) -> Self {
+    fn new(n: usize, free: bool, track: bool, viewsum: bool, tso: bool) -> Self {
         let st = State {
             permits: vec![Permit::Idle; n],
             op_done: false,
@@ -700,6 +892,8 @@ impl ModelWorld {
             viewsum,
             free,
             resume: None,
+            tso,
+            buffers: vec![Vec::new(); n],
         };
         ModelWorld {
             inner: Arc::new(Inner {
@@ -716,7 +910,7 @@ impl ModelWorld {
     /// use would be linearizable (each op still runs under the world lock)
     /// but not deterministic.
     pub fn new_free(n: usize) -> Self {
-        ModelWorld::new(n, true, false, false)
+        ModelWorld::new(n, true, false, false, false)
     }
 
     /// Runs `bodies` (one per process) to completion under `cfg`.
@@ -737,9 +931,13 @@ impl ModelWorld {
             "decision recording uses 64-bit process masks (n = {})",
             cfg.n()
         );
+        assert!(
+            !cfg.tso || matches!(cfg.schedule, Schedule::Indexed { .. }),
+            "TSO gated runs require Schedule::Indexed (no other policy schedules flushes)"
+        );
         install_crash_hook();
         let n = cfg.n();
-        let world = ModelWorld::new(n, false, cfg.record_state_hashes, cfg.view_summaries);
+        let world = ModelWorld::new(n, false, cfg.record_state_hashes, cfg.view_summaries, cfg.tso);
         let mut sched = ScheduleState::new(cfg.schedule.clone());
         let mut crash = CrashState::new(cfg.crashes.clone());
 
@@ -762,7 +960,7 @@ impl ModelWorld {
         let mut state_hashes: Vec<u64> = Vec::new();
         let mut decisions: Vec<Decision> = Vec::new();
         loop {
-            let (alive, reads_mask): (Vec<Pid>, u64) = {
+            let (alive, reads_mask, flushable): (Vec<Pid>, u64, Vec<Pid>) = {
                 // Wait until every process is settled (parked at its gate,
                 // finished, or crashed): the alive set is then a pure
                 // function of the schedule prefix, so runs are replayable.
@@ -792,9 +990,16 @@ impl ModelWorld {
                 } else {
                     0
                 };
-                (alive, reads_mask)
+                let flushable: Vec<Pid> = if cfg.tso {
+                    (0..n).filter(|&p| !st.buffers[p].is_empty()).collect()
+                } else {
+                    Vec::new()
+                };
+                (alive, reads_mask, flushable)
             };
-            if alive.is_empty() {
+            // A TSO run is terminal only once every buffer has drained:
+            // undelivered writes still change shared memory.
+            if alive.is_empty() && flushable.is_empty() {
                 break;
             }
             if steps >= cfg.max_steps {
@@ -805,9 +1010,34 @@ impl ModelWorld {
                 break;
             }
             if cfg.record_branching {
-                branching.push(alive.len());
+                branching.push(alive.len() + flushable.len());
             }
-            let (pid, crash_pick) = sched.pick(&alive);
+            let (pid, crash_pick) = if cfg.tso {
+                match sched.pick_tso(&alive, n, &flushable) {
+                    Pick::Flush(p) => {
+                        // A flush is one global step of the hardware, not
+                        // of any process: memory and the flushed buffer
+                        // change, logs and own-step clocks do not.
+                        picks += 1;
+                        steps += 1;
+                        world.inner.st.lock().flush_head(p);
+                        if cfg.record_decisions {
+                            let alive_mask = alive.iter().fold(0u64, |m, &p| m | 1 << p);
+                            decisions.push(Decision {
+                                alive: alive_mask,
+                                reads: reads_mask,
+                                picked: p,
+                                crash: false,
+                            });
+                        }
+                        continue;
+                    }
+                    Pick::Crash(p) => (p, true),
+                    Pick::Op(p) => (p, false),
+                }
+            } else {
+                sched.pick(&alive)
+            };
             picks += 1;
             let own = { world.inner.st.lock().own_steps[pid] };
             // A crash-flagged pick delivers one of the crash-count
@@ -1036,19 +1266,37 @@ fn scan_cells<T: MemVal>(st: &mut State, key: ObjKey, len: usize) -> Vec<Option<
     )
 }
 
+/// TSO store-to-load forwarding for scans: overlays `pid`'s own buffered
+/// cells of snapshot object `key` onto a freshly scanned view, in FIFO
+/// order (newest entry per cell wins). No-op under SC (buffers are empty).
+fn overlay_own_buffer<T: MemVal>(st: &State, pid: Pid, key: ObjKey, view: &mut [Option<T>]) {
+    for w in st.buffers[pid].iter().filter(|w| w.key == key) {
+        let i = w
+            .cell_idx
+            .unwrap_or_else(|| panic!("object {key} is not a register: buffered kind mismatch"));
+        view[i] = Some(downcast(w.stored().0, key, "buffered snapshot cell"));
+    }
+}
+
 impl World for ModelWorld {
     fn reg_write<T: MemVal>(&self, pid: Pid, key: ObjKey, val: T) {
         self.step(pid, Footprint::new(OP_REG_WRITE, key, None, false), |st| {
             let cell = Cell::new(val, st.track);
             let fp = cell.fp;
-            st.with_obj(
-                key,
-                || Object::Register(None),
-                |obj| match obj {
-                    Object::Register(slot) => *slot = Some(cell),
-                    other => panic!("object {key} is not a register: {other:?}"),
-                },
-            );
+            if st.tso {
+                // TSO: the write parks in the issuing process's FIFO store
+                // buffer; shared memory changes only at the flush step.
+                st.buffers[pid].push(BufferedWrite::new_register(key, cell.val, fp));
+            } else {
+                st.with_obj(
+                    key,
+                    || Object::Register(None),
+                    |obj| match obj {
+                        Object::Register(slot) => *slot = Some(cell),
+                        other => panic!("object {key} is not a register: {other:?}"),
+                    },
+                );
+            }
             if st.track {
                 st.observe(pid, OP_REG_WRITE, key, fp);
             }
@@ -1057,7 +1305,7 @@ impl World for ModelWorld {
 
     fn reg_read<T: MemVal>(&self, pid: Pid, key: ObjKey) -> Option<T> {
         self.step(pid, Footprint::new(OP_REG_READ, key, None, true), |st| {
-            let out = st.with_obj(
+            let mut out = st.with_obj(
                 key,
                 || Object::Register(None),
                 |obj| match obj {
@@ -1067,6 +1315,17 @@ impl World for ModelWorld {
                     other => panic!("object {key} is not a register: {other:?}"),
                 },
             );
+            if st.tso {
+                // TSO store-to-load forwarding: a read sees the newest
+                // entry for its object in the *issuing process's own*
+                // buffer, ahead of shared memory. Other processes' buffers
+                // are invisible — that is exactly the SB reordering.
+                if let Some(w) =
+                    st.buffers[pid].iter().rev().find(|w| w.key == key && w.cell_idx.is_none())
+                {
+                    out = Some(downcast(w.stored().0, key, "buffered register write"));
+                }
+            }
             if st.track {
                 st.observe(pid, OP_REG_READ, key, fp_of::<Option<T>>(&out));
             }
@@ -1079,17 +1338,21 @@ impl World for ModelWorld {
         self.step(pid, Footprint::new(OP_SNAP_WRITE, key, Some(idx as u64), false), |st| {
             let cell = Cell::new(val, st.track);
             let fp = cell.fp;
-            st.with_obj(
-                key,
-                || Object::Snapshot(vec![None; len]),
-                |obj| match obj {
-                    Object::Snapshot(cells) => {
-                        assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
-                        cells[idx] = Some(cell);
-                    }
-                    other => panic!("object {key} is not a snapshot object: {other:?}"),
-                },
-            );
+            if st.tso {
+                st.buffers[pid].push(BufferedWrite::new_snap_cell(key, idx, len, cell.val, fp));
+            } else {
+                st.with_obj(
+                    key,
+                    || Object::Snapshot(vec![None; len]),
+                    |obj| match obj {
+                        Object::Snapshot(cells) => {
+                            assert_eq!(cells.len(), len, "snapshot {key} length mismatch");
+                            cells[idx] = Some(cell);
+                        }
+                        other => panic!("object {key} is not a snapshot object: {other:?}"),
+                    },
+                );
+            }
             if st.track {
                 st.observe(pid, OP_SNAP_WRITE, key, mix(idx as u64, fp));
             }
@@ -1098,7 +1361,8 @@ impl World for ModelWorld {
 
     fn snap_scan<T: MemVal>(&self, pid: Pid, key: ObjKey, len: usize) -> Vec<Option<T>> {
         self.step(pid, Footprint::new(OP_SNAP_SCAN, key, None, true), |st| {
-            let out: Vec<Option<T>> = scan_cells(st, key, len);
+            let mut out: Vec<Option<T>> = scan_cells(st, key, len);
+            overlay_own_buffer(st, pid, key, &mut out);
             if st.track {
                 st.observe(pid, OP_SNAP_SCAN, key, fp_of(&out));
             }
@@ -1125,7 +1389,8 @@ impl World for ModelWorld {
         summarize: fn(&[Option<T>]) -> S,
     ) -> S {
         self.step(pid, Footprint::new(OP_SNAP_SCAN, key, None, true), |st| {
-            let raw: Vec<Option<T>> = scan_cells(st, key, len);
+            let mut raw: Vec<Option<T>> = scan_cells(st, key, len);
+            overlay_own_buffer(st, pid, key, &mut raw);
             let out = summarize(&raw);
             if st.track {
                 let result_fp = if st.viewsum { fp_of(&out) } else { fp_of(&raw) };
@@ -1135,8 +1400,31 @@ impl World for ModelWorld {
         })
     }
 
+    fn fence(&self, pid: Pid) {
+        // Under SC a fence is free: no gate, no step, no trace or log
+        // effect — the default-noop contract of [`World::fence`]. The
+        // check reads the fixed `tso` mode flag only (never buffer
+        // contents), so whether a fence gates is a pure function of the
+        // run mode and log replay stays deterministic.
+        if !self.inner.st.lock().tso {
+            return;
+        }
+        let key = ObjKey::new(FENCE_KIND, pid as u64, 0);
+        self.step(pid, Footprint::new(OP_FENCE, key, None, false), |st| {
+            st.drain_buffer(pid);
+            if st.track {
+                st.observe(pid, OP_FENCE, key, 0);
+            }
+        });
+    }
+
     fn tas(&self, pid: Pid, key: ObjKey) -> bool {
         self.step(pid, Footprint::new(OP_TAS, key, None, false), |st| {
+            if st.tso {
+                // x86-TSO: a LOCK'd RMW drains the issuing process's
+                // buffer as part of its atomic step.
+                st.drain_buffer(pid);
+            }
             let won = st.with_obj(
                 key,
                 || Object::Tas(false),
@@ -1162,6 +1450,10 @@ impl World for ModelWorld {
             "process {pid} is not a port of consensus object {key} (ports {ports:?})"
         );
         self.step(pid, Footprint::new(OP_XCONS, key, None, false), |st| {
+            if st.tso {
+                // LOCK'd RMW under x86-TSO — see `tas`.
+                st.drain_buffer(pid);
+            }
             let track = st.track;
             let out = st.with_obj(
                 key,

@@ -40,8 +40,8 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use super::{
-    codec, install_crash_hook, panic_message, Body, Footprint, Inner, ModelWorld, Outcome, Permit,
-    RunReport, State, StopSignal,
+    apply_buffered_write, codec, flags_with_buffer, install_crash_hook, panic_message, Body,
+    BufferedWrite, Footprint, Inner, ModelWorld, Outcome, Permit, RunReport, State, StopSignal,
 };
 use crate::fingerprint::{canonical_order, fold_state_fp, mix, Fnv1a};
 use crate::world::{Env, ObjKey, Pid, Stored};
@@ -169,6 +169,14 @@ pub struct Snapshot {
     pub(super) own_steps: Vec<u64>,
     pub(super) op_counts: HashMap<u32, u64>,
     pub(super) steps: u64,
+    /// This path explores TSO store-buffer semantics
+    /// ([`super::RunConfig::tso`]); fixed at the root like
+    /// [`Snapshot::viewsum`], so a path never mixes memory models.
+    pub(super) tso: bool,
+    /// Per-process FIFO store buffers (always empty when [`Snapshot::tso`]
+    /// is off). Part of the state: they enter the fingerprint, the codec,
+    /// and the terminality condition.
+    pub(super) buffers: Vec<Vec<BufferedWrite>>,
 }
 
 impl std::fmt::Debug for Snapshot {
@@ -205,9 +213,38 @@ impl Snapshot {
         (0..self.n).filter(|&p| !self.finished[p] && !self.crashed[p]).collect()
     }
 
-    /// `true` once every process has decided or crashed.
+    /// `true` once every process has decided or crashed — and, under TSO,
+    /// every store buffer has drained: undelivered writes still change
+    /// shared memory, so a state with a non-empty buffer has futures.
     pub fn is_terminal(&self) -> bool {
         (0..self.n).all(|p| self.finished[p] || self.crashed[p])
+            && self.buffers.iter().all(Vec::is_empty)
+    }
+
+    /// Whether this path explores TSO store-buffer semantics.
+    pub fn is_tso(&self) -> bool {
+        self.tso
+    }
+
+    /// Processes with a non-empty store buffer, in increasing pid order —
+    /// the order of [`crate::sched::Schedule::Indexed`]'s flush band.
+    /// Indexed by raw pid (not alive rank): buffers keep draining after
+    /// their owner finishes or crashes.
+    pub fn flushable(&self) -> Vec<Pid> {
+        (0..self.n).filter(|&p| !self.buffers[p].is_empty()).collect()
+    }
+
+    /// Number of writes parked in `pid`'s store buffer.
+    pub fn buffered(&self, pid: Pid) -> usize {
+        self.buffers[pid].len()
+    }
+
+    /// The dependency footprint of flushing the *oldest* entry of `pid`'s
+    /// store buffer (`None` if the buffer is empty) — the flush-band
+    /// analogue of [`Snapshot::pending_footprint`]. Only the head is a
+    /// schedulable action: flushes of one buffer are FIFO-ordered.
+    pub fn flush_footprint(&self, pid: Pid) -> Option<Footprint> {
+        self.buffers[pid].first().map(BufferedWrite::flush_footprint)
     }
 
     /// `true` if alive `pid` is parked before a pure read (`reg_read` or
@@ -287,10 +324,13 @@ impl Snapshot {
                     // Resume crashes are always adversary crashes, so the
                     // crashed bit fills both flag positions the gated
                     // fingerprint reserves for crashed/adversary_crash.
-                    u64::from(self.finished[p])
-                        | u64::from(self.crashed[p]) << 1
-                        | u64::from(self.crashed[p]) << 2
-                        | u64::from(self.results[p].is_some()) << 3,
+                    flags_with_buffer(
+                        u64::from(self.finished[p])
+                            | u64::from(self.crashed[p]) << 1
+                            | u64::from(self.crashed[p]) << 2
+                            | u64::from(self.results[p].is_some()) << 3,
+                        &self.buffers[p],
+                    ),
                     self.results[p].unwrap_or(0),
                 )
             }),
@@ -360,6 +400,12 @@ impl Snapshot {
     /// tracking.
     pub fn fingerprint_symmetric(&self, quotient_obs: bool, spec: &super::Symmetry) -> (u64, bool) {
         debug_assert!(self.track, "fingerprints require tracking (snapshot_root track=true)");
+        debug_assert!(
+            !self.tso,
+            "the symmetry quotient is gated off under TSO (store-buffer contents are \
+             per-process state the erasure does not canonicalize) — the explorer must not \
+             request canonical fingerprints on a TSO path"
+        );
         let n = self.n;
         let zeros = vec![0; n];
         // Erased view of each process's own pid-indexed snapshot cells,
@@ -585,6 +631,8 @@ impl ModelWorld {
             viewsum: snap.viewsum,
             free: false,
             resume: Some(ctl),
+            tso: snap.tso,
+            buffers: snap.buffers.clone(),
         };
         ModelWorld {
             inner: Arc::new(Inner {
@@ -621,6 +669,20 @@ impl ModelWorld {
     ///
     /// Panics if `bodies.len() != n` or if a body fails with a real panic.
     pub fn snapshot_root(n: usize, track: bool, viewsum: bool, bodies: Vec<Body>) -> Snapshot {
+        ModelWorld::snapshot_root_tso(n, track, viewsum, false, bodies)
+    }
+
+    /// [`ModelWorld::snapshot_root`] with the memory model chosen
+    /// explicitly: with `tso`, the whole path explores TSO store-buffer
+    /// semantics ([`super::RunConfig::tso`]) — a root property inherited
+    /// by every successor, like `viewsum`.
+    pub fn snapshot_root_tso(
+        n: usize,
+        track: bool,
+        viewsum: bool,
+        tso: bool,
+        bodies: Vec<Body>,
+    ) -> Snapshot {
         assert_eq!(bodies.len(), n, "one body per process required");
         install_crash_hook();
         let mut snap = Snapshot {
@@ -638,6 +700,8 @@ impl ModelWorld {
             own_steps: vec![0; n],
             op_counts: HashMap::new(),
             steps: 0,
+            tso,
+            buffers: vec![Vec::new(); n],
         };
         for (pid, body) in bodies.into_iter().enumerate() {
             // Probe (budget 0): the body unwinds at its first operation
@@ -736,6 +800,8 @@ impl ModelWorld {
             own_steps: std::mem::take(&mut st.own_steps),
             op_counts: std::mem::take(&mut st.op_counts),
             steps: snap.steps + 1,
+            tso: snap.tso,
+            buffers: std::mem::take(&mut st.buffers),
         }
     }
 
@@ -755,6 +821,30 @@ impl ModelWorld {
         let mut out = snap.clone();
         out.crashed[pid] = true;
         out.pending_op[pid] = None;
+        out
+    }
+
+    /// Flushes the oldest entry of `pid`'s store buffer to shared memory
+    /// — one scheduling decision of the TSO flush band — and returns the
+    /// successor snapshot. A flush is a hardware step, not a process
+    /// step: memory, the buffer, and the global step counter change;
+    /// logs, observation histories, and own-step clocks do not. Legal for
+    /// finished and crashed owners (the hardware owns the buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is not a TSO path or `pid`'s buffer is
+    /// empty.
+    pub fn resume_flush(snap: &Snapshot, pid: Pid) -> Snapshot {
+        assert!(snap.tso, "resume_flush requires a TSO path");
+        assert!(
+            pid < snap.n && !snap.buffers[pid].is_empty(),
+            "resume_flush requires a non-empty store buffer (pid {pid})"
+        );
+        let mut out = snap.clone();
+        let w = out.buffers[pid].remove(0);
+        apply_buffered_write(&mut out.objects, &mut out.mem_fp, out.track, w);
+        out.steps += 1;
         out
     }
 }

@@ -61,6 +61,19 @@ impl Default for Schedule {
     }
 }
 
+/// One decoded scheduling decision of a TSO-mode run
+/// ([`ScheduleState::pick_tso`]): grant a step, deliver a crash, or flush
+/// the head of a process's store buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pick {
+    /// Grant `pid` one shared-memory step.
+    Op(Pid),
+    /// Deliver a crash to `pid` instead of a step.
+    Crash(Pid),
+    /// Flush the oldest entry of `pid`'s store buffer to shared memory.
+    Flush(Pid),
+}
+
 pub(crate) struct ScheduleState {
     policy: Schedule,
     rng: StdRng,
@@ -121,6 +134,55 @@ impl ScheduleState {
                     (alive[idx % alive.len()], false)
                 }
             }
+        }
+    }
+
+    /// Decodes the next choice of a **TSO-mode** [`Schedule::Indexed`]
+    /// run, where the index space carries one extra band beyond the op
+    /// and crash bands: `2 * alive.len() .. 2 * alive.len() + n` flushes
+    /// the store buffer of **raw pid** `idx - 2 * alive.len()` (raw, not
+    /// alive-indexed: finished and crashed processes keep draining —
+    /// hardware owns the buffer, not the process). The SC decoder
+    /// ([`ScheduleState::pick`]) never sees this band, so every
+    /// pre-existing choice vector decodes exactly as before.
+    ///
+    /// Degradations keep foreign vectors total and deterministic: a
+    /// flush pick of a pid whose buffer is empty — and any index beyond
+    /// all three bands — degrades to an op grant of
+    /// `alive[idx % alive.len()]`, or to a flush of the lowest flushable
+    /// pid when no process is schedulable. Explorer-generated vectors
+    /// always index exactly, so degradations never fire on them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is not [`Schedule::Indexed`] (the gated
+    /// engine rejects other policies under TSO before running), or if
+    /// neither an alive process nor a flushable buffer exists (the run
+    /// loop terminates before that).
+    pub(crate) fn pick_tso(&mut self, alive: &[Pid], n: usize, flushable: &[Pid]) -> Pick {
+        let Schedule::Indexed { choices } = &self.policy else {
+            panic!("TSO gated runs require Schedule::Indexed");
+        };
+        assert!(
+            !alive.is_empty() || !flushable.is_empty(),
+            "pick_tso needs a schedulable process or a non-empty buffer"
+        );
+        let a = alive.len();
+        let idx = choices.get(self.cursor).copied().unwrap_or(0);
+        self.cursor += 1;
+        if (a..2 * a).contains(&idx) {
+            return Pick::Crash(alive[idx - a]);
+        }
+        if (2 * a..2 * a + n).contains(&idx) {
+            let pid = idx - 2 * a;
+            if flushable.contains(&pid) {
+                return Pick::Flush(pid);
+            }
+        }
+        if alive.is_empty() {
+            Pick::Flush(flushable[0])
+        } else {
+            Pick::Op(alive[idx % a])
         }
     }
 }
@@ -298,6 +360,41 @@ mod tests {
         assert_eq!(st.pick(&alive), (5, true), "crash pick of alive[2]");
         assert_eq!(st.pick(&alive), (2, false), "beyond both bands wraps modulo");
         assert_eq!(st.pick(&alive), (0, false), "past the end defaults to 0");
+    }
+
+    #[test]
+    fn tso_flush_band_decodes_raw_pids_past_both_bands() {
+        let alive: Vec<Pid> = vec![0, 2];
+        let flushable: Vec<Pid> = vec![1, 2];
+        let n = 3;
+        // Op band (0..2), crash band (2..4), flush band (4..7) by raw
+        // pid, then the degradations: an empty-buffer flush pick and an
+        // index beyond all bands both degrade to a wrapped op grant.
+        let mut st =
+            ScheduleState::new(Schedule::Indexed { choices: vec![1, 3, 4 + 1, 4 + 2, 4, 7] });
+        assert_eq!(st.pick_tso(&alive, n, &flushable), Pick::Op(2), "op pick");
+        assert_eq!(st.pick_tso(&alive, n, &flushable), Pick::Crash(2), "crash pick of alive[1]");
+        assert_eq!(st.pick_tso(&alive, n, &flushable), Pick::Flush(1), "flush pick of raw pid 1");
+        assert_eq!(st.pick_tso(&alive, n, &flushable), Pick::Flush(2), "flush pick of raw pid 2");
+        assert_eq!(st.pick_tso(&alive, n, &flushable), Pick::Op(0), "empty buffer degrades to op");
+        assert_eq!(st.pick_tso(&alive, n, &flushable), Pick::Op(2), "beyond all bands wraps");
+    }
+
+    #[test]
+    fn tso_flush_band_with_no_alive_processes_sits_at_zero() {
+        // All processes finished: the op and crash bands are empty, so
+        // the flush band starts at index 0 and everything else degrades
+        // to the lowest flushable pid.
+        let alive: Vec<Pid> = vec![];
+        let flushable: Vec<Pid> = vec![1, 2];
+        let mut st = ScheduleState::new(Schedule::Indexed { choices: vec![2, 0, 9] });
+        assert_eq!(st.pick_tso(&alive, 3, &flushable), Pick::Flush(2), "band base is 0");
+        assert_eq!(
+            st.pick_tso(&alive, 3, &flushable),
+            Pick::Flush(1),
+            "empty pid-0 buffer degrades"
+        );
+        assert_eq!(st.pick_tso(&alive, 3, &flushable), Pick::Flush(1), "beyond the band degrades");
     }
 
     #[test]

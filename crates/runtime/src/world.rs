@@ -141,6 +141,15 @@ pub trait World: Clone + Send + Sync + 'static {
         summarize(&self.snap_scan::<T>(pid, key, len))
     }
 
+    /// Store-buffer drain point (a full memory fence). Under a
+    /// sequentially consistent world every write is globally visible the
+    /// moment it completes, so the default is a free no-op — it takes no
+    /// scheduling step and leaves run traces untouched. The model world's
+    /// TSO exploration mode overrides it: there a fence is one atomic
+    /// step that drains the calling process's FIFO store buffer to shared
+    /// memory ([`crate::model_world::RunConfig::tso`]).
+    fn fence(&self, _pid: Pid) {}
+
     /// One-shot test&set: `true` to the first invocation ever, `false` to
     /// all later ones.
     fn tas(&self, pid: Pid, key: ObjKey) -> bool;
@@ -208,6 +217,11 @@ impl<W: World> Env<W> {
         summarize: fn(&[Option<T>]) -> S,
     ) -> S {
         self.world.snap_scan_via(self.pid, key, len, summarize)
+    }
+
+    /// See [`World::fence`].
+    pub fn fence(&self) {
+        self.world.fence(self.pid);
     }
 
     /// See [`World::tas`].

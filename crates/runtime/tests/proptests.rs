@@ -111,6 +111,49 @@ fn symmetric_program(seed: u64, n: usize, ops: usize) -> Vec<Body> {
         .collect()
 }
 
+/// A *buffer-free* random program: drawn from the write-free alphabet
+/// (register reads, snapshot scans — raw and summarized — and test&set
+/// on four keys), so an x86-TSO machine runs it with permanently empty
+/// store buffers. On such programs TSO and sequential consistency are
+/// the *same* transition system — no write ever parks, no flush action
+/// ever becomes schedulable — which is what the SC-vs-TSO differential
+/// proptest pins byte for byte. Schedule sensitivity comes from the
+/// test&set winners.
+fn buffer_free_program(seed: u64, n: usize, ops: usize) -> Vec<Body> {
+    (0..n)
+        .map(|i| {
+            Box::new(move |env: Env<ModelWorld>| {
+                let mut acc = 0u64;
+                for j in 0..ops {
+                    let h = fp_of(&(seed, i, j));
+                    match h % 4 {
+                        0 => {
+                            acc = acc.wrapping_add(
+                                env.reg_read::<u64>(ObjKey::new(84, 0, h % 2)).unwrap_or(7),
+                            );
+                        }
+                        1 => {
+                            let view = env.snap_scan::<u64>(ObjKey::new(85, 0, 0), n);
+                            acc = acc.wrapping_add(view.into_iter().flatten().sum::<u64>());
+                        }
+                        2 => {
+                            let written =
+                                env.snap_scan_via::<u64, u64>(ObjKey::new(85, 0, 0), n, |view| {
+                                    view.iter().flatten().count() as u64
+                                });
+                            acc = acc.wrapping_add(written);
+                        }
+                        _ => {
+                            acc = acc.wrapping_add(u64::from(env.tas(ObjKey::new(86, 0, h % 4))));
+                        }
+                    }
+                }
+                acc
+            }) as Body
+        })
+        .collect()
+}
+
 /// The identity group action: correct for [`symmetric_program`], whose
 /// stored and decided values are all pid-free.
 const IDENTITY_SYMMETRY: Symmetry = Symmetry { relabel_value: |v, _| v, relabel_result: |r, _| r };
@@ -845,6 +888,62 @@ proptest! {
             baseline, resumed,
             "resume must be invisible (seed {}, halt {})", seed, halt
         );
+    }
+
+    /// The SC-vs-TSO differential: on buffer-free random programs (no
+    /// writes, so store buffers stay permanently empty) the reference
+    /// enumeration under [`Explorer::tso`] pins the *byte-identical*
+    /// violation set, verdict, and statistics of the sequentially
+    /// consistent sweep — under one and two expansion workers alike.
+    /// The only permitted difference is the ` flushes=0` summary field
+    /// the TSO run appends; stripping it must recover the SC summary
+    /// byte for byte.
+    #[test]
+    fn tso_equals_sc_on_buffer_free_programs(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        ops in 1usize..4,
+    ) {
+        let make = move || buffer_free_program(seed, n, ops);
+        let check = move |r: &RunReport| {
+            let mut vals = r.decided_values();
+            vals.sort_unstable();
+            if fp_of(&vals).wrapping_add(seed) % 4 == 0 {
+                return Err(format!("flagged outcome {vals:?}"));
+            }
+            Ok(())
+        };
+        let sweep = |tso: bool, threads: usize| {
+            let out = Explorer::new(n)
+                .tso(tso)
+                .reduction(Reduction::none())
+                .limits(ExploreLimits {
+                    max_expansions: 100_000,
+                    max_steps: 1_000,
+                    ..Default::default()
+                })
+                .collect_all(true)
+                .threads(threads)
+                .run(make, check);
+            let violations: Vec<(Vec<usize>, String)> =
+                out.violations.iter().map(|v| (v.choices.clone(), v.message.clone())).collect();
+            (out.stats.summary(), out.complete, violations, out.stats.flush_branches)
+        };
+        for threads in [1usize, 2] {
+            let sc = sweep(false, threads);
+            let tso = sweep(true, threads);
+            prop_assert!(
+                tso.0.contains(" flushes=0"),
+                "a buffer-free TSO sweep must report zero flush branches (seed {})", seed
+            );
+            prop_assert_eq!(tso.3, 0u64);
+            prop_assert_eq!(
+                (tso.0.replace(" flushes=0", ""), tso.1, &tso.2),
+                (sc.0.clone(), sc.1, &sc.2),
+                "TSO must be invisible on buffer-free programs (seed {}, threads {})",
+                seed, threads
+            );
+        }
     }
 }
 
